@@ -1,0 +1,81 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench prints the rows/series of one paper table or figure. Defaults
+// are sized for a single-core box; set SPECTRAL_BENCH_FULL=1 to run the
+// paper-scale grids (all datasets, all filters, 10 seeds).
+
+#ifndef SGNN_BENCH_BENCH_COMMON_H_
+#define SGNN_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "graph/datasets.h"
+#include "models/trainer.h"
+
+namespace sgnn::bench {
+
+/// True when SPECTRAL_BENCH_FULL=1: paper-scale grids.
+inline bool FullMode() {
+  const char* env = std::getenv("SPECTRAL_BENCH_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+/// Number of random seeds per configuration.
+inline int NumSeeds() { return FullMode() ? 10 : 1; }
+
+/// Representative filter subset for quick runs (one per family flavour);
+/// full mode uses all 27.
+inline std::vector<std::string> QuickFilters() {
+  return {"identity", "linear",    "impulse",  "ppr",      "monomial",
+          "var_monomial", "chebyshev", "bernstein", "optbasis", "fagnn",
+          "g2cn",     "figure"};
+}
+
+inline std::vector<std::string> BenchFilters() {
+  return FullMode() ? filters::AllFilterNames() : QuickFilters();
+}
+
+/// Universal training configuration (paper Table 4): K=10 handled at filter
+/// creation; epochs shortened outside full mode.
+inline models::TrainConfig UniversalConfig(bool mini_batch) {
+  models::TrainConfig c;
+  c.epochs = FullMode() ? 200 : 35;
+  c.eval_every = 5;
+  c.hidden = 64;
+  if (mini_batch) {
+    c.phi0_layers = 0;
+    c.phi1_layers = 2;
+  }
+  return c;
+}
+
+/// Paper's universal hop count.
+inline int UniversalHops() { return 10; }
+
+/// Creates a filter for a dataset (passes the attribute dimension through
+/// for AdaGNN) and aborts on error.
+inline std::unique_ptr<filters::SpectralFilter> MakeFilter(
+    const std::string& name, int hops, int64_t feature_dim,
+    filters::FilterHyperParams hp = {}) {
+  auto r = filters::CreateFilter(name, hops, hp, feature_dim);
+  if (!r.ok()) {
+    std::fprintf(stderr, "filter %s: %s\n", name.c_str(),
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return r.MoveValue();
+}
+
+/// Banner with the reproduced table/figure id.
+inline void Banner(const std::string& what, const std::string& note) {
+  std::printf("\n=== %s ===\n%s\n", what.c_str(), note.c_str());
+  std::printf("mode: %s\n\n", FullMode() ? "FULL (paper-scale)" : "quick");
+}
+
+}  // namespace sgnn::bench
+
+#endif  // SGNN_BENCH_BENCH_COMMON_H_

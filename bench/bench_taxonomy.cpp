@@ -1,0 +1,22 @@
+// Reproduces paper Table 1: the taxonomy of 27 spectral filters.
+
+#include "bench/bench_common.h"
+#include "eval/table.h"
+
+int main() {
+  using namespace sgnn;
+  bench::Banner("Table 1", "Taxonomy of spectral GNN filters");
+  eval::Table table({"Type", "Filter", "Function g(L)", "Param", "HP", "Time",
+                     "Memory", "Models"});
+  for (const auto& row : filters::FilterTaxonomy()) {
+    table.AddRow({filters::FilterTypeName(row.type), row.name, row.function,
+                  row.params, row.hyper, row.time, row.memory, row.models});
+  }
+  table.Print();
+  std::printf("\ntotal filters: %zu (fixed %zu, variable %zu, bank %zu)\n",
+              filters::AllFilterNames().size(),
+              filters::FilterNamesByType(filters::FilterType::kFixed).size(),
+              filters::FilterNamesByType(filters::FilterType::kVariable).size(),
+              filters::FilterNamesByType(filters::FilterType::kBank).size());
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Plug-and-play extension demo: defining a new spectral filter.
+//
+// The paper's framework claims that adding a filter only requires its
+// spectral formulation (Eq. 1). This example implements a band-pass
+// "Mexican-hat"-style filter g(λ) = λ(2-λ) (= L̃(2I - L̃) = I - Ã²) as a
+// PolynomialBasisFilter subclass in ~30 lines, then uses it with the same
+// trainers as the built-in 27.
+//
+//   ./examples/custom_filter
+
+#include <cstdio>
+
+#include "core/poly_base.h"
+#include "graph/datasets.h"
+#include "models/trainer.h"
+
+namespace {
+
+using namespace sgnn;
+using filters::FilterHyperParams;
+using filters::FilterType;
+using filters::PolynomialBasisFilter;
+
+/// Band-pass filter over the even monomial basis Ã^{2k}: with one fixed
+/// coefficient set it realizes g(L̃) = I - Ã² = L̃(2I - L̃), peaking at λ = 1.
+class BandPassFilter : public PolynomialBasisFilter {
+ public:
+  explicit BandPassFilter(int hops)
+      : PolynomialBasisFilter("bandpass", FilterType::kFixed, /*hops=*/2,
+                              FilterHyperParams{}) {
+    (void)hops;
+  }
+
+ protected:
+  // Default basis T_k = Ã^k is inherited; only the coefficients change:
+  // g = 1·I + 0·Ã - 1·Ã².
+  std::vector<double> DefaultTheta(int, Rng*) const override { return {}; }
+  std::vector<double> FixedTheta(int hops) const override {
+    std::vector<double> theta(static_cast<size_t>(hops) + 1, 0.0);
+    theta[0] = 1.0;
+    theta[2] = -1.0;
+    return theta;
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace sgnn;
+  BandPassFilter filter(2);
+  std::printf("custom filter '%s': g(0)=%.2f g(1)=%.2f g(2)=%.2f\n",
+              filter.name().c_str(), filter.Response(0.0),
+              filter.Response(1.0), filter.Response(2.0));
+
+  // It behaves like any registry filter: train it on a mid-homophily graph.
+  const auto spec = graph::FindDataset("ratings_sim").value();
+  graph::Graph g = graph::MakeDataset(spec, 1);
+  graph::Splits splits = graph::RandomSplits(g.n, 1);
+  models::TrainConfig cfg;
+  cfg.epochs = 60;
+  auto r =
+      models::TrainFullBatch(g, splits, spec.metric, &filter, cfg);
+  std::printf("full-batch on %s: val=%.4f test=%.4f\n", spec.name.c_str(),
+              r.val_metric, r.test_metric);
+
+  // And it supports the decoupled mini-batch scheme for free.
+  models::TrainConfig mb_cfg = cfg;
+  mb_cfg.phi0_layers = 0;
+  mb_cfg.phi1_layers = 2;
+  auto mb = models::TrainMiniBatch(g, splits, spec.metric, &filter, mb_cfg);
+  std::printf("mini-batch on %s: val=%.4f test=%.4f (precompute %.1f ms)\n",
+              spec.name.c_str(), mb.val_metric, mb.test_metric,
+              mb.stats.precompute_ms);
+  return 0;
+}

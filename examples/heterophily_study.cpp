@@ -1,0 +1,57 @@
+// Heterophily study: how graph pattern decides which spectral filter works.
+//
+// Trains a low-pass, a high-pass-capable, and an adaptive filter on a
+// homophilous and a heterophilous dataset, then prints each trained filter's
+// frequency response — making the paper's C3 ("effectiveness stems from the
+// match between frequency response and graph signal") tangible.
+//
+//   ./examples/heterophily_study
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/registry.h"
+#include "eval/table.h"
+#include "graph/datasets.h"
+#include "models/trainer.h"
+
+int main() {
+  using namespace sgnn;
+  const std::vector<std::string> datasets = {"cora_sim", "roman_sim"};
+  const std::vector<std::string> filter_names = {"linear", "ppr",
+                                                 "var_monomial", "chebyshev"};
+
+  for (const auto& ds : datasets) {
+    const auto spec = graph::FindDataset(ds).value();
+    graph::Graph g = graph::MakeDataset(spec, 1);
+    graph::Splits splits = graph::RandomSplits(g.n, 1);
+    std::printf("\n=== %s (homophily %.2f) ===\n", ds.c_str(),
+                graph::NodeHomophily(g));
+    eval::Table table({"filter", "test acc", "g(0.1)", "g(1.0)", "g(1.9)",
+                       "character"});
+    for (const auto& name : filter_names) {
+      auto filter =
+          filters::CreateFilter(name, 10, {}, g.features.cols()).MoveValue();
+      models::TrainConfig cfg;
+      cfg.epochs = 60;
+      auto r = models::TrainFullBatch(g, splits, spec.metric, filter.get(),
+                                      cfg);
+      const double lo = filter->Response(0.1);
+      const double mid = filter->Response(1.0);
+      const double hi = filter->Response(1.9);
+      const char* character =
+          std::fabs(lo) > 2.0 * std::fabs(hi)
+              ? "low-pass"
+              : (std::fabs(hi) > 2.0 * std::fabs(lo) ? "high-pass" : "mixed");
+      table.AddRow({name, eval::Fmt(r.test_metric * 100, 1),
+                    eval::Fmt(lo, 2), eval::Fmt(mid, 2), eval::Fmt(hi, 2),
+                    character});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nTakeaway (paper C3/C5): under homophily the low-pass family is both\n"
+      "accurate and cheapest; under heterophily fixed low-pass filters\n"
+      "collapse and learnable responses bend toward high frequencies.\n");
+  return 0;
+}

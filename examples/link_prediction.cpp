@@ -1,0 +1,57 @@
+// Link-prediction walkthrough (paper Section 6.1.2).
+//
+// Spectral filters provide node embeddings; an MLP scores node pairs via
+// Hadamard products under the mandatory mini-batch scheme (κ·m edge samples
+// make full-batch prohibitive).
+//
+//   ./examples/link_prediction [filter_name]
+
+#include <cstdio>
+#include <string>
+
+#include "core/registry.h"
+#include "graph/generator.h"
+#include "models/linkpred.h"
+
+int main(int argc, char** argv) {
+  using namespace sgnn;
+  const std::string filter_name = argc > 1 ? argv[1] : "ppr";
+
+  graph::GeneratorConfig gc;
+  gc.n = 6000;
+  gc.avg_degree = 12.0;
+  gc.num_classes = 8;
+  gc.homophily = 0.7;
+  gc.feature_dim = 32;
+  gc.noise = 2.0;
+  gc.seed = 33;
+  graph::Graph g = graph::GenerateSbm(gc);
+  std::printf("graph: n=%lld m=%lld\n", static_cast<long long>(g.n),
+              static_cast<long long>(g.num_edges()));
+
+  auto filter_or =
+      filters::CreateFilter(filter_name, 10, {}, g.features.cols());
+  if (!filter_or.ok() || !filter_or.value()->SupportsMiniBatch()) {
+    std::fprintf(stderr,
+                 "filter %s unavailable for MB link prediction\n",
+                 filter_name.c_str());
+    return 1;
+  }
+  auto filter = filter_or.MoveValue();
+
+  models::LinkPredConfig cfg;
+  cfg.base.epochs = 10;
+  cfg.base.batch_size = 2048;
+  cfg.neg_ratio = 2;
+  auto r = models::TrainLinkPrediction(g, filter.get(), cfg);
+  std::printf("filter %-12s test AUC %.4f  precompute %.1f ms  "
+              "train %.1f ms/epoch  accel peak %s\n",
+              filter->name().c_str(), r.test_auc, r.stats.precompute_ms,
+              r.stats.train_ms_per_epoch,
+              FormatBytes(r.stats.peak_accel_bytes).c_str());
+  std::printf(
+      "\nNote (paper Fig. 6): time is dominated by the edge-wise MLP\n"
+      "transformation, not by graph propagation — the opposite of node\n"
+      "classification on large graphs.\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Spectral graph filter framework — the paper's primary contribution.
+//
+// Every filter realizes the truncated polynomial form (paper Eq. 1)
+//   g(L̃; θ) x = Σ_{k=0..K} θ_k T^(k)(L̃) x
+// via iterative propagations with the normalized adjacency Ã = I - L̃,
+// bypassing eigen-decomposition. A filter exposes:
+//   * Forward / Backward over n x F representations (full-batch training),
+//   * Precompute emitting per-hop representations (mini-batch training),
+//   * a scalar frequency response ĝ(λ) on [0, 2] (spectral analysis),
+//   * learnable coefficients θ / γ as a ScalarParams group.
+
+#ifndef SGNN_CORE_FILTER_H_
+#define SGNN_CORE_FILTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "sparse/csr.h"
+#include "tensor/matrix.h"
+#include "tensor/rng.h"
+#include "tensor/status.h"
+
+namespace sgnn::filters {
+
+/// Taxonomy category (paper Table 1).
+enum class FilterType {
+  kFixed,     ///< constant basis and parameters
+  kVariable,  ///< fixed basis, learnable θ
+  kBank,      ///< mixture of Q filters with channel weights γ
+};
+
+/// Returns "fixed" / "variable" / "bank".
+const char* FilterTypeName(FilterType type);
+
+/// Tunable filter hyperparameters (paper Table 1 "HP" column), searched
+/// rather than learned.
+struct FilterHyperParams {
+  double alpha = 0.2;  ///< PPR decay / HK & Gaussian temperature / LF-HF α1
+  double alpha2 = 0.2; ///< second-channel α (G2CN, GNN-LF/HF)
+  double beta = 0.5;   ///< FAGNN scaling / LF-HF β1 / G2CN center shift
+  double beta2 = 0.5;  ///< second-channel β
+  double jacobi_a = 1.0;  ///< Jacobi basis a
+  double jacobi_b = 1.0;  ///< Jacobi basis b
+};
+
+/// Runtime context shared by all filter calls.
+struct FilterContext {
+  /// Normalized self-looped adjacency Ã = D̄^{ρ-1} Ā D̄^{-ρ}; propagation
+  /// uses Ã and L̃ = I - Ã implicitly.
+  const sparse::CsrMatrix* prop = nullptr;
+  /// Device on which intermediate representations are allocated. The hop
+  /// count K is a per-filter property fixed at construction time.
+  Device device = Device::kHost;
+};
+
+/// Abstract spectral filter.
+class SpectralFilter {
+ public:
+  virtual ~SpectralFilter() = default;
+
+  /// Stable identifier used in tables ("ppr", "chebyshev", ...).
+  virtual const std::string& name() const = 0;
+
+  /// Taxonomy category.
+  virtual FilterType type() const = 0;
+
+  /// Re-initializes all learnable coefficients (called once per seed).
+  virtual void ResetParameters(Rng* rng) = 0;
+
+  /// y = g(L̃; θ) x. When `cache` is true the call retains whatever state
+  /// Backward needs (basis terms / layer activations). `y` is allocated by
+  /// the callee on ctx.device.
+  virtual void Forward(const FilterContext& ctx, const Matrix& x, Matrix* y,
+                       bool cache) = 0;
+
+  /// Accumulates dL/dθ into params().grads() using the state cached by the
+  /// last Forward, and writes dL/dx into `grad_x` when non-null (allocated
+  /// by the callee). Bases are polynomials of the symmetric L̃, so the input
+  /// gradient is g(L̃; θ)ᵀ ḡ = g(L̃; θ) ḡ.
+  virtual void Backward(const FilterContext& ctx, const Matrix& grad_y,
+                        Matrix* grad_x) = 0;
+
+  /// Releases cached forward state.
+  virtual void ClearCache() = 0;
+
+  /// Scalar frequency response ĝ(λ), λ ∈ [0, 2], under current parameters.
+  virtual double Response(double lambda) const = 0;
+
+  /// True when the filter factors into precomputable per-hop terms, enabling
+  /// the decoupled mini-batch scheme (paper Section 2.2).
+  virtual bool SupportsMiniBatch() const = 0;
+
+  /// Emits the per-hop representations consumed by the mini-batch trainer:
+  /// fixed filters emit one combined matrix; variable filters K+1 basis
+  /// terms; banks the concatenation over channels. Host-resident.
+  virtual Status Precompute(const FilterContext& ctx, const Matrix& x,
+                            std::vector<Matrix>* terms) = 0;
+
+  /// Combines precomputed per-hop rows using the current θ: given `terms`
+  /// gathered for a batch (same order as Precompute emitted), produces the
+  /// batch representation and, in training, exposes θ gradients via
+  /// BackwardCombine.
+  virtual void CombineTerms(const std::vector<const Matrix*>& batch_terms, Matrix* y,
+                            bool cache) = 0;
+
+  /// θ gradients for the last CombineTerms call.
+  virtual void BackwardCombine(const std::vector<const Matrix*>& batch_terms,
+                               const Matrix& grad_y) = 0;
+
+  /// Learnable coefficient group (empty for fixed filters).
+  virtual nn::ScalarParams& params() = 0;
+};
+
+/// Shared low-level propagation helpers.
+namespace propagate {
+
+/// y = Ã x.
+void Adj(const FilterContext& ctx, const Matrix& x, Matrix* y);
+
+/// y = L̃ x = x - Ã x.
+void Lap(const FilterContext& ctx, const Matrix& x, Matrix* y);
+
+/// y = (cI + dÃ) x.
+void Affine(const FilterContext& ctx, float c, float d, const Matrix& x,
+            Matrix* y);
+
+}  // namespace propagate
+
+}  // namespace sgnn::filters
+
+#endif  // SGNN_CORE_FILTER_H_

@@ -1,0 +1,128 @@
+#include "core/fixed_filters.h"
+
+#include <cmath>
+
+namespace sgnn::filters {
+
+namespace {
+
+/// One-hot on order K.
+std::vector<double> OneHot(int hops, int k) {
+  std::vector<double> theta(static_cast<size_t>(hops) + 1, 0.0);
+  theta[static_cast<size_t>(k)] = 1.0;
+  return theta;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Identity
+IdentityFilter::IdentityFilter(int hops, FilterHyperParams hp)
+    : PolynomialBasisFilter("identity", FilterType::kFixed, /*hops=*/0, hp) {
+  (void)hops;  // Identity performs no propagation regardless of K.
+}
+
+std::vector<double> IdentityFilter::DefaultTheta(int, Rng*) const {
+  return {};
+}
+
+std::vector<double> IdentityFilter::FixedTheta(int hops) const {
+  return OneHot(hops, 0);
+}
+
+// ------------------------------------------------------------------ Linear
+LinearFilter::LinearFilter(int hops, FilterHyperParams hp)
+    : PolynomialBasisFilter("linear", FilterType::kFixed, hops, hp) {}
+
+PolynomialBasisFilter::Recurrence LinearFilter::RecurrenceAt(int) const {
+  // T_k = ((I + Ã)/2) T_{k-1}; response ((2 - λ)/2)^k.
+  return Recurrence{0.5, 0.5, 0.0};
+}
+
+std::vector<double> LinearFilter::DefaultTheta(int, Rng*) const { return {}; }
+
+std::vector<double> LinearFilter::FixedTheta(int hops) const {
+  return OneHot(hops, hops);
+}
+
+// ----------------------------------------------------------------- Impulse
+ImpulseFilter::ImpulseFilter(int hops, FilterHyperParams hp)
+    : PolynomialBasisFilter("impulse", FilterType::kFixed, hops, hp) {}
+
+std::vector<double> ImpulseFilter::DefaultTheta(int, Rng*) const { return {}; }
+
+std::vector<double> ImpulseFilter::FixedTheta(int hops) const {
+  return OneHot(hops, hops);
+}
+
+// ---------------------------------------------------------------- Monomial
+MonomialFilter::MonomialFilter(int hops, FilterHyperParams hp)
+    : PolynomialBasisFilter("monomial", FilterType::kFixed, hops, hp) {}
+
+std::vector<double> MonomialFilter::DefaultTheta(int, Rng*) const {
+  return {};
+}
+
+std::vector<double> MonomialFilter::FixedTheta(int hops) const {
+  return std::vector<double>(static_cast<size_t>(hops) + 1,
+                             1.0 / static_cast<double>(hops + 1));
+}
+
+// --------------------------------------------------------------------- PPR
+PprFilter::PprFilter(int hops, FilterHyperParams hp)
+    : PolynomialBasisFilter("ppr", FilterType::kFixed, hops, hp) {}
+
+std::vector<double> PprFilter::DefaultTheta(int, Rng*) const { return {}; }
+
+std::vector<double> PprFilter::FixedTheta(int hops) const {
+  std::vector<double> theta(static_cast<size_t>(hops) + 1);
+  const double alpha = hp_.alpha;
+  double w = alpha;
+  for (int k = 0; k <= hops; ++k) {
+    theta[static_cast<size_t>(k)] = w;
+    w *= (1.0 - alpha);
+  }
+  return theta;
+}
+
+// ---------------------------------------------------------------------- HK
+HkFilter::HkFilter(int hops, FilterHyperParams hp)
+    : PolynomialBasisFilter("hk", FilterType::kFixed, hops, hp) {}
+
+std::vector<double> HkFilter::DefaultTheta(int, Rng*) const { return {}; }
+
+std::vector<double> HkFilter::FixedTheta(int hops) const {
+  std::vector<double> theta(static_cast<size_t>(hops) + 1);
+  const double alpha = hp_.alpha;
+  double w = std::exp(-alpha);
+  for (int k = 0; k <= hops; ++k) {
+    theta[static_cast<size_t>(k)] = w;
+    w *= alpha / static_cast<double>(k + 1);
+  }
+  return theta;
+}
+
+// ---------------------------------------------------------------- Gaussian
+GaussianFilter::GaussianFilter(int hops, FilterHyperParams hp)
+    : PolynomialBasisFilter("gaussian", FilterType::kFixed, hops, hp) {}
+
+PolynomialBasisFilter::Recurrence GaussianFilter::RecurrenceAt(int) const {
+  // Basis (2I - L̃)^k = (I + Ã)^k.
+  return Recurrence{1.0, 1.0, 0.0};
+}
+
+std::vector<double> GaussianFilter::DefaultTheta(int, Rng*) const {
+  return {};
+}
+
+std::vector<double> GaussianFilter::FixedTheta(int hops) const {
+  std::vector<double> theta(static_cast<size_t>(hops) + 1);
+  const double alpha = hp_.alpha;
+  double w = std::exp(-2.0 * alpha);  // normalizes ĝ(0) to 1
+  for (int k = 0; k <= hops; ++k) {
+    theta[static_cast<size_t>(k)] = w;
+    w *= alpha / static_cast<double>(k + 1);
+  }
+  return theta;
+}
+
+}  // namespace sgnn::filters

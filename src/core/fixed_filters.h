@@ -1,0 +1,90 @@
+// Fixed-filter GNNs (paper Section 3.1, Table 1 top block).
+//
+// Basis and coefficients are both constant during learning. All seven are
+// expressed over the monomial basis T_k = (I - L̃)^k = Ã^k except Gaussian,
+// which uses (2I - L̃)^k = (I + Ã)^k.
+
+#ifndef SGNN_CORE_FIXED_FILTERS_H_
+#define SGNN_CORE_FIXED_FILTERS_H_
+
+#include "core/poly_base.h"
+
+namespace sgnn::filters {
+
+/// MLP baseline: g(L̃) = I (no graph information).
+class IdentityFilter : public PolynomialBasisFilter {
+ public:
+  explicit IdentityFilter(int hops, FilterHyperParams hp = {});
+
+ protected:
+  std::vector<double> DefaultTheta(int hops, Rng* rng) const override;
+  std::vector<double> FixedTheta(int hops) const override;
+};
+
+/// GCN layer stack: g(L̃) = ((2I - L̃)/2)^K, normalized per hop to keep the
+/// response in [0,1] (the 1/2 scale is absorbed by the transformation).
+class LinearFilter : public PolynomialBasisFilter {
+ public:
+  explicit LinearFilter(int hops, FilterHyperParams hp = {});
+
+ protected:
+  Recurrence RecurrenceAt(int k) const override;
+  std::vector<double> DefaultTheta(int hops, Rng* rng) const override;
+  std::vector<double> FixedTheta(int hops) const override;
+};
+
+/// SGC / gfNN / GZoom: g(L̃) = (I - L̃)^K (K-hop impulse).
+class ImpulseFilter : public PolynomialBasisFilter {
+ public:
+  explicit ImpulseFilter(int hops, FilterHyperParams hp = {});
+
+ protected:
+  std::vector<double> DefaultTheta(int hops, Rng* rng) const override;
+  std::vector<double> FixedTheta(int hops) const override;
+};
+
+/// S2GC / AGP: g(L̃) = (1/(K+1)) Σ_k (I - L̃)^k.
+class MonomialFilter : public PolynomialBasisFilter {
+ public:
+  explicit MonomialFilter(int hops, FilterHyperParams hp = {});
+
+ protected:
+  std::vector<double> DefaultTheta(int hops, Rng* rng) const override;
+  std::vector<double> FixedTheta(int hops) const override;
+};
+
+/// APPNP / GDC: g(L̃) = Σ_k α(1-α)^k (I - L̃)^k (personalized PageRank).
+class PprFilter : public PolynomialBasisFilter {
+ public:
+  explicit PprFilter(int hops, FilterHyperParams hp = {});
+
+ protected:
+  std::vector<double> DefaultTheta(int hops, Rng* rng) const override;
+  std::vector<double> FixedTheta(int hops) const override;
+};
+
+/// GDC / DGC heat kernel: g(L̃) = Σ_k e^{-α} α^k / k! (I - L̃)^k.
+class HkFilter : public PolynomialBasisFilter {
+ public:
+  explicit HkFilter(int hops, FilterHyperParams hp = {});
+
+ protected:
+  std::vector<double> DefaultTheta(int hops, Rng* rng) const override;
+  std::vector<double> FixedTheta(int hops) const override;
+};
+
+/// G2CN single-channel Gaussian: g(L̃) = e^{-2α} Σ_k α^k/k! (2I - L̃)^k
+/// (normalized so ĝ(0) = 1).
+class GaussianFilter : public PolynomialBasisFilter {
+ public:
+  explicit GaussianFilter(int hops, FilterHyperParams hp = {});
+
+ protected:
+  Recurrence RecurrenceAt(int k) const override;
+  std::vector<double> DefaultTheta(int hops, Rng* rng) const override;
+  std::vector<double> FixedTheta(int hops) const override;
+};
+
+}  // namespace sgnn::filters
+
+#endif  // SGNN_CORE_FIXED_FILTERS_H_

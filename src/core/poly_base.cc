@@ -1,0 +1,220 @@
+#include "core/poly_base.h"
+
+#include "tensor/ops.h"
+
+namespace sgnn::filters {
+
+const char* FilterTypeName(FilterType type) {
+  switch (type) {
+    case FilterType::kFixed: return "fixed";
+    case FilterType::kVariable: return "variable";
+    case FilterType::kBank: return "bank";
+  }
+  return "unknown";
+}
+
+namespace propagate {
+
+void Adj(const FilterContext& ctx, const Matrix& x, Matrix* y) {
+  ctx.prop->SpMM(x, y);
+}
+
+void Lap(const FilterContext& ctx, const Matrix& x, Matrix* y) {
+  ctx.prop->SpMM(x, y);
+  ops::Scale(-1.0f, y);
+  ops::Axpy(1.0f, x, y);
+}
+
+void Affine(const FilterContext& ctx, float c, float d, const Matrix& x,
+            Matrix* y) {
+  ctx.prop->SpMM(x, y);
+  ops::Scale(d, y);
+  ops::Axpy(c, x, y);
+}
+
+}  // namespace propagate
+
+PolynomialBasisFilter::PolynomialBasisFilter(std::string name, FilterType type,
+                                             int hops, FilterHyperParams hp)
+    : hp_(hp), name_(std::move(name)), type_(type), hops_(hops) {
+  SGNN_CHECK(hops >= 0, "filter hop count must be non-negative");
+}
+
+void PolynomialBasisFilter::ResetParameters(Rng* rng) {
+  params_.Reset(DefaultTheta(hops_, rng));
+  ClearCache();
+}
+
+std::vector<double> PolynomialBasisFilter::FixedTheta(int hops) const {
+  (void)hops;
+  SGNN_CHECK(false, "FixedTheta must be overridden by fixed filters");
+  return {};
+}
+
+std::vector<double> PolynomialBasisFilter::EffectiveTheta(int hops) const {
+  if (type_ == FilterType::kFixed) return FixedTheta(hops);
+  return params_.values();
+}
+
+void PolynomialBasisFilter::AccumulateRawGrad(
+    const std::vector<double>& eff_grad) {
+  auto& grads = params_.grads();
+  SGNN_CHECK(eff_grad.size() <= grads.size(),
+             "effective-theta gradient larger than parameter vector");
+  for (size_t i = 0; i < eff_grad.size(); ++i) grads[i] += eff_grad[i];
+}
+
+std::vector<double> PolynomialBasisFilter::CurrentTheta() const {
+  std::vector<double> theta = EffectiveTheta(hops_);
+  SGNN_CHECK(static_cast<int>(theta.size()) == hops_ + 1,
+             "effective theta must have K+1 entries");
+  return theta;
+}
+
+PolynomialBasisFilter::Recurrence PolynomialBasisFilter::RecurrenceAt(
+    int k) const {
+  (void)k;
+  // Default basis: T_k = Ã T_{k-1}, i.e. T_k = (I - L̃)^k.
+  return Recurrence{1.0, 0.0, 0.0};
+}
+
+void PolynomialBasisFilter::StreamBasis(const FilterContext& ctx,
+                                        const Matrix& x,
+                                        const TermEmitter& emit) {
+  // Generic three-term recurrence. Keeps at most two live terms.
+  Matrix prev;             // T_{k-2} x
+  Matrix cur = x;          // T_{k-1} x (T_0 = I)
+  emit(0, cur);
+  Matrix scratch(x.rows(), x.cols(), ctx.device);
+  for (int k = 1; k <= hops_; ++k) {
+    const Recurrence r = RecurrenceAt(k);
+    Matrix next(x.rows(), x.cols(), ctx.device);
+    ctx.prop->SpMM(cur, &scratch);
+    ops::Copy(scratch, &next);
+    ops::Scale(static_cast<float>(r.ca), &next);
+    if (r.ci != 0.0) ops::Axpy(static_cast<float>(r.ci), cur, &next);
+    if (r.cp != 0.0 && prev.size() > 0)
+      ops::Axpy(static_cast<float>(r.cp), prev, &next);
+    emit(k, next);
+    prev = std::move(cur);
+    cur = std::move(next);
+  }
+}
+
+std::vector<double> PolynomialBasisFilter::ScalarBasis(double lambda,
+                                                       int hops) const {
+  const double a = 1.0 - lambda;  // scalar analogue of Ã
+  std::vector<double> tau(static_cast<size_t>(hops) + 1);
+  tau[0] = 1.0;
+  double prev = 0.0, cur = 1.0;
+  for (int k = 1; k <= hops; ++k) {
+    const Recurrence r = RecurrenceAt(k);
+    const double next = (r.ca * a + r.ci) * cur + r.cp * prev;
+    tau[static_cast<size_t>(k)] = next;
+    prev = cur;
+    cur = next;
+  }
+  return tau;
+}
+
+void PolynomialBasisFilter::Forward(const FilterContext& ctx, const Matrix& x,
+                                    Matrix* y, bool cache) {
+  const std::vector<double> theta = CurrentTheta();
+  *y = Matrix(x.rows(), x.cols(), ctx.device);
+  const bool keep_terms = cache && type_ != FilterType::kFixed;
+  if (keep_terms) {
+    cached_terms_.clear();
+    cached_terms_.reserve(static_cast<size_t>(hops_) + 1);
+  }
+  StreamBasis(ctx, x, [&](int k, const Matrix& term) {
+    const double w = theta[static_cast<size_t>(k)];
+    if (w != 0.0) ops::Axpy(static_cast<float>(w), term, y);
+    if (keep_terms) cached_terms_.push_back(term);
+  });
+  has_cache_ = keep_terms;
+}
+
+void PolynomialBasisFilter::Backward(const FilterContext& ctx,
+                                     const Matrix& grad_y, Matrix* grad_x) {
+  const std::vector<double> theta = CurrentTheta();
+  if (type_ != FilterType::kFixed) {
+    SGNN_CHECK(has_cache_, "Backward requires Forward(cache=true)");
+    std::vector<double> eff_grad(theta.size(), 0.0);
+    for (size_t k = 0; k < cached_terms_.size(); ++k) {
+      eff_grad[k] = ops::Dot(grad_y, cached_terms_[k]);
+    }
+    AccumulateRawGrad(eff_grad);
+  }
+  if (grad_x != nullptr) {
+    // Bases are polynomials of the symmetric L̃ => g(L̃)ᵀ = g(L̃); replay the
+    // stream on the upstream gradient.
+    *grad_x = Matrix(grad_y.rows(), grad_y.cols(), ctx.device);
+    StreamBasis(ctx, grad_y, [&](int k, const Matrix& term) {
+      const double w = theta[static_cast<size_t>(k)];
+      if (w != 0.0) ops::Axpy(static_cast<float>(w), term, grad_x);
+    });
+  }
+}
+
+void PolynomialBasisFilter::ClearCache() {
+  cached_terms_.clear();
+  has_cache_ = false;
+}
+
+double PolynomialBasisFilter::Response(double lambda) const {
+  const std::vector<double> theta = EffectiveTheta(hops_);
+  const std::vector<double> tau = ScalarBasis(lambda, hops_);
+  double acc = 0.0;
+  for (size_t k = 0; k < theta.size() && k < tau.size(); ++k) {
+    acc += theta[k] * tau[k];
+  }
+  return acc;
+}
+
+Status PolynomialBasisFilter::Precompute(const FilterContext& ctx,
+                                         const Matrix& x,
+                                         std::vector<Matrix>* terms) {
+  terms->clear();
+  if (type_ == FilterType::kFixed) {
+    // Fixed filters fold θ during precompute: a single combined matrix.
+    Matrix y;
+    Forward(ctx, x, &y, /*cache=*/false);
+    terms->push_back(std::move(y));
+    return Status::OK();
+  }
+  terms->reserve(static_cast<size_t>(hops_) + 1);
+  StreamBasis(ctx, x,
+              [&](int /*k*/, const Matrix& term) { terms->push_back(term); });
+  return Status::OK();
+}
+
+void PolynomialBasisFilter::CombineTerms(const std::vector<const Matrix*>& batch_terms,
+                                         Matrix* y, bool cache) {
+  SGNN_CHECK(!batch_terms.empty(), "CombineTerms: no terms");
+  if (type_ == FilterType::kFixed) {
+    *y = *batch_terms[0];
+    return;
+  }
+  const std::vector<double> theta = CurrentTheta();
+  SGNN_CHECK(batch_terms.size() == theta.size(),
+             "CombineTerms: term/theta count mismatch");
+  *y = Matrix(batch_terms[0]->rows(), batch_terms[0]->cols(),
+              batch_terms[0]->device());
+  for (size_t k = 0; k < batch_terms.size(); ++k) {
+    if (theta[k] != 0.0)
+      ops::Axpy(static_cast<float>(theta[k]), *batch_terms[k], y);
+  }
+  if (cache) combine_theta_ = theta;
+}
+
+void PolynomialBasisFilter::BackwardCombine(
+    const std::vector<const Matrix*>& batch_terms, const Matrix& grad_y) {
+  if (type_ == FilterType::kFixed) return;
+  std::vector<double> eff_grad(batch_terms.size(), 0.0);
+  for (size_t k = 0; k < batch_terms.size(); ++k) {
+    eff_grad[k] = ops::Dot(grad_y, *batch_terms[k]);
+  }
+  AccumulateRawGrad(eff_grad);
+}
+
+}  // namespace sgnn::filters

@@ -1,0 +1,173 @@
+// Product-form spectral filters: g(L̃) = Π_{k=1..K} (p_k I + q_k B), where
+// B is Ã or L̃ and (p_k, q_k) derive from learnable per-hop channel weights.
+//
+// Covers the layer-wise linear models of Table 1: GIN/AKGNN (variable
+// Linear), FBGCN-I/II, ACMGNN-I/II, and FAGNN. Because every factor is a
+// polynomial in the same symmetric L̃, the factors commute and the product
+// expands over the monomial basis B^k — which is what enables mini-batch
+// precomputation for the decoupled members (FAGNN, variable Linear).
+
+#ifndef SGNN_CORE_PRODUCT_FILTERS_H_
+#define SGNN_CORE_PRODUCT_FILTERS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/filter.h"
+
+namespace sgnn::filters {
+
+/// Base class implementing forward/backward/precompute for factored filters.
+class ProductFilter : public SpectralFilter {
+ public:
+  /// Which matrix each factor multiplies.
+  enum class BasisMatrix { kAdj, kLap };
+
+  ProductFilter(std::string name, FilterType type, int hops, BasisMatrix basis,
+                bool mini_batch, FilterHyperParams hp);
+
+  const std::string& name() const override { return name_; }
+  FilterType type() const override { return type_; }
+  nn::ScalarParams& params() override { return params_; }
+
+  void ResetParameters(Rng* rng) override;
+  void Forward(const FilterContext& ctx, const Matrix& x, Matrix* y,
+               bool cache) override;
+  void Backward(const FilterContext& ctx, const Matrix& grad_y,
+                Matrix* grad_x) override;
+  void ClearCache() override;
+  double Response(double lambda) const override;
+  bool SupportsMiniBatch() const override { return mini_batch_; }
+  Status Precompute(const FilterContext& ctx, const Matrix& x,
+                    std::vector<Matrix>* terms) override;
+  void CombineTerms(const std::vector<const Matrix*>& batch_terms, Matrix* y,
+                    bool cache) override;
+  void BackwardCombine(const std::vector<const Matrix*>& batch_terms,
+                       const Matrix& grad_y) override;
+
+ protected:
+  /// Maps raw parameters to the k-th factor (k in 1..K).
+  virtual void Factor(int k, double* p, double* q) const = 0;
+
+  /// Accumulates raw-parameter gradients from dL/dp_k, dL/dq_k.
+  virtual void FactorGrad(int k, double dp, double dq) = 0;
+
+  /// Initial raw parameter vector.
+  virtual std::vector<double> DefaultRaw(int hops, Rng* rng) const = 0;
+
+  int hops() const { return hops_; }
+  FilterHyperParams hp_;
+  nn::ScalarParams params_;
+
+ private:
+  /// y = B x for the configured basis matrix.
+  void ApplyBasis(const FilterContext& ctx, const Matrix& x, Matrix* y) const;
+
+  /// Expanded polynomial coefficients of Π (p_k + q_k z).
+  std::vector<double> ExpandedCoefficients() const;
+
+  std::string name_;
+  FilterType type_;
+  int hops_;
+  BasisMatrix basis_;
+  bool mini_batch_;
+  std::vector<Matrix> cached_h_;  // h_0..h_K from the last cached Forward
+};
+
+/// GIN / AKGNN: per-hop self-loop strength; factor ((a_k I + Ã)/(1 + a_k)),
+/// a_k = |θ_k|, keeping the per-hop response within [0, 1].
+class VarLinearFilter : public ProductFilter {
+ public:
+  explicit VarLinearFilter(int hops, FilterHyperParams hp = {});
+
+ protected:
+  void Factor(int k, double* p, double* q) const override;
+  void FactorGrad(int k, double dp, double dq) override;
+  std::vector<double> DefaultRaw(int hops, Rng* rng) const override;
+};
+
+/// FAGNN: per-hop mix of biased low-pass (β+1)I - L̃ and high-pass
+/// (β-1)I + L̃ channels; β is a hyperparameter.
+class FagnnFilter : public ProductFilter {
+ public:
+  explicit FagnnFilter(int hops, FilterHyperParams hp = {});
+
+ protected:
+  void Factor(int k, double* p, double* q) const override;
+  void FactorGrad(int k, double dp, double dq) override;
+  std::vector<double> DefaultRaw(int hops, Rng* rng) const override;
+};
+
+/// FBGNN-I/II: per-hop LP (Ã) + HP (L̃) filter bank; variant II normalizes
+/// the channel weights with a softmax (attention-style restriction).
+class FbgnnFilter : public ProductFilter {
+ public:
+  FbgnnFilter(int hops, bool variant2, FilterHyperParams hp = {});
+
+ protected:
+  void Factor(int k, double* p, double* q) const override;
+  void FactorGrad(int k, double dp, double dq) override;
+  std::vector<double> DefaultRaw(int hops, Rng* rng) const override;
+
+ private:
+  bool variant2_;
+};
+
+/// ACMGNN-I/II: LP + HP + identity channels per hop; variant II softmax.
+class AcmgnnFilter : public ProductFilter {
+ public:
+  AcmgnnFilter(int hops, bool variant2, FilterHyperParams hp = {});
+
+ protected:
+  void Factor(int k, double* p, double* q) const override;
+  void FactorGrad(int k, double dp, double dq) override;
+  std::vector<double> DefaultRaw(int hops, Rng* rng) const override;
+
+ private:
+  bool variant2_;
+};
+
+/// AdaGNN: channel-wise linear filter bank with one learnable coefficient
+/// per feature per hop: H_k = H_{k-1} - L̃ H_{k-1} diag(γ_k). Iterative
+/// architecture; full-batch only (matches paper Table 10). Coefficients are
+/// re-sized lazily when the incoming representation width changes (e.g. a
+/// φ0 block ahead of the filter).
+class AdaGnnFilter : public SpectralFilter {
+ public:
+  AdaGnnFilter(int hops, int64_t feature_dim, FilterHyperParams hp = {});
+
+  const std::string& name() const override { return name_; }
+  FilterType type() const override { return FilterType::kBank; }
+  nn::ScalarParams& params() override { return params_; }
+
+  void ResetParameters(Rng* rng) override;
+  void Forward(const FilterContext& ctx, const Matrix& x, Matrix* y,
+               bool cache) override;
+  void Backward(const FilterContext& ctx, const Matrix& grad_y,
+                Matrix* grad_x) override;
+  void ClearCache() override;
+  /// Feature-averaged response Π_k (1 - mean(γ_k) λ).
+  double Response(double lambda) const override;
+  bool SupportsMiniBatch() const override { return false; }
+  Status Precompute(const FilterContext& ctx, const Matrix& x,
+                    std::vector<Matrix>* terms) override;
+  void CombineTerms(const std::vector<const Matrix*>& batch_terms, Matrix* y,
+                    bool cache) override;
+  void BackwardCombine(const std::vector<const Matrix*>& batch_terms,
+                       const Matrix& grad_y) override;
+
+ private:
+  /// (Re)sizes γ when the representation width changes.
+  void EnsureParams(int64_t feature_dim);
+
+  std::string name_ = "adagnn";
+  int hops_;
+  int64_t feature_dim_;
+  uint64_t init_seed_ = 0;
+  nn::ScalarParams params_;  // γ_{k,f}, row-major over hops
+  std::vector<Matrix> cached_h_;
+};
+
+}  // namespace sgnn::filters
+
+#endif  // SGNN_CORE_PRODUCT_FILTERS_H_

@@ -1,0 +1,161 @@
+#include "core/registry.h"
+
+#include "core/bank_filters.h"
+#include "core/fixed_filters.h"
+#include "core/product_filters.h"
+#include "core/variable_filters.h"
+
+namespace sgnn::filters {
+
+const std::vector<FilterInfo>& FilterTaxonomy() {
+  static const std::vector<FilterInfo> rows = {
+      // --- Fixed ---
+      {"identity", FilterType::kFixed, "I", "-", "-", "O(KnF)", "O(nF)",
+       "MLP"},
+      {"linear", FilterType::kFixed, "2I - L", "-", "-", "O(KmF)", "O(nF)",
+       "GCN"},
+      {"impulse", FilterType::kFixed, "(I - L)^K", "-", "-", "O(KmF)",
+       "O(nF)", "SGC, gfNN, GZoom, GRAND+"},
+      {"monomial", FilterType::kFixed, "1/(K+1) sum (I - L)^k", "-", "-",
+       "O(KmF)", "O(nF)", "S2GC, AGP, GRAND+"},
+      {"ppr", FilterType::kFixed, "sum a(1-a)^k (I - L)^k", "-", "alpha",
+       "O(KmF)", "O(nF)", "GLP, GCNII, APPNP, GDC, AGP, GRAND+"},
+      {"hk", FilterType::kFixed, "sum e^-a a^k/k! (I - L)^k", "-", "alpha",
+       "O(KmF)", "O(nF)", "GDC, AGP, DGC"},
+      {"gaussian", FilterType::kFixed, "sum a^k/k! (2I - L)^k", "-", "alpha",
+       "O(KmF)", "O(nF)", "G2CN"},
+      // --- Variable ---
+      {"var_linear", FilterType::kVariable, "prod ((1+t_k)I - L)", "t_k", "-",
+       "O(KmF)", "O(nF)", "GIN, AKGNN"},
+      {"var_monomial", FilterType::kVariable, "sum t_k (I - L)^k", "t_k", "-",
+       "O(KmF)", "O(nF)", "DAGNN, GPRGNN"},
+      {"horner", FilterType::kVariable, "sum t_k (I - L)^k (residual)", "t_k",
+       "-", "O(KmF)", "O(2nF)", "ARMAGNN, HornerGCN"},
+      {"chebyshev", FilterType::kVariable, "sum t_k T_cheb^k(L)", "t_k", "-",
+       "O(KmF)", "O(2nF)", "ChebNet, ChebBase"},
+      {"chebinterp", FilterType::kVariable,
+       "2/(K+1) sum_k sum_j t_j T^k(x_j) T^k(L)", "t_k", "-",
+       "O(KmF + K^2 nF)", "O(2nF)", "ChebNetII"},
+      {"clenshaw", FilterType::kVariable, "sum t_k T_cheb2^k(L)", "t_k", "-",
+       "O(KmF)", "O(3nF)", "ClenshawGCN"},
+      {"bernstein", FilterType::kVariable,
+       "sum t_k/2^K C(K,k) (2I-L)^(K-k) L^k", "t_k", "-", "O(K^2 mF)",
+       "O(nF)", "BernNet"},
+      {"legendre", FilterType::kVariable, "sum t_k P_leg^k(L)", "t_k", "-",
+       "O(KmF)", "O(2nF)", "LegendreNet"},
+      {"jacobi", FilterType::kVariable, "sum t_k P_jacobi^k(L)", "t_k",
+       "a, b", "O(KmF)", "O(2nF)", "JacobiConv"},
+      {"favard", FilterType::kVariable, "sum t_k T_favard^k(L)", "t_k", "-",
+       "O(KmF + KnF)", "O(2nF)", "FavardGNN"},
+      {"optbasis", FilterType::kVariable, "sum t_k T_opt^k(L)", "t_k", "-",
+       "O(KmF + KnF^2)", "O(2nF)", "OptBasisGNN"},
+      // --- Bank ---
+      {"adagnn", FilterType::kBank, "prod (I - g_q L) channel-wise", "g_q",
+       "-", "O(KmF)", "O(nF)", "AdaGNN"},
+      {"fbgnn1", FilterType::kBank, "g1 (I-L) + g2 L", "g_q", "-",
+       "O(QKmF + QKnF)", "O(QnF)", "FBGCN-I"},
+      {"fbgnn2", FilterType::kBank, "g1 (I-L) + g2 L (softmax)", "g_q", "-",
+       "O(QKmF + QKnF)", "O(QnF)", "FBGCN-II"},
+      {"acmgnn1", FilterType::kBank, "g1 (I-L) + g2 L + g3 I", "g_q", "-",
+       "O(QKmF + QKnF)", "O(QnF)", "ACMGNN-I"},
+      {"acmgnn2", FilterType::kBank, "g1 (I-L) + g2 L + g3 I (softmax)",
+       "g_q", "-", "O(QKmF + QKnF)", "O(QnF)", "ACMGNN-II"},
+      {"fagnn", FilterType::kBank, "g1((b+1)I-L) + g2((b-1)I+L)", "g_q",
+       "beta", "O(QKmF)", "O(QnF)", "FAGCN"},
+      {"g2cn", FilterType::kBank, "sum_q sum_k a_q^k/k! ((1+b_q)I-L)^2k",
+       "g_q", "a_q, b_q", "O(QKmF)", "O(QnF)", "G2CN"},
+      {"gnn_lf_hf", FilterType::kBank,
+       "sum_q sum_k a_q(1-a_q)^k (I+b_q L)(I-L)^k", "g_q", "a_q, b_q",
+       "O(QKmF)", "O(QnF)", "GNN-LF/HF"},
+      {"figure", FilterType::kBank, "sum_q g_q sum_k t_qk T_q^k(L)",
+       "g_q, t_qk", "-", "O(QKmF)", "O(QnF)", "FiGURe"},
+  };
+  return rows;
+}
+
+std::vector<std::string> AllFilterNames() {
+  std::vector<std::string> names;
+  names.reserve(FilterTaxonomy().size());
+  for (const auto& row : FilterTaxonomy()) names.push_back(row.name);
+  return names;
+}
+
+std::vector<std::string> FilterNamesByType(FilterType type) {
+  std::vector<std::string> names;
+  for (const auto& row : FilterTaxonomy()) {
+    if (row.type == type) names.push_back(row.name);
+  }
+  return names;
+}
+
+Result<std::unique_ptr<SpectralFilter>> CreateFilter(const std::string& name,
+                                                     int hops,
+                                                     FilterHyperParams hp,
+                                                     int64_t feature_dim) {
+  std::unique_ptr<SpectralFilter> f;
+  if (name == "identity") {
+    f = std::make_unique<IdentityFilter>(hops, hp);
+  } else if (name == "linear") {
+    f = std::make_unique<LinearFilter>(hops, hp);
+  } else if (name == "impulse") {
+    f = std::make_unique<ImpulseFilter>(hops, hp);
+  } else if (name == "monomial") {
+    f = std::make_unique<MonomialFilter>(hops, hp);
+  } else if (name == "ppr") {
+    f = std::make_unique<PprFilter>(hops, hp);
+  } else if (name == "hk") {
+    f = std::make_unique<HkFilter>(hops, hp);
+  } else if (name == "gaussian") {
+    f = std::make_unique<GaussianFilter>(hops, hp);
+  } else if (name == "var_linear") {
+    f = std::make_unique<VarLinearFilter>(hops, hp);
+  } else if (name == "var_monomial") {
+    f = std::make_unique<VarMonomialFilter>(hops, hp);
+  } else if (name == "horner") {
+    f = std::make_unique<HornerFilter>(hops, hp);
+  } else if (name == "chebyshev") {
+    f = std::make_unique<ChebyshevFilter>(hops, hp);
+  } else if (name == "chebinterp") {
+    f = std::make_unique<ChebInterpFilter>(hops, hp);
+  } else if (name == "clenshaw") {
+    f = std::make_unique<ClenshawFilter>(hops, hp);
+  } else if (name == "bernstein") {
+    f = std::make_unique<BernsteinFilter>(hops, hp);
+  } else if (name == "legendre") {
+    f = std::make_unique<LegendreFilter>(hops, hp);
+  } else if (name == "jacobi") {
+    f = std::make_unique<JacobiFilter>(hops, hp);
+  } else if (name == "favard") {
+    f = std::make_unique<FavardFilter>(hops, hp);
+  } else if (name == "optbasis") {
+    f = std::make_unique<OptBasisFilter>(hops, hp);
+  } else if (name == "adagnn") {
+    if (feature_dim <= 0) {
+      return Status::InvalidArgument("adagnn requires feature_dim");
+    }
+    f = std::make_unique<AdaGnnFilter>(hops, feature_dim, hp);
+  } else if (name == "fbgnn1") {
+    f = std::make_unique<FbgnnFilter>(hops, /*variant2=*/false, hp);
+  } else if (name == "fbgnn2") {
+    f = std::make_unique<FbgnnFilter>(hops, /*variant2=*/true, hp);
+  } else if (name == "acmgnn1") {
+    f = std::make_unique<AcmgnnFilter>(hops, /*variant2=*/false, hp);
+  } else if (name == "acmgnn2") {
+    f = std::make_unique<AcmgnnFilter>(hops, /*variant2=*/true, hp);
+  } else if (name == "fagnn") {
+    f = std::make_unique<FagnnFilter>(hops, hp);
+  } else if (name == "g2cn") {
+    f = MakeG2cnFilter(hops, hp);
+  } else if (name == "gnn_lf_hf") {
+    f = MakeGnnLfHfFilter(hops, hp);
+  } else if (name == "figure") {
+    f = MakeFigureFilter(hops, hp);
+  } else {
+    return Status::NotFound("unknown filter: " + name);
+  }
+  Rng init_rng(0xC0FFEE);
+  f->ResetParameters(&init_rng);
+  return f;
+}
+
+}  // namespace sgnn::filters

@@ -1,0 +1,43 @@
+// Filter factory and taxonomy metadata (paper Table 1).
+
+#ifndef SGNN_CORE_REGISTRY_H_
+#define SGNN_CORE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/filter.h"
+
+namespace sgnn::filters {
+
+/// One row of the Table 1 taxonomy.
+struct FilterInfo {
+  std::string name;        ///< factory identifier
+  FilterType type;         ///< fixed / variable / bank
+  std::string function;    ///< filter function g(L̃) in math notation
+  std::string params;      ///< learnable parameters ("-" when none)
+  std::string hyper;       ///< tunable hyperparameters ("-" when none)
+  std::string time;        ///< propagation time complexity
+  std::string memory;      ///< representation memory complexity
+  std::string models;      ///< GNN models realizing this filter
+};
+
+/// Taxonomy rows for all 27 filters, Table 1 order.
+const std::vector<FilterInfo>& FilterTaxonomy();
+
+/// All 27 factory names, Table 1 order.
+std::vector<std::string> AllFilterNames();
+
+/// Names in one taxonomy category.
+std::vector<std::string> FilterNamesByType(FilterType type);
+
+/// Creates a filter by name. `feature_dim` is required by the channel-wise
+/// AdaGNN filter and ignored elsewhere. Returns NotFound for unknown names.
+Result<std::unique_ptr<SpectralFilter>> CreateFilter(
+    const std::string& name, int hops, FilterHyperParams hp = {},
+    int64_t feature_dim = 0);
+
+}  // namespace sgnn::filters
+
+#endif  // SGNN_CORE_REGISTRY_H_

@@ -1,0 +1,153 @@
+#include "eval/analysis.h"
+
+#include <cmath>
+#include <map>
+
+#include "tensor/ops.h"
+#include "tensor/status.h"
+
+namespace sgnn::eval {
+
+namespace {
+
+/// Samples up to max_samples row indices without replacement.
+std::vector<int64_t> SampleRows(int64_t n, int64_t max_samples, Rng* rng) {
+  std::vector<int64_t> rows;
+  if (n <= max_samples) {
+    rows.resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) rows[static_cast<size_t>(i)] = i;
+    return rows;
+  }
+  // Floyd's algorithm-ish: simple reservoir for clarity.
+  rows.reserve(static_cast<size_t>(max_samples));
+  for (int64_t i = 0; i < n; ++i) {
+    if (static_cast<int64_t>(rows.size()) < max_samples) {
+      rows.push_back(i);
+    } else {
+      const auto j = static_cast<int64_t>(
+          rng->UniformInt(static_cast<uint64_t>(i + 1)));
+      if (j < max_samples) rows[static_cast<size_t>(j)] = i;
+    }
+  }
+  return rows;
+}
+
+double RowDistance(const Matrix& x, int64_t a, int64_t b) {
+  const float* ra = x.row(a);
+  const float* rb = x.row(b);
+  double acc = 0.0;
+  for (int64_t j = 0; j < x.cols(); ++j) {
+    const double d = double(ra[j]) - rb[j];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+Matrix PcaProject(const Matrix& x, int dims, Rng* rng, int iters) {
+  const int64_t n = x.rows(), f = x.cols();
+  SGNN_CHECK(dims >= 1 && dims <= f, "PcaProject: bad target dimension");
+  // Center columns.
+  Matrix centered = x;
+  Matrix mean(1, f, Device::kHost);
+  ops::ColumnSum(centered, &mean);
+  ops::Scale(static_cast<float>(-1.0 / static_cast<double>(n)), &mean);
+  ops::AddRowBroadcast(mean, &centered);
+
+  Matrix components(dims, f, Device::kHost);
+  for (int d = 0; d < dims; ++d) {
+    std::vector<double> v(static_cast<size_t>(f));
+    for (auto& e : v) e = rng->Normal();
+    for (int it = 0; it < iters; ++it) {
+      // w = X^T (X v) accumulated in double; then deflate and normalize.
+      std::vector<double> xv(static_cast<size_t>(n), 0.0);
+      for (int64_t i = 0; i < n; ++i) {
+        const float* row = centered.row(i);
+        double acc = 0.0;
+        for (int64_t j = 0; j < f; ++j) acc += double(row[j]) * v[static_cast<size_t>(j)];
+        xv[static_cast<size_t>(i)] = acc;
+      }
+      std::vector<double> w(static_cast<size_t>(f), 0.0);
+      for (int64_t i = 0; i < n; ++i) {
+        const float* row = centered.row(i);
+        const double s = xv[static_cast<size_t>(i)];
+        for (int64_t j = 0; j < f; ++j) w[static_cast<size_t>(j)] += s * row[j];
+      }
+      // Deflate against previous components.
+      for (int p = 0; p < d; ++p) {
+        double dot = 0.0;
+        for (int64_t j = 0; j < f; ++j) dot += w[static_cast<size_t>(j)] * components.at(p, j);
+        for (int64_t j = 0; j < f; ++j) w[static_cast<size_t>(j)] -= dot * components.at(p, j);
+      }
+      double norm = 0.0;
+      for (const double e : w) norm += e * e;
+      norm = std::sqrt(norm);
+      if (norm < 1e-12) break;
+      for (int64_t j = 0; j < f; ++j) v[static_cast<size_t>(j)] = w[static_cast<size_t>(j)] / norm;
+    }
+    for (int64_t j = 0; j < f; ++j) components.at(d, j) = static_cast<float>(v[static_cast<size_t>(j)]);
+  }
+  Matrix out(n, dims, Device::kHost);
+  ops::GemmTransB(centered, components, &out);
+  return out;
+}
+
+double SilhouetteScore(const Matrix& embedding,
+                       const std::vector<int32_t>& labels, Rng* rng,
+                       int64_t max_samples) {
+  const auto rows = SampleRows(embedding.rows(), max_samples, rng);
+  double total = 0.0;
+  int64_t counted = 0;
+  for (const int64_t i : rows) {
+    const int32_t yi = labels[static_cast<size_t>(i)];
+    std::map<int32_t, std::pair<double, int64_t>> by_class;
+    for (const int64_t j : rows) {
+      if (i == j) continue;
+      auto& [sum, cnt] = by_class[labels[static_cast<size_t>(j)]];
+      sum += RowDistance(embedding, i, j);
+      cnt += 1;
+    }
+    const auto own = by_class.find(yi);
+    if (own == by_class.end() || own->second.second == 0) continue;
+    const double a = own->second.first / static_cast<double>(own->second.second);
+    double b = 1e300;
+    for (const auto& [label, sc] : by_class) {
+      if (label == yi || sc.second == 0) continue;
+      b = std::min(b, sc.first / static_cast<double>(sc.second));
+    }
+    if (b >= 1e300) continue;
+    const double denom = std::max(a, b);
+    if (denom > 0) {
+      total += (b - a) / denom;
+      ++counted;
+    }
+  }
+  return counted > 0 ? total / static_cast<double>(counted) : 0.0;
+}
+
+double IntraInterRatio(const Matrix& embedding,
+                       const std::vector<int32_t>& labels, Rng* rng,
+                       int64_t max_samples) {
+  const auto rows = SampleRows(embedding.rows(), max_samples, rng);
+  double intra = 0.0, inter = 0.0;
+  int64_t n_intra = 0, n_inter = 0;
+  for (size_t a = 0; a < rows.size(); ++a) {
+    for (size_t b = a + 1; b < rows.size(); ++b) {
+      const double d = RowDistance(embedding, rows[a], rows[b]);
+      if (labels[static_cast<size_t>(rows[a])] ==
+          labels[static_cast<size_t>(rows[b])]) {
+        intra += d;
+        ++n_intra;
+      } else {
+        inter += d;
+        ++n_inter;
+      }
+    }
+  }
+  if (n_intra == 0 || n_inter == 0 || inter <= 0.0) return 1.0;
+  return (intra / static_cast<double>(n_intra)) /
+         (inter / static_cast<double>(n_inter));
+}
+
+}  // namespace sgnn::eval

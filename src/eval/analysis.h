@@ -1,0 +1,33 @@
+// Embedding analysis utilities: PCA projection and cluster-separability
+// metrics (Figure 8's t-SNE substitute, see DESIGN.md).
+
+#ifndef SGNN_EVAL_ANALYSIS_H_
+#define SGNN_EVAL_ANALYSIS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "tensor/rng.h"
+
+namespace sgnn::eval {
+
+/// Projects rows of `x` onto their top `dims` principal components
+/// (power iteration with deflation on the covariance).
+Matrix PcaProject(const Matrix& x, int dims, Rng* rng, int iters = 50);
+
+/// Mean silhouette coefficient of the labeled embedding, computed on at most
+/// `max_samples` points (distance evaluations are O(sample^2)).
+double SilhouetteScore(const Matrix& embedding,
+                       const std::vector<int32_t>& labels, Rng* rng,
+                       int64_t max_samples = 512);
+
+/// Ratio of mean intra-class distance to mean inter-class distance (lower is
+/// better separated), sampled like SilhouetteScore.
+double IntraInterRatio(const Matrix& embedding,
+                       const std::vector<int32_t>& labels, Rng* rng,
+                       int64_t max_samples = 512);
+
+}  // namespace sgnn::eval
+
+#endif  // SGNN_EVAL_ANALYSIS_H_

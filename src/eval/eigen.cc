@@ -1,0 +1,126 @@
+#include "eval/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/ops.h"
+
+namespace sgnn::eval {
+
+Result<EigenDecomposition> JacobiEigen(const Matrix& a, double tol,
+                                       int max_sweeps) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("JacobiEigen: matrix must be square");
+  }
+  const int64_t n = a.rows();
+  // Work in double precision.
+  std::vector<double> m(static_cast<size_t>(n) * n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      m[static_cast<size_t>(i * n + j)] = a.at(i, j);
+    }
+  }
+  std::vector<double> v(static_cast<size_t>(n) * n, 0.0);
+  for (int64_t i = 0; i < n; ++i) v[static_cast<size_t>(i * n + i)] = 1.0;
+
+  auto off_norm = [&]() {
+    double s = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        const double x = m[static_cast<size_t>(i * n + j)];
+        s += 2.0 * x * x;
+      }
+    }
+    return std::sqrt(s);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps && off_norm() > tol; ++sweep) {
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        const double apq = m[static_cast<size_t>(p * n + q)];
+        if (std::fabs(apq) < 1e-15) continue;
+        const double app = m[static_cast<size_t>(p * n + p)];
+        const double aqq = m[static_cast<size_t>(q * n + q)];
+        const double theta = 0.5 * (aqq - app) / apq;
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int64_t k = 0; k < n; ++k) {
+          const double mkp = m[static_cast<size_t>(k * n + p)];
+          const double mkq = m[static_cast<size_t>(k * n + q)];
+          m[static_cast<size_t>(k * n + p)] = c * mkp - s * mkq;
+          m[static_cast<size_t>(k * n + q)] = s * mkp + c * mkq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double mpk = m[static_cast<size_t>(p * n + k)];
+          const double mqk = m[static_cast<size_t>(q * n + k)];
+          m[static_cast<size_t>(p * n + k)] = c * mpk - s * mqk;
+          m[static_cast<size_t>(q * n + k)] = s * mpk + c * mqk;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          const double vkp = v[static_cast<size_t>(k * n + p)];
+          const double vkq = v[static_cast<size_t>(k * n + q)];
+          v[static_cast<size_t>(k * n + p)] = c * vkp - s * vkq;
+          v[static_cast<size_t>(k * n + q)] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenDecomposition out;
+  out.values.resize(static_cast<size_t>(n));
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) diag[static_cast<size_t>(i)] = m[static_cast<size_t>(i * n + i)];
+  std::sort(order.begin(), order.end(),
+            [&](int64_t x, int64_t y) { return diag[static_cast<size_t>(x)] < diag[static_cast<size_t>(y)]; });
+  out.vectors = Matrix(n, n, Device::kHost);
+  for (int64_t i = 0; i < n; ++i) {
+    out.values[static_cast<size_t>(i)] = diag[static_cast<size_t>(order[static_cast<size_t>(i)])];
+    for (int64_t k = 0; k < n; ++k) {
+      out.vectors.at(k, i) = static_cast<float>(
+          v[static_cast<size_t>(k * n + order[static_cast<size_t>(i)])]);
+    }
+  }
+  return out;
+}
+
+Matrix DenseLaplacian(const sparse::CsrMatrix& norm_adj) {
+  const int64_t n = norm_adj.n();
+  Matrix lap(n, n, Device::kHost);
+  for (int64_t i = 0; i < n; ++i) lap.at(i, i) = 1.0f;
+  const auto& indptr = norm_adj.indptr();
+  const auto& indices = norm_adj.indices();
+  const auto& values = norm_adj.values();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t p = indptr[static_cast<size_t>(i)];
+         p < indptr[static_cast<size_t>(i) + 1]; ++p) {
+      lap.at(i, indices[static_cast<size_t>(p)]) -= values[static_cast<size_t>(p)];
+    }
+  }
+  return lap;
+}
+
+Matrix SpectralApply(const EigenDecomposition& eig,
+                     const std::vector<double>& response, const Matrix& x) {
+  const int64_t n = eig.vectors.rows();
+  SGNN_CHECK(x.rows() == n, "SpectralApply: signal size mismatch");
+  SGNN_CHECK(static_cast<int64_t>(response.size()) == n,
+             "SpectralApply: response size mismatch");
+  // y1 = Uᵀ x; y2 = diag(g) y1; out = U y2.
+  Matrix y1(n, x.cols(), Device::kHost);
+  ops::GemmTransA(eig.vectors, x, &y1);
+  for (int64_t i = 0; i < n; ++i) {
+    const auto g = static_cast<float>(response[static_cast<size_t>(i)]);
+    float* row = y1.row(i);
+    for (int64_t j = 0; j < x.cols(); ++j) row[j] *= g;
+  }
+  Matrix out(n, x.cols(), Device::kHost);
+  ops::Gemm(eig.vectors, y1, &out);
+  return out;
+}
+
+}  // namespace sgnn::eval

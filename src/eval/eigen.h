@@ -1,0 +1,38 @@
+// Dense symmetric eigendecomposition (cyclic Jacobi rotations).
+//
+// Used only by the signal-regression study (Table 7) to build exact spectral
+// ground truth z = U ĝ*(Λ) Uᵀ x on small graphs — the paper's main pipeline
+// never eigendecomposes (that is the point of polynomial filters).
+
+#ifndef SGNN_EVAL_EIGEN_H_
+#define SGNN_EVAL_EIGEN_H_
+
+#include <vector>
+
+#include "sparse/csr.h"
+#include "tensor/matrix.h"
+#include "tensor/status.h"
+
+namespace sgnn::eval {
+
+/// Eigen-decomposition of a dense symmetric matrix.
+struct EigenDecomposition {
+  std::vector<double> values;  ///< ascending eigenvalues
+  Matrix vectors;              ///< column i = eigenvector of values[i]
+};
+
+/// Decomposes the dense symmetric matrix `a` (n x n) with the cyclic Jacobi
+/// method. Intended for n <= ~2000. `tol` bounds the off-diagonal norm.
+Result<EigenDecomposition> JacobiEigen(const Matrix& a, double tol = 1e-9,
+                                       int max_sweeps = 64);
+
+/// Densifies the normalized Laplacian L̃ = I - Ã of a sparse Ã.
+Matrix DenseLaplacian(const sparse::CsrMatrix& norm_adj);
+
+/// Applies the exact spectral operator U diag(g(λ_i)) Uᵀ x.
+Matrix SpectralApply(const EigenDecomposition& eig,
+                     const std::vector<double>& response, const Matrix& x);
+
+}  // namespace sgnn::eval
+
+#endif  // SGNN_EVAL_EIGEN_H_

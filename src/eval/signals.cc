@@ -1,0 +1,20 @@
+#include "eval/signals.h"
+
+#include <cmath>
+
+namespace sgnn::eval {
+
+const std::vector<SignalFunction>& RegressionSignals() {
+  static const std::vector<SignalFunction> signals = {
+      {"band",
+       [](double l) { return std::exp(-10.0 * (l - 1.0) * (l - 1.0)); }},
+      {"combine", [](double l) { return std::fabs(std::sin(M_PI * l)); }},
+      {"high", [](double l) { return 1.0 - std::exp(-10.0 * l * l); }},
+      {"low", [](double l) { return std::exp(-10.0 * l * l); }},
+      {"reject",
+       [](double l) { return 1.0 - std::exp(-10.0 * (l - 1.0) * (l - 1.0)); }},
+  };
+  return signals;
+}
+
+}  // namespace sgnn::eval

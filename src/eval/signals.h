@@ -1,0 +1,25 @@
+// Spectral signal functions for the regression study (paper Table 7).
+
+#ifndef SGNN_EVAL_SIGNALS_H_
+#define SGNN_EVAL_SIGNALS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sgnn::eval {
+
+/// A named target response ĝ*: [0,2] -> R.
+struct SignalFunction {
+  std::string name;
+  std::function<double(double)> fn;
+};
+
+/// The paper's five regression targets:
+///   BAND    e^{-10(λ-1)^2}     COMBINE |sin(πλ)|      HIGH 1 - e^{-10λ^2}
+///   LOW     e^{-10λ^2}         REJECT  1 - e^{-10(λ-1)^2}
+const std::vector<SignalFunction>& RegressionSignals();
+
+}  // namespace sgnn::eval
+
+#endif  // SGNN_EVAL_SIGNALS_H_

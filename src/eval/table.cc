@@ -1,0 +1,58 @@
+#include "eval/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace sgnn::eval {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c >= widths.size()) widths.resize(c + 1, 0);
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      out << cell;
+      if (c + 1 < widths.size()) {
+        out << std::string(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    out << "\n";
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (const size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void Table::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string FmtMeanStd(double mean, double stddev, int precision) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f±%.*f", precision, mean, precision,
+                stddev);
+  return buf;
+}
+
+}  // namespace sgnn::eval

@@ -1,0 +1,57 @@
+// ASCII table printer for paper-style bench output, plus stage timers.
+
+#ifndef SGNN_EVAL_TABLE_H_
+#define SGNN_EVAL_TABLE_H_
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+namespace sgnn::eval {
+
+/// Column-aligned ASCII table. Rows are added as string cells; Print pads to
+/// the widest cell per column.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row; missing cells render empty, extras are kept.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders to stdout with a separator under the header.
+  void Print() const;
+
+  /// Renders to a string (used by tests).
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats "12.34" style fixed-point values.
+std::string Fmt(double value, int precision = 2);
+
+/// Formats "86.58±1.96" effectiveness cells (as in paper Tables 5/10).
+std::string FmtMeanStd(double mean, double stddev, int precision = 2);
+
+/// Wall-clock stopwatch in milliseconds.
+class Stopwatch {
+ public:
+  Stopwatch() { Reset(); }
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  /// Elapsed milliseconds since construction / Reset.
+  double ElapsedMs() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace sgnn::eval
+
+#endif  // SGNN_EVAL_TABLE_H_

@@ -1,0 +1,47 @@
+#include "eval/tuning.h"
+
+namespace sgnn::eval {
+
+namespace {
+
+/// Axis values, falling back to the single default when empty.
+std::vector<double> AxisOrDefault(const std::vector<double>& axis,
+                                  double fallback) {
+  if (axis.empty()) return {fallback};
+  return axis;
+}
+
+}  // namespace
+
+TuningResult GridSearch(const TuningGrid& grid, const TuningEval& evaluate) {
+  const TuningPoint defaults;
+  TuningResult result;
+  result.best = defaults;
+  for (const double alpha : AxisOrDefault(grid.alphas, defaults.hp.alpha)) {
+    for (const double beta : AxisOrDefault(grid.betas, defaults.hp.beta)) {
+      for (const double rho : AxisOrDefault(grid.rhos, defaults.rho)) {
+        for (const double lrw :
+             AxisOrDefault(grid.lr_weights, defaults.lr_weights)) {
+          for (const double lrf :
+               AxisOrDefault(grid.lr_filters, defaults.lr_filter)) {
+            TuningPoint point;
+            point.hp.alpha = alpha;
+            point.hp.beta = beta;
+            point.rho = rho;
+            point.lr_weights = lrw;
+            point.lr_filter = lrf;
+            const double metric = evaluate(point);
+            ++result.evaluated;
+            if (metric > result.best_metric) {
+              result.best_metric = metric;
+              result.best = point;
+            }
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sgnn::eval

@@ -1,0 +1,52 @@
+// Hyperparameter grid search (paper Table 4 "Individual" scheme).
+//
+// The paper searches filter-level hyperparameters (α, β, Jacobi a/b),
+// normalization ρ, and learning rates per (model, dataset). This utility
+// runs the combinatorial grid with a user-provided evaluation callback and
+// returns the configuration with the best validation metric.
+
+#ifndef SGNN_EVAL_TUNING_H_
+#define SGNN_EVAL_TUNING_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/filter.h"
+
+namespace sgnn::eval {
+
+/// One grid point: filter hyperparameters plus pipeline knobs.
+struct TuningPoint {
+  filters::FilterHyperParams hp;
+  double rho = 0.5;
+  double lr_weights = 5e-3;
+  double lr_filter = 5e-2;
+};
+
+/// Search space; the cross product of all non-empty axes is explored.
+/// Empty axes keep the TuningPoint default.
+struct TuningGrid {
+  std::vector<double> alphas;      ///< hp.alpha
+  std::vector<double> betas;       ///< hp.beta
+  std::vector<double> rhos;        ///< graph normalization
+  std::vector<double> lr_weights;  ///< φ0/φ1 learning rate
+  std::vector<double> lr_filters;  ///< θ/γ learning rate
+};
+
+/// Result of a grid search.
+struct TuningResult {
+  TuningPoint best;
+  double best_metric = -1.0;
+  int evaluated = 0;
+};
+
+/// Evaluation callback: returns the validation metric for a grid point.
+using TuningEval = std::function<double(const TuningPoint&)>;
+
+/// Exhaustively evaluates the grid; ties keep the earlier point.
+TuningResult GridSearch(const TuningGrid& grid, const TuningEval& evaluate);
+
+}  // namespace sgnn::eval
+
+#endif  // SGNN_EVAL_TUNING_H_

@@ -1,0 +1,60 @@
+// Registry of the 22 synthetic dataset counterparts (paper Table 3).
+//
+// Each entry mirrors a public dataset's homophily score, class count,
+// relative density, and metric; node/edge counts are scaled down to run on a
+// single-core CI box (a global scale factor can enlarge them, see
+// ScaledConfig). Suffix "_sim" marks the synthetic substitution.
+
+#ifndef SGNN_GRAPH_DATASETS_H_
+#define SGNN_GRAPH_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/generator.h"
+#include "graph/graph.h"
+#include "tensor/status.h"
+
+namespace sgnn::graph {
+
+/// Static description of one dataset counterpart.
+struct DatasetSpec {
+  std::string name;        ///< e.g. "cora_sim"
+  Scale scale;             ///< S / M / L (Table 3 category)
+  bool homophilous;        ///< Table 3 Homo./Hetero. grouping
+  int64_t n;               ///< node count (scaled)
+  double avg_degree;       ///< average undirected degree (scaled density)
+  double homophily;        ///< target node-homophily score H
+  int32_t feature_dim;     ///< input attribute dimension Fi (scaled)
+  int32_t num_classes;     ///< label count Fo
+  Metric metric;           ///< accuracy or ROC AUC
+  SignalEncoding encoding; ///< where the label signal lives spectrally
+  double noise;            ///< attribute noise level
+  bool grid = false;       ///< use 2-D grid topology (minesweeper)
+};
+
+/// All registered dataset specs in Table 3 order.
+const std::vector<DatasetSpec>& AllDatasets();
+
+/// Looks up a spec by name.
+Result<DatasetSpec> FindDataset(const std::string& name);
+
+/// Names of datasets in the given scale category.
+std::vector<std::string> DatasetsByScale(Scale scale);
+
+/// Generates the graph for `spec` with the given seed. The seed perturbs
+/// topology, features, and labels together (paper's per-seed splits are
+/// drawn separately via RandomSplits).
+Graph MakeDataset(const DatasetSpec& spec, uint64_t seed);
+
+/// Convenience: FindDataset + MakeDataset.
+Result<Graph> MakeDatasetByName(const std::string& name, uint64_t seed);
+
+/// Global size multiplier (default 1.0) read from SPECTRAL_SCALE env var;
+/// applied to n while keeping density. Lets benches grow toward paper scale
+/// on bigger machines.
+double GlobalScaleFactor();
+
+}  // namespace sgnn::graph
+
+#endif  // SGNN_GRAPH_DATASETS_H_

@@ -1,0 +1,61 @@
+// Attributed graph container, splits, and graph-property measures.
+
+#ifndef SGNN_GRAPH_GRAPH_H_
+#define SGNN_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/adjacency.h"
+#include "sparse/csr.h"
+#include "tensor/matrix.h"
+#include "tensor/rng.h"
+
+namespace sgnn::graph {
+
+/// Evaluation metric used by a dataset (Table 3).
+enum class Metric { kAccuracy, kRocAuc };
+
+/// Size category (Table 3: S / M / L).
+enum class Scale { kSmall, kMedium, kLarge };
+
+/// An attributed, labeled, undirected graph with self loops (Ā = A + I).
+struct Graph {
+  int64_t n = 0;
+  /// Self-looped unweighted adjacency Ā. Undirected edges stored twice.
+  sparse::CsrMatrix adj;
+  /// Node attributes X (n x Fi), host-resident.
+  Matrix features;
+  /// Class label per node.
+  std::vector<int32_t> labels;
+  int32_t num_classes = 0;
+
+  /// Directed edge count including self loops (paper's m convention).
+  int64_t num_edges() const { return adj.nnz(); }
+};
+
+/// Train/validation/test node index sets.
+struct Splits {
+  std::vector<int32_t> train;
+  std::vector<int32_t> val;
+  std::vector<int32_t> test;
+};
+
+/// Random 60/20/20 split (paper protocol for graphs without predefined
+/// splits), deterministic in `seed`.
+Splits RandomSplits(int64_t n, uint64_t seed, double train_frac = 0.6,
+                    double val_frac = 0.2);
+
+/// Node homophily score H = mean_v |{u in N(v): y(u)=y(v)}| / |N(v)|,
+/// self loops excluded (Section 2.1).
+double NodeHomophily(const Graph& g);
+
+/// Splits nodes into low- and high-degree groups around the median degree
+/// (self loops excluded). Used by the Figure 9/10 degree-bias studies.
+void DegreeBuckets(const Graph& g, std::vector<int32_t>* low,
+                   std::vector<int32_t>* high);
+
+}  // namespace sgnn::graph
+
+#endif  // SGNN_GRAPH_GRAPH_H_

@@ -1,0 +1,130 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <vector>
+
+namespace sgnn::graph {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x53474E4E47524148ULL;  // "SGNNGRAH"
+
+bool WriteAll(std::FILE* f, const void* data, size_t bytes) {
+  return std::fwrite(data, 1, bytes, f) == bytes;
+}
+
+bool ReadAll(std::FILE* f, void* data, size_t bytes) {
+  return std::fread(data, 1, bytes, f) == bytes;
+}
+
+}  // namespace
+
+Status SaveGraph(const Graph& g, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  const int64_t n = g.n;
+  const int64_t nnz = g.adj.nnz();
+  const int64_t fi = g.features.cols();
+  const int32_t classes = g.num_classes;
+  bool ok = WriteAll(f, &kMagic, sizeof(kMagic)) &&
+            WriteAll(f, &n, sizeof(n)) && WriteAll(f, &nnz, sizeof(nnz)) &&
+            WriteAll(f, &fi, sizeof(fi)) &&
+            WriteAll(f, &classes, sizeof(classes));
+  ok = ok && WriteAll(f, g.adj.indptr().data(),
+                      g.adj.indptr().size() * sizeof(int64_t));
+  ok = ok && WriteAll(f, g.adj.indices().data(),
+                      g.adj.indices().size() * sizeof(int32_t));
+  ok = ok && WriteAll(f, g.adj.values().data(),
+                      g.adj.values().size() * sizeof(float));
+  ok = ok && WriteAll(f, g.features.data(), g.features.bytes());
+  ok = ok && WriteAll(f, g.labels.data(), g.labels.size() * sizeof(int32_t));
+  std::fclose(f);
+  if (!ok) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+Result<Graph> LoadGraph(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  uint64_t magic = 0;
+  int64_t n = 0, nnz = 0, fi = 0;
+  int32_t classes = 0;
+  bool ok = ReadAll(f, &magic, sizeof(magic)) && magic == kMagic &&
+            ReadAll(f, &n, sizeof(n)) && ReadAll(f, &nnz, sizeof(nnz)) &&
+            ReadAll(f, &fi, sizeof(fi)) &&
+            ReadAll(f, &classes, sizeof(classes)) && n > 0 && nnz >= 0 &&
+            fi >= 0;
+  if (!ok) {
+    std::fclose(f);
+    return Status::IOError("corrupt header in " + path);
+  }
+  std::vector<int64_t> indptr(static_cast<size_t>(n) + 1);
+  std::vector<int32_t> indices(static_cast<size_t>(nnz));
+  std::vector<float> values(static_cast<size_t>(nnz));
+  Graph g;
+  g.n = n;
+  g.num_classes = classes;
+  g.features = Matrix(n, fi, Device::kHost);
+  g.labels.resize(static_cast<size_t>(n));
+  ok = ReadAll(f, indptr.data(), indptr.size() * sizeof(int64_t)) &&
+       ReadAll(f, indices.data(), indices.size() * sizeof(int32_t)) &&
+       ReadAll(f, values.data(), values.size() * sizeof(float)) &&
+       ReadAll(f, g.features.data(), g.features.bytes()) &&
+       ReadAll(f, g.labels.data(), g.labels.size() * sizeof(int32_t));
+  std::fclose(f);
+  if (!ok || indptr.back() != nnz) {
+    return Status::IOError("corrupt body in " + path);
+  }
+  g.adj = sparse::CsrMatrix(n, std::move(indptr), std::move(indices),
+                            std::move(values));
+  return g;
+}
+
+double EdgeHomophily(const Graph& g) {
+  const auto& indptr = g.adj.indptr();
+  const auto& indices = g.adj.indices();
+  int64_t same = 0, total = 0;
+  for (int64_t v = 0; v < g.n; ++v) {
+    for (int64_t p = indptr[static_cast<size_t>(v)];
+         p < indptr[static_cast<size_t>(v) + 1]; ++p) {
+      const int32_t u = indices[static_cast<size_t>(p)];
+      if (u == v) continue;
+      ++total;
+      if (g.labels[static_cast<size_t>(u)] ==
+          g.labels[static_cast<size_t>(v)]) {
+        ++same;
+      }
+    }
+  }
+  return total > 0 ? static_cast<double>(same) / static_cast<double>(total)
+                   : 0.0;
+}
+
+double AdjustedHomophily(const Graph& g) {
+  // h_adj = (h_edge - Σ_c p_c²) / (1 - Σ_c p_c²), with p_c the fraction of
+  // edge endpoints carrying class c (degree-weighted class proportions).
+  const auto& indptr = g.adj.indptr();
+  std::vector<double> endpoint_mass(static_cast<size_t>(g.num_classes), 0.0);
+  double total_deg = 0.0;
+  for (int64_t v = 0; v < g.n; ++v) {
+    const double deg = static_cast<double>(
+        indptr[static_cast<size_t>(v) + 1] - indptr[static_cast<size_t>(v)] -
+        1);  // exclude self loop
+    endpoint_mass[static_cast<size_t>(g.labels[static_cast<size_t>(v)])] +=
+        deg;
+    total_deg += deg;
+  }
+  double collision = 0.0;
+  if (total_deg > 0) {
+    for (const double m : endpoint_mass) {
+      const double p = m / total_deg;
+      collision += p * p;
+    }
+  }
+  const double h_edge = EdgeHomophily(g);
+  const double denom = 1.0 - collision;
+  if (denom <= 1e-12) return 0.0;
+  return (h_edge - collision) / denom;
+}
+
+}  // namespace sgnn::graph

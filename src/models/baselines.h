@@ -1,0 +1,43 @@
+// Out-of-framework baselines for Table 6: iterative message-passing GNNs
+// (GCN, GraphSAGE, ChebNet) over two propagation backends, plus scalable
+// graph-transformer baselines (NAGphormer-lite, ANS-GT-lite).
+//
+// The "SP" backend streams CSR SpMM; the "EI" backend materializes one
+// message per edge (torch_geometric.EdgeIndex behaviour), whose O(mF)
+// buffer is what drives the paper's EI OOM entries.
+
+#ifndef SGNN_MODELS_BASELINES_H_
+#define SGNN_MODELS_BASELINES_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "models/trainer.h"
+#include "sparse/edge_index.h"
+
+namespace sgnn::models {
+
+/// Propagation backend for message-passing baselines.
+enum class Backend { kSp, kEi };
+
+/// Baseline architecture.
+enum class BaselineKind {
+  kGcn,        ///< H' = ReLU(Ã H W)
+  kSage,       ///< H' = ReLU(H W1 + Ã H W2)
+  kChebNet,    ///< H' = ReLU(Σ_{k<=2} T_cheb^k(L̃) H W_k)
+  kNagphormer, ///< hop-token transformer with SIGN-style precompute
+  kAnsGt,      ///< adaptive-sampling transformer (quadratic attention)
+};
+
+/// Human-readable "GCN (SP)" style label.
+std::string BaselineLabel(BaselineKind kind, Backend backend);
+
+/// Trains the baseline full-batch (transformers use their own batched
+/// pipeline with a precompute stage) and reports paper Table 6 columns.
+TrainResult TrainBaseline(const graph::Graph& g, const graph::Splits& splits,
+                          graph::Metric metric, BaselineKind kind,
+                          Backend backend, const TrainConfig& config);
+
+}  // namespace sgnn::models
+
+#endif  // SGNN_MODELS_BASELINES_H_

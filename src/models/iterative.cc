@@ -1,0 +1,161 @@
+#include "models/iterative.h"
+
+#include <algorithm>
+
+#include "core/registry.h"
+#include "eval/table.h"
+#include "nn/loss.h"
+#include "nn/mlp.h"
+#include "sparse/adjacency.h"
+#include "tensor/ops.h"
+
+namespace sgnn::models {
+
+namespace {
+
+using eval::Stopwatch;
+
+/// One iterative layer: h -> ReLU(g(L̃) h W + b). Caches what backward needs.
+struct Layer {
+  std::unique_ptr<filters::SpectralFilter> filter;  // one-hop
+  nn::Linear linear;
+  // Caches from the last training forward.
+  Matrix input;       // h^j
+  Matrix propagated;  // g(L̃) h^j
+  Matrix preact;      // propagated W + b
+};
+
+}  // namespace
+
+TrainResult TrainIterative(const graph::Graph& g, const graph::Splits& splits,
+                           graph::Metric metric,
+                           const IterativeConfig& config) {
+  TrainResult result;
+  auto& tracker = DeviceTracker::Global();
+  tracker.ClearOom();
+  tracker.ResetPeak();
+  const TrainConfig& base = config.base;
+  Rng rng(base.seed * 0x94D049BB133111EBULL + 37);
+
+  sparse::CsrMatrix norm = sparse::NormalizeAdjacency(g.adj, base.rho);
+  norm.MoveToDevice(Device::kAccel);
+  Matrix x = g.features.CloneTo(Device::kAccel);
+  filters::FilterContext ctx{&norm, Device::kAccel};
+
+  const int64_t fi = g.features.cols();
+  std::vector<Layer> layers(static_cast<size_t>(config.layers));
+  int64_t in_dim = fi;
+  for (int j = 0; j < config.layers; ++j) {
+    auto& layer = layers[static_cast<size_t>(j)];
+    auto filter = filters::CreateFilter(config.layer_filter, /*hops=*/1, {},
+                                        in_dim);
+    SGNN_CHECK(filter.ok(), "TrainIterative: unknown layer filter");
+    layer.filter = filter.MoveValue();
+    layer.filter->ResetParameters(&rng);
+    const int64_t out_dim =
+        (j + 1 == config.layers) ? g.num_classes : base.hidden;
+    layer.linear = nn::Linear(in_dim, out_dim, Device::kAccel);
+    layer.linear.Init(&rng);
+    in_dim = out_dim;
+  }
+
+  auto forward = [&](bool train, Matrix* logits) {
+    Matrix h = x;
+    for (int j = 0; j < config.layers; ++j) {
+      auto& layer = layers[static_cast<size_t>(j)];
+      Matrix prop;
+      layer.filter->Forward(ctx, h, &prop, train);
+      Matrix z(prop.rows(), layer.linear.out_dim(), Device::kAccel);
+      layer.linear.Forward(prop, &z);
+      if (train) {
+        layer.input = h;
+        layer.propagated = prop;
+        layer.preact = z;
+      }
+      if (j + 1 < config.layers) {
+        float* zd = z.data();
+        for (int64_t i = 0; i < z.size(); ++i) {
+          zd[i] = zd[i] > 0 ? zd[i] : 0.0f;
+        }
+      }
+      h = std::move(z);
+    }
+    *logits = std::move(h);
+  };
+
+  auto backward = [&](const Matrix& grad_logits) {
+    Matrix grad = grad_logits;
+    for (int j = config.layers - 1; j >= 0; --j) {
+      auto& layer = layers[static_cast<size_t>(j)];
+      if (j + 1 < config.layers) {
+        // Undo the ReLU of this layer's output.
+        const float* pd = layer.preact.data();
+        float* gd = grad.data();
+        for (int64_t i = 0; i < grad.size(); ++i) {
+          if (pd[i] <= 0.0f) gd[i] = 0.0f;
+        }
+      }
+      Matrix grad_prop(layer.propagated.rows(), layer.propagated.cols(),
+                       Device::kAccel);
+      layer.linear.Backward(layer.propagated, grad, &grad_prop);
+      Matrix grad_h;
+      layer.filter->Backward(ctx, grad_prop, j > 0 ? &grad_h : nullptr);
+      layer.filter->ClearCache();
+      if (j > 0) grad = std::move(grad_h);
+    }
+  };
+
+  double best_val = -1.0;
+  double train_ms_total = 0.0;
+  int64_t step = 0;
+  for (int epoch = 0; epoch < base.epochs; ++epoch) {
+    Stopwatch sw;
+    Matrix logits;
+    forward(/*train=*/true, &logits);
+    Matrix grad(logits.rows(), logits.cols(), Device::kAccel);
+    result.final_train_loss =
+        nn::SoftmaxCrossEntropy(logits, g.labels, splits.train, &grad);
+    for (auto& layer : layers) {
+      layer.linear.ZeroGrad();
+      layer.filter->params().ZeroGrad();
+    }
+    backward(grad);
+    ++step;
+    for (auto& layer : layers) {
+      layer.linear.AdamStep(base.weights_opt, step);
+      layer.filter->params().AdamStep(base.filter_opt, step);
+    }
+    train_ms_total += sw.ElapsedMs();
+    if (tracker.accel_oom()) {
+      result.oom = true;
+      break;
+    }
+    if (!base.timing_only &&
+        ((epoch + 1) % base.eval_every == 0 || epoch + 1 == base.epochs)) {
+      Matrix elogits;
+      forward(/*train=*/false, &elogits);
+      const double val = EvaluateMetric(metric, elogits, g.labels, splits.val);
+      if (val > best_val) {
+        best_val = val;
+        result.val_metric = val;
+        result.test_metric =
+            EvaluateMetric(metric, elogits, g.labels, splits.test);
+        result.test_logits = elogits.CloneTo(Device::kHost);
+      }
+    }
+  }
+  {
+    Stopwatch sw;
+    Matrix elogits;
+    forward(/*train=*/false, &elogits);
+    result.stats.infer_ms = sw.ElapsedMs();
+  }
+  result.stats.train_ms_per_epoch =
+      train_ms_total / std::max(1, base.epochs);
+  result.stats.peak_ram_bytes = tracker.peak_bytes(Device::kHost);
+  result.stats.peak_accel_bytes = tracker.peak_bytes(Device::kAccel);
+  if (tracker.accel_oom()) result.oom = true;
+  return result;
+}
+
+}  // namespace sgnn::models

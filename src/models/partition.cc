@@ -1,0 +1,256 @@
+#include "models/partition.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "eval/table.h"
+#include "nn/loss.h"
+#include "nn/mlp.h"
+#include "sparse/adjacency.h"
+#include "tensor/ops.h"
+
+namespace sgnn::models {
+
+namespace {
+
+using eval::Stopwatch;
+
+/// One partition's materialized state.
+struct Part {
+  std::vector<int32_t> nodes;          ///< global ids, order = local ids
+  sparse::CsrMatrix norm;              ///< induced normalized adjacency
+  Matrix features;                     ///< gathered rows of X
+  std::vector<int32_t> labels;         ///< per local node
+  std::vector<int32_t> local_train;    ///< local ids in the train split
+};
+
+}  // namespace
+
+std::vector<int32_t> BfsPartition(const graph::Graph& g, int num_parts,
+                                  uint64_t seed) {
+  SGNN_CHECK(num_parts >= 1, "BfsPartition: need at least one part");
+  const int64_t target =
+      (g.n + num_parts - 1) / std::max(1, num_parts);
+  std::vector<int32_t> part(static_cast<size_t>(g.n), -1);
+  Rng rng(seed ^ 0x51ED2700AA11ULL);
+  const auto& indptr = g.adj.indptr();
+  const auto& indices = g.adj.indices();
+  int32_t current = 0;
+  int64_t in_current = 0;
+  std::deque<int32_t> frontier;
+  int64_t assigned = 0;
+  while (assigned < g.n) {
+    if (frontier.empty()) {
+      // Seed a new BFS at a random unassigned node.
+      int32_t v;
+      do {
+        v = static_cast<int32_t>(rng.UniformInt(static_cast<uint64_t>(g.n)));
+      } while (part[static_cast<size_t>(v)] >= 0);
+      frontier.push_back(v);
+      part[static_cast<size_t>(v)] = current;
+      ++in_current;
+      ++assigned;
+    }
+    const int32_t v = frontier.front();
+    frontier.pop_front();
+    for (int64_t p = indptr[static_cast<size_t>(v)];
+         p < indptr[static_cast<size_t>(v) + 1]; ++p) {
+      const int32_t u = indices[static_cast<size_t>(p)];
+      if (part[static_cast<size_t>(u)] >= 0) continue;
+      part[static_cast<size_t>(u)] = current;
+      frontier.push_back(u);
+      ++in_current;
+      ++assigned;
+      if (in_current >= target && current + 1 < num_parts) {
+        frontier.clear();
+        ++current;
+        in_current = 0;
+        break;
+      }
+    }
+    if (in_current >= target && current + 1 < num_parts) {
+      frontier.clear();
+      ++current;
+      in_current = 0;
+    }
+  }
+  return part;
+}
+
+double CutFraction(const graph::Graph& g, const std::vector<int32_t>& parts) {
+  const auto& indptr = g.adj.indptr();
+  const auto& indices = g.adj.indices();
+  int64_t cut = 0, total = 0;
+  for (int64_t v = 0; v < g.n; ++v) {
+    for (int64_t p = indptr[static_cast<size_t>(v)];
+         p < indptr[static_cast<size_t>(v) + 1]; ++p) {
+      const int32_t u = indices[static_cast<size_t>(p)];
+      if (u == v) continue;
+      ++total;
+      if (parts[static_cast<size_t>(u)] != parts[static_cast<size_t>(v)]) {
+        ++cut;
+      }
+    }
+  }
+  return total > 0 ? static_cast<double>(cut) / static_cast<double>(total)
+                   : 0.0;
+}
+
+TrainResult TrainGraphPartition(const graph::Graph& g,
+                                const graph::Splits& splits,
+                                graph::Metric metric,
+                                filters::SpectralFilter* filter,
+                                const PartitionConfig& config) {
+  TrainResult result;
+  auto& tracker = DeviceTracker::Global();
+  tracker.ClearOom();
+  tracker.ResetPeak();
+  const TrainConfig& base = config.base;
+  Rng rng(base.seed * 0x6C62272E07BB0142ULL + 29);
+  filter->ResetParameters(&rng);
+
+  // Build parts: induced subgraphs, gathered features, relabeled splits.
+  Stopwatch pre_sw;
+  const std::vector<int32_t> part_of =
+      BfsPartition(g, config.num_parts, base.seed);
+  std::vector<Part> parts(static_cast<size_t>(config.num_parts));
+  std::vector<int32_t> local_id(static_cast<size_t>(g.n));
+  for (int64_t v = 0; v < g.n; ++v) {
+    auto& part = parts[static_cast<size_t>(part_of[static_cast<size_t>(v)])];
+    local_id[static_cast<size_t>(v)] =
+        static_cast<int32_t>(part.nodes.size());
+    part.nodes.push_back(static_cast<int32_t>(v));
+  }
+  std::vector<bool> in_train(static_cast<size_t>(g.n), false);
+  for (const int32_t v : splits.train) in_train[static_cast<size_t>(v)] = true;
+  const auto& indptr = g.adj.indptr();
+  const auto& indices = g.adj.indices();
+  for (auto& part : parts) {
+    const auto pn = static_cast<int64_t>(part.nodes.size());
+    sparse::EdgeList edges;
+    for (int64_t i = 0; i < pn; ++i) {
+      const int32_t v = part.nodes[static_cast<size_t>(i)];
+      for (int64_t p = indptr[static_cast<size_t>(v)];
+           p < indptr[static_cast<size_t>(v) + 1]; ++p) {
+        const int32_t u = indices[static_cast<size_t>(p)];
+        if (u == v || part_of[static_cast<size_t>(u)] !=
+                          part_of[static_cast<size_t>(v)]) {
+          continue;  // severed cross-partition edge
+        }
+        if (local_id[static_cast<size_t>(u)] > i) {
+          edges.emplace_back(static_cast<int32_t>(i),
+                             local_id[static_cast<size_t>(u)]);
+        }
+      }
+    }
+    auto adj = sparse::BuildAdjacency(std::max<int64_t>(pn, 1), edges,
+                                      /*add_self_loops=*/true);
+    SGNN_CHECK(adj.ok(), "partition adjacency failed");
+    part.norm = sparse::NormalizeAdjacency(adj.value(), base.rho);
+    part.norm.MoveToDevice(Device::kAccel);
+    part.features = g.features.GatherRows(part.nodes);
+    part.features.MoveToDevice(Device::kAccel);
+    part.labels.resize(part.nodes.size());
+    for (size_t i = 0; i < part.nodes.size(); ++i) {
+      part.labels[i] = g.labels[static_cast<size_t>(part.nodes[i])];
+      if (in_train[static_cast<size_t>(part.nodes[i])]) {
+        part.local_train.push_back(static_cast<int32_t>(i));
+      }
+    }
+  }
+  result.stats.precompute_ms = pre_sw.ElapsedMs();
+
+  const int64_t fi = g.features.cols();
+  const int64_t mid = base.phi0_layers > 0 ? base.hidden : fi;
+  nn::Mlp phi0(base.phi0_layers, fi, base.hidden, base.hidden, base.dropout,
+               Device::kAccel);
+  nn::Mlp phi1(base.phi1_layers, mid, base.hidden, g.num_classes,
+               base.dropout, Device::kAccel);
+  phi0.Init(&rng);
+  phi1.Init(&rng);
+
+  auto forward_part = [&](Part& part, bool train, Matrix* logits) {
+    filters::FilterContext ctx{&part.norm, Device::kAccel};
+    Matrix h0, hf;
+    phi0.Forward(part.features, &h0, train, train ? &rng : nullptr);
+    filter->Forward(ctx, h0, &hf, train);
+    phi1.Forward(hf, logits, train, train ? &rng : nullptr);
+  };
+
+  // Full-graph eval by sweeping parts.
+  Matrix all_logits(g.n, g.num_classes, Device::kHost);
+  auto eval_all = [&]() {
+    for (auto& part : parts) {
+      if (part.nodes.empty()) continue;
+      Matrix logits;
+      forward_part(part, /*train=*/false, &logits);
+      for (size_t i = 0; i < part.nodes.size(); ++i) {
+        for (int64_t c = 0; c < g.num_classes; ++c) {
+          all_logits.at(part.nodes[i], c) =
+              logits.at(static_cast<int64_t>(i), c);
+        }
+      }
+    }
+  };
+
+  double best_val = -1.0;
+  double train_ms_total = 0.0;
+  int64_t step = 0;
+  for (int epoch = 0; epoch < base.epochs; ++epoch) {
+    Stopwatch sw;
+    for (auto& part : parts) {
+      if (part.local_train.empty()) continue;
+      Matrix logits;
+      forward_part(part, /*train=*/true, &logits);
+      Matrix grad(logits.rows(), logits.cols(), Device::kAccel);
+      result.final_train_loss = nn::SoftmaxCrossEntropy(
+          logits, part.labels, part.local_train, &grad);
+      phi0.ZeroGrad();
+      phi1.ZeroGrad();
+      filter->params().ZeroGrad();
+      filters::FilterContext ctx{&part.norm, Device::kAccel};
+      Matrix g_hf(logits.rows(), mid, Device::kAccel);
+      phi1.Backward(grad, &g_hf);
+      Matrix g_h0;
+      filter->Backward(ctx, g_hf, base.phi0_layers > 0 ? &g_h0 : nullptr);
+      if (base.phi0_layers > 0) phi0.Backward(g_h0, nullptr);
+      ++step;
+      phi0.AdamStep(base.weights_opt, step);
+      phi1.AdamStep(base.weights_opt, step);
+      filter->params().AdamStep(base.filter_opt, step);
+      filter->ClearCache();
+    }
+    train_ms_total += sw.ElapsedMs();
+    if (tracker.accel_oom()) {
+      result.oom = true;
+      break;
+    }
+    if (!base.timing_only &&
+        ((epoch + 1) % base.eval_every == 0 || epoch + 1 == base.epochs)) {
+      eval_all();
+      const double val =
+          EvaluateMetric(metric, all_logits, g.labels, splits.val);
+      if (val > best_val) {
+        best_val = val;
+        result.val_metric = val;
+        result.test_metric =
+            EvaluateMetric(metric, all_logits, g.labels, splits.test);
+        result.test_logits = all_logits;
+      }
+    }
+  }
+  {
+    Stopwatch sw;
+    eval_all();
+    result.stats.infer_ms = sw.ElapsedMs();
+  }
+  result.stats.train_ms_per_epoch =
+      train_ms_total / std::max(1, base.epochs);
+  result.stats.peak_ram_bytes = tracker.peak_bytes(Device::kHost);
+  result.stats.peak_accel_bytes = tracker.peak_bytes(Device::kAccel);
+  if (tracker.accel_oom()) result.oom = true;
+  return result;
+}
+
+}  // namespace sgnn::models

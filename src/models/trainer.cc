@@ -1,0 +1,318 @@
+#include "models/trainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "nn/loss.h"
+#include "sparse/adjacency.h"
+#include "tensor/ops.h"
+
+namespace sgnn::models {
+
+namespace {
+
+using eval::Stopwatch;
+
+/// Fisher-Yates shuffle of an index vector.
+void Shuffle(std::vector<int32_t>* idx, Rng* rng) {
+  for (size_t i = idx->size(); i > 1; --i) {
+    const auto j = static_cast<size_t>(rng->UniformInt(i));
+    std::swap((*idx)[i - 1], (*idx)[j]);
+  }
+}
+
+}  // namespace
+
+double EvaluateMetric(graph::Metric metric, const Matrix& logits,
+                      const std::vector<int32_t>& labels,
+                      const std::vector<int32_t>& rows) {
+  if (metric == graph::Metric::kRocAuc) {
+    return eval::RocAuc(logits, labels, rows);
+  }
+  return eval::Accuracy(logits, labels, rows);
+}
+
+TrainResult TrainFullBatch(const graph::Graph& g, const graph::Splits& splits,
+                           graph::Metric metric,
+                           filters::SpectralFilter* filter,
+                           const TrainConfig& config,
+                           bool capture_embeddings) {
+  TrainResult result;
+  auto& tracker = DeviceTracker::Global();
+  tracker.ClearOom();
+  tracker.ResetPeak();
+
+  Rng rng(config.seed * 0x2545F4914F6CDD1DULL + 7);
+  // FB loads graph topology and attributes onto the accelerator.
+  sparse::CsrMatrix norm = sparse::NormalizeAdjacency(g.adj, config.rho);
+  norm.MoveToDevice(Device::kAccel);
+  Matrix x = g.features.CloneTo(Device::kAccel);
+
+  filter->ResetParameters(&rng);
+  const int64_t fi = g.features.cols();
+  const int64_t mid = config.phi0_layers > 0 ? config.hidden : fi;
+  nn::Mlp phi0(config.phi0_layers, fi, config.hidden, config.hidden,
+               config.dropout, Device::kAccel);
+  nn::Mlp phi1(config.phi1_layers, mid, config.hidden, g.num_classes,
+               config.dropout, Device::kAccel);
+  phi0.Init(&rng);
+  phi1.Init(&rng);
+
+  filters::FilterContext ctx{&norm, Device::kAccel};
+
+  double best_val = -1.0;
+  int64_t step = 0;
+  double train_ms_total = 0.0;
+  int stale_rounds = 0;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    Stopwatch sw;
+    // Forward: φ0 -> g(L̃) -> φ1.
+    Matrix h0, hf, logits;
+    phi0.Forward(x, &h0, /*train=*/true, &rng);
+    filter->Forward(ctx, h0, &hf, /*cache=*/true);
+    phi1.Forward(hf, &logits, /*train=*/true, &rng);
+    Matrix grad(logits.rows(), logits.cols(), Device::kAccel);
+    result.final_train_loss =
+        nn::SoftmaxCrossEntropy(logits, g.labels, splits.train, &grad);
+    // Backward + optimizer step.
+    phi0.ZeroGrad();
+    phi1.ZeroGrad();
+    filter->params().ZeroGrad();
+    Matrix g_hf(hf.rows(), hf.cols(), Device::kAccel);
+    phi1.Backward(grad, &g_hf);
+    Matrix g_h0;
+    filter->Backward(ctx, g_hf, config.phi0_layers > 0 ? &g_h0 : nullptr);
+    if (config.phi0_layers > 0) phi0.Backward(g_h0, nullptr);
+    ++step;
+    phi0.AdamStep(config.weights_opt, step);
+    phi1.AdamStep(config.weights_opt, step);
+    filter->params().AdamStep(config.filter_opt, step);
+    filter->ClearCache();
+    train_ms_total += sw.ElapsedMs();
+
+    if (tracker.accel_oom()) {
+      result.oom = true;
+      break;
+    }
+
+    const bool last = (epoch + 1 == config.epochs);
+    if (!config.timing_only &&
+        ((epoch + 1) % config.eval_every == 0 || last)) {
+      Matrix eh0, ehf, elogits;
+      phi0.Forward(x, &eh0, /*train=*/false, nullptr);
+      filter->Forward(ctx, eh0, &ehf, /*cache=*/false);
+      phi1.Forward(ehf, &elogits, /*train=*/false, nullptr);
+      const double val = EvaluateMetric(metric, elogits, g.labels, splits.val);
+      if (val > best_val) {
+        best_val = val;
+        result.val_metric = val;
+        result.test_metric =
+            EvaluateMetric(metric, elogits, g.labels, splits.test);
+        result.test_logits = elogits.CloneTo(Device::kHost);
+        stale_rounds = 0;
+      } else if (++stale_rounds > config.patience) {
+        break;
+      }
+      if (capture_embeddings && last) {
+        result.embeddings = ehf.CloneTo(Device::kHost);
+      }
+    }
+  }
+
+  // Inference timing: one full eval-mode pass.
+  {
+    Stopwatch sw;
+    Matrix eh0, ehf, elogits;
+    phi0.Forward(x, &eh0, /*train=*/false, nullptr);
+    filter->Forward(ctx, eh0, &ehf, /*cache=*/false);
+    phi1.Forward(ehf, &elogits, /*train=*/false, nullptr);
+    result.stats.infer_ms = sw.ElapsedMs();
+    if (capture_embeddings && result.embeddings.size() == 0) {
+      result.embeddings = ehf.CloneTo(Device::kHost);
+    }
+  }
+  result.stats.train_ms_per_epoch =
+      train_ms_total / std::max(1, config.epochs);
+  result.stats.peak_ram_bytes = tracker.peak_bytes(Device::kHost);
+  result.stats.peak_accel_bytes = tracker.peak_bytes(Device::kAccel);
+  if (tracker.accel_oom()) result.oom = true;
+  return result;
+}
+
+TrainResult TrainMiniBatch(const graph::Graph& g, const graph::Splits& splits,
+                           graph::Metric metric,
+                           filters::SpectralFilter* filter,
+                           const TrainConfig& config,
+                           bool capture_embeddings) {
+  TrainResult result;
+  SGNN_CHECK(filter->SupportsMiniBatch(),
+             "TrainMiniBatch: filter does not support the MB scheme");
+  auto& tracker = DeviceTracker::Global();
+  tracker.ClearOom();
+  tracker.ResetPeak();
+
+  Rng rng(config.seed * 0x9E3779B97F4A7C15ULL + 13);
+  filter->ResetParameters(&rng);
+
+  // Stage 1: host-side precomputation (CPU in the paper).
+  Stopwatch pre_sw;
+  sparse::CsrMatrix norm = sparse::NormalizeAdjacency(g.adj, config.rho);
+  filters::FilterContext host_ctx{&norm, Device::kHost};
+  std::vector<Matrix> terms;
+  const Status pre = filter->Precompute(host_ctx, g.features, &terms);
+  SGNN_CHECK(pre.ok(), pre.ToString().c_str());
+  result.stats.precompute_ms = pre_sw.ElapsedMs();
+
+  // Stage 2: batched training; only batch slices reach the accelerator.
+  const int64_t fi = g.features.cols();
+  nn::Mlp phi1(config.phi1_layers > 0 ? config.phi1_layers : 2, fi,
+               config.hidden, g.num_classes, config.dropout, Device::kAccel);
+  phi1.Init(&rng);
+
+  auto gather_batch = [&](const std::vector<int32_t>& batch_rows,
+                          std::vector<Matrix>* hold,
+                          std::vector<const Matrix*>* ptrs) {
+    hold->clear();
+    ptrs->clear();
+    hold->reserve(terms.size());
+    for (const auto& term : terms) {
+      Matrix slice = term.GatherRows(batch_rows);
+      slice.MoveToDevice(Device::kAccel);
+      hold->push_back(std::move(slice));
+    }
+    for (const auto& m : *hold) ptrs->push_back(&m);
+  };
+
+  auto batch_logits = [&](const std::vector<int32_t>& rows, bool train,
+                          Matrix* out) {
+    std::vector<Matrix> hold;
+    std::vector<const Matrix*> ptrs;
+    gather_batch(rows, &hold, &ptrs);
+    Matrix h;
+    filter->CombineTerms(ptrs, &h, /*cache=*/train);
+    phi1.Forward(h, out, train, train ? &rng : nullptr);
+  };
+
+  // Full-graph eval helper: fills logits rows for the listed nodes.
+  Matrix all_logits(g.n, g.num_classes, Device::kHost);
+  auto eval_rows = [&](const std::vector<int32_t>& rows) {
+    for (size_t start = 0; start < rows.size();
+         start += static_cast<size_t>(config.batch_size)) {
+      const size_t end = std::min(
+          rows.size(), start + static_cast<size_t>(config.batch_size));
+      std::vector<int32_t> batch(rows.begin() + static_cast<int64_t>(start),
+                                 rows.begin() + static_cast<int64_t>(end));
+      Matrix logits;
+      batch_logits(batch, /*train=*/false, &logits);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        for (int64_t c = 0; c < g.num_classes; ++c) {
+          all_logits.at(batch[i], c) = logits.at(static_cast<int64_t>(i), c);
+        }
+      }
+    }
+  };
+
+  std::vector<int32_t> train_idx = splits.train;
+  double train_ms_total = 0.0;
+  double best_val = -1.0;
+  int64_t step = 0;
+  int stale_rounds = 0;
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    Stopwatch sw;
+    Shuffle(&train_idx, &rng);
+    for (size_t start = 0; start < train_idx.size();
+         start += static_cast<size_t>(config.batch_size)) {
+      const size_t end = std::min(
+          train_idx.size(), start + static_cast<size_t>(config.batch_size));
+      std::vector<int32_t> batch(
+          train_idx.begin() + static_cast<int64_t>(start),
+          train_idx.begin() + static_cast<int64_t>(end));
+      std::vector<Matrix> hold;
+      std::vector<const Matrix*> ptrs;
+      gather_batch(batch, &hold, &ptrs);
+      Matrix h;
+      filter->CombineTerms(ptrs, &h, /*cache=*/true);
+      Matrix logits;
+      phi1.Forward(h, &logits, /*train=*/true, &rng);
+      std::vector<int32_t> batch_labels(batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        batch_labels[i] = g.labels[static_cast<size_t>(batch[i])];
+      }
+      Matrix grad(logits.rows(), logits.cols(), Device::kAccel);
+      result.final_train_loss =
+          nn::SoftmaxCrossEntropy(logits, batch_labels, {}, &grad);
+      phi1.ZeroGrad();
+      filter->params().ZeroGrad();
+      Matrix g_h(h.rows(), h.cols(), Device::kAccel);
+      phi1.Backward(grad, &g_h);
+      filter->BackwardCombine(ptrs, g_h);
+      ++step;
+      phi1.AdamStep(config.weights_opt, step);
+      filter->params().AdamStep(config.filter_opt, step);
+    }
+    train_ms_total += sw.ElapsedMs();
+    if (tracker.accel_oom()) {
+      result.oom = true;
+      break;
+    }
+    const bool last = (epoch + 1 == config.epochs);
+    if (!config.timing_only &&
+        ((epoch + 1) % config.eval_every == 0 || last)) {
+      eval_rows(splits.val);
+      const double val =
+          EvaluateMetric(metric, all_logits, g.labels, splits.val);
+      if (val > best_val) {
+        best_val = val;
+        result.val_metric = val;
+        eval_rows(splits.test);
+        result.test_metric =
+            EvaluateMetric(metric, all_logits, g.labels, splits.test);
+        result.test_logits = all_logits;
+        stale_rounds = 0;
+      } else if (++stale_rounds > config.patience) {
+        break;
+      }
+    }
+  }
+
+  // Inference timing over the test set.
+  {
+    Stopwatch sw;
+    eval_rows(splits.test);
+    result.stats.infer_ms = sw.ElapsedMs();
+  }
+  if (capture_embeddings) {
+    std::vector<int32_t> all(static_cast<size_t>(g.n));
+    std::iota(all.begin(), all.end(), 0);
+    Matrix emb(g.n, fi, Device::kHost);
+    for (size_t start = 0; start < all.size();
+         start += static_cast<size_t>(config.batch_size)) {
+      const size_t end =
+          std::min(all.size(), start + static_cast<size_t>(config.batch_size));
+      std::vector<int32_t> batch(all.begin() + static_cast<int64_t>(start),
+                                 all.begin() + static_cast<int64_t>(end));
+      std::vector<Matrix> hold;
+      std::vector<const Matrix*> ptrs;
+      gather_batch(batch, &hold, &ptrs);
+      Matrix h;
+      filter->CombineTerms(ptrs, &h, /*cache=*/false);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        for (int64_t c = 0; c < fi; ++c) {
+          emb.at(batch[i], c) = h.at(static_cast<int64_t>(i), c);
+        }
+      }
+    }
+    result.embeddings = std::move(emb);
+  }
+  result.stats.train_ms_per_epoch =
+      train_ms_total / std::max(1, config.epochs);
+  result.stats.peak_ram_bytes = tracker.peak_bytes(Device::kHost);
+  result.stats.peak_accel_bytes = tracker.peak_bytes(Device::kAccel);
+  return result;
+}
+
+}  // namespace sgnn::models

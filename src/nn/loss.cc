@@ -1,0 +1,102 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "tensor/status.h"
+
+namespace sgnn::nn {
+
+double SoftmaxCrossEntropy(const Matrix& logits,
+                           const std::vector<int32_t>& labels,
+                           const std::vector<int32_t>& rows, Matrix* grad) {
+  SGNN_CHECK(grad->rows() == logits.rows() && grad->cols() == logits.cols(),
+             "SoftmaxCrossEntropy: grad shape mismatch");
+  grad->Fill(0.0f);
+  std::vector<int32_t> all;
+  const std::vector<int32_t>* sel = &rows;
+  if (rows.empty()) {
+    all.resize(static_cast<size_t>(logits.rows()));
+    for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int32_t>(i);
+    sel = &all;
+  }
+  const int64_t c = logits.cols();
+  const double inv_n = 1.0 / static_cast<double>(sel->size());
+  double loss = 0.0;
+  for (const int32_t r : *sel) {
+    const float* lrow = logits.row(r);
+    float* grow = grad->row(r);
+    const int32_t y = labels[static_cast<size_t>(r)];
+    SGNN_CHECK(y >= 0 && y < c, "SoftmaxCrossEntropy: label out of range");
+    double maxv = lrow[0];
+    for (int64_t j = 1; j < c; ++j) maxv = std::max<double>(maxv, lrow[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < c; ++j) denom += std::exp(lrow[j] - maxv);
+    const double log_denom = std::log(denom) + maxv;
+    loss += log_denom - lrow[y];
+    for (int64_t j = 0; j < c; ++j) {
+      const double p = std::exp(lrow[j] - log_denom);
+      grow[j] = static_cast<float>(inv_n * (p - (j == y ? 1.0 : 0.0)));
+    }
+  }
+  return loss * inv_n;
+}
+
+void Softmax(const Matrix& logits, Matrix* out) {
+  SGNN_CHECK(out->rows() == logits.rows() && out->cols() == logits.cols(),
+             "Softmax: output shape mismatch");
+  const int64_t c = logits.cols();
+  for (int64_t i = 0; i < logits.rows(); ++i) {
+    const float* lrow = logits.row(i);
+    float* orow = out->row(i);
+    double maxv = lrow[0];
+    for (int64_t j = 1; j < c; ++j) maxv = std::max<double>(maxv, lrow[j]);
+    double denom = 0.0;
+    for (int64_t j = 0; j < c; ++j) {
+      orow[j] = static_cast<float>(std::exp(lrow[j] - maxv));
+      denom += orow[j];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t j = 0; j < c; ++j) orow[j] *= inv;
+  }
+}
+
+double BceWithLogits(const Matrix& logits, const std::vector<float>& targets,
+                     Matrix* grad) {
+  SGNN_CHECK(logits.cols() == 1, "BceWithLogits: expected a single column");
+  SGNN_CHECK(static_cast<int64_t>(targets.size()) == logits.rows(),
+             "BceWithLogits: target count mismatch");
+  SGNN_CHECK(grad->rows() == logits.rows() && grad->cols() == 1,
+             "BceWithLogits: grad shape mismatch");
+  const double inv_n = 1.0 / static_cast<double>(logits.rows());
+  double loss = 0.0;
+  for (int64_t i = 0; i < logits.rows(); ++i) {
+    const double z = logits.at(i, 0);
+    const double y = targets[static_cast<size_t>(i)];
+    // Numerically stable: max(z,0) - z*y + log(1 + exp(-|z|)).
+    loss += std::max(z, 0.0) - z * y + std::log1p(std::exp(-std::fabs(z)));
+    const double sigmoid = 1.0 / (1.0 + std::exp(-z));
+    grad->at(i, 0) = static_cast<float>(inv_n * (sigmoid - y));
+  }
+  return loss * inv_n;
+}
+
+double MseLoss(const Matrix& pred, const Matrix& target, Matrix* grad) {
+  SGNN_CHECK(pred.rows() == target.rows() && pred.cols() == target.cols(),
+             "MseLoss: shape mismatch");
+  const double inv_n = 1.0 / static_cast<double>(pred.size());
+  double loss = 0.0;
+  for (int64_t i = 0; i < pred.rows(); ++i) {
+    const float* prow = pred.row(i);
+    const float* trow = target.row(i);
+    for (int64_t j = 0; j < pred.cols(); ++j) {
+      const double d = double(prow[j]) - trow[j];
+      loss += d * d;
+      if (grad != nullptr) {
+        grad->at(i, j) = static_cast<float>(2.0 * inv_n * d);
+      }
+    }
+  }
+  return loss * inv_n;
+}
+
+}  // namespace sgnn::nn

@@ -1,0 +1,35 @@
+// Loss functions with analytic gradients.
+
+#ifndef SGNN_NN_LOSS_H_
+#define SGNN_NN_LOSS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace sgnn::nn {
+
+/// Mean softmax cross-entropy over the rows listed in `rows` (all rows when
+/// empty). `labels` holds a class id per logits row. Writes dL/dlogits into
+/// `grad` (pre-shaped like logits; rows outside the mask get zero gradient).
+/// Returns the mean loss.
+double SoftmaxCrossEntropy(const Matrix& logits,
+                           const std::vector<int32_t>& labels,
+                           const std::vector<int32_t>& rows, Matrix* grad);
+
+/// Row-wise softmax probabilities (out pre-shaped like logits).
+void Softmax(const Matrix& logits, Matrix* out);
+
+/// Mean binary cross-entropy with logits over a single-column logit matrix.
+/// `targets` in {0,1} per selected row. Writes dL/dlogit into `grad`.
+double BceWithLogits(const Matrix& logits, const std::vector<float>& targets,
+                     Matrix* grad);
+
+/// Mean squared error between prediction and target (same shapes); writes
+/// dL/dpred into `grad` when non-null.
+double MseLoss(const Matrix& pred, const Matrix& target, Matrix* grad);
+
+}  // namespace sgnn::nn
+
+#endif  // SGNN_NN_LOSS_H_

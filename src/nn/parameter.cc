@@ -1,0 +1,76 @@
+#include "nn/parameter.h"
+
+#include <cmath>
+
+namespace sgnn::nn {
+
+Parameter::Parameter(int64_t rows, int64_t cols, Device device)
+    : value_(rows, cols, device),
+      grad_(rows, cols, device),
+      m_(rows, cols, device),
+      v_(rows, cols, device) {}
+
+void Parameter::InitGlorot(Rng* rng) {
+  const double bound =
+      std::sqrt(6.0 / static_cast<double>(value_.rows() + value_.cols()));
+  value_.FillUniform(rng, static_cast<float>(-bound),
+                     static_cast<float>(bound));
+}
+
+void Parameter::InitConstant(float value) { value_.Fill(value); }
+
+void Parameter::ZeroGrad() { grad_.Fill(0.0f); }
+
+void Parameter::AdamStep(const AdamConfig& config, int64_t t) {
+  float* w = value_.data();
+  float* g = grad_.data();
+  float* m = m_.data();
+  float* v = v_.data();
+  const double bc1 = 1.0 - std::pow(config.beta1, static_cast<double>(t));
+  const double bc2 = 1.0 - std::pow(config.beta2, static_cast<double>(t));
+  for (int64_t i = 0; i < value_.size(); ++i) {
+    // Decoupled weight decay (AdamW): decay applies to the weight directly.
+    const double grad = static_cast<double>(g[i]);
+    const double mi = config.beta1 * m[i] + (1.0 - config.beta1) * grad;
+    const double vi = config.beta2 * v[i] + (1.0 - config.beta2) * grad * grad;
+    m[i] = static_cast<float>(mi);
+    v[i] = static_cast<float>(vi);
+    const double mhat = mi / bc1;
+    const double vhat = vi / bc2;
+    double wi = static_cast<double>(w[i]);
+    wi -= config.lr * (mhat / (std::sqrt(vhat) + config.eps) +
+                       config.weight_decay * wi);
+    w[i] = static_cast<float>(wi);
+  }
+}
+
+ScalarParams::ScalarParams(std::vector<double> init)
+    : value_(std::move(init)),
+      grad_(value_.size(), 0.0),
+      m_(value_.size(), 0.0),
+      v_(value_.size(), 0.0) {}
+
+void ScalarParams::ZeroGrad() { std::fill(grad_.begin(), grad_.end(), 0.0); }
+
+void ScalarParams::AdamStep(const AdamConfig& config, int64_t t) {
+  const double bc1 = 1.0 - std::pow(config.beta1, static_cast<double>(t));
+  const double bc2 = 1.0 - std::pow(config.beta2, static_cast<double>(t));
+  for (size_t i = 0; i < value_.size(); ++i) {
+    const double grad = grad_[i];
+    m_[i] = config.beta1 * m_[i] + (1.0 - config.beta1) * grad;
+    v_[i] = config.beta2 * v_[i] + (1.0 - config.beta2) * grad * grad;
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    value_[i] -= config.lr * (mhat / (std::sqrt(vhat) + config.eps) +
+                              config.weight_decay * value_[i]);
+  }
+}
+
+void ScalarParams::Reset(std::vector<double> init) {
+  value_ = std::move(init);
+  grad_.assign(value_.size(), 0.0);
+  m_.assign(value_.size(), 0.0);
+  v_.assign(value_.size(), 0.0);
+}
+
+}  // namespace sgnn::nn

@@ -1,0 +1,88 @@
+// Learnable parameters and the Adam optimizer.
+//
+// The paper tunes network weights (φ0/φ1) and filter parameters (θ, γ) with
+// separate learning rates and weight decays (Table 4); ParamGroup carries
+// those per-group hyperparameters.
+
+#ifndef SGNN_NN_PARAMETER_H_
+#define SGNN_NN_PARAMETER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace sgnn::nn {
+
+/// Adam hyperparameters for one parameter group.
+struct AdamConfig {
+  double lr = 1e-2;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double eps = 1e-8;
+  double weight_decay = 0.0;
+};
+
+/// A dense learnable tensor: value, gradient, and Adam moment buffers.
+class Parameter {
+ public:
+  Parameter() = default;
+
+  /// Zero-initialized parameter of the given shape on `device`.
+  Parameter(int64_t rows, int64_t cols, Device device = Device::kAccel);
+
+  /// Glorot/Xavier-uniform initialization (fan_in + fan_out scaling).
+  void InitGlorot(Rng* rng);
+
+  /// Constant initialization.
+  void InitConstant(float value);
+
+  /// Zeroes the gradient buffer.
+  void ZeroGrad();
+
+  /// One Adam update with bias correction; `t` is the 1-based step count.
+  void AdamStep(const AdamConfig& config, int64_t t);
+
+  Matrix& value() { return value_; }
+  const Matrix& value() const { return value_; }
+  Matrix& grad() { return grad_; }
+  const Matrix& grad() const { return grad_; }
+
+ private:
+  Matrix value_;
+  Matrix grad_;
+  Matrix m_;
+  Matrix v_;
+};
+
+/// A vector of scalar learnable parameters (filter θ / γ coefficients) with
+/// its own Adam state. Kept in double precision: polynomial coefficients are
+/// few but numerically sensitive.
+class ScalarParams {
+ public:
+  ScalarParams() = default;
+  explicit ScalarParams(std::vector<double> init);
+
+  size_t size() const { return value_.size(); }
+  double& operator[](size_t i) { return value_[i]; }
+  double operator[](size_t i) const { return value_[i]; }
+  std::vector<double>& values() { return value_; }
+  const std::vector<double>& values() const { return value_; }
+  std::vector<double>& grads() { return grad_; }
+
+  void ZeroGrad();
+  void AdamStep(const AdamConfig& config, int64_t t);
+
+  /// Resets values (and clears optimizer state) — used between seeds.
+  void Reset(std::vector<double> init);
+
+ private:
+  std::vector<double> value_;
+  std::vector<double> grad_;
+  std::vector<double> m_;
+  std::vector<double> v_;
+};
+
+}  // namespace sgnn::nn
+
+#endif  // SGNN_NN_PARAMETER_H_

@@ -1,0 +1,135 @@
+#include "sparse/csr.h"
+
+#include <cstring>
+
+namespace sgnn::sparse {
+
+CsrMatrix::CsrMatrix(int64_t n, std::vector<int64_t> indptr,
+                     std::vector<int32_t> indices, std::vector<float> values,
+                     Device device)
+    : n_(n),
+      device_(device),
+      indptr_(std::move(indptr)),
+      indices_(std::move(indices)),
+      values_(std::move(values)) {
+  SGNN_CHECK(static_cast<int64_t>(indptr_.size()) == n_ + 1,
+             "CsrMatrix: indptr must have n+1 entries");
+  SGNN_CHECK(indices_.size() == values_.size(),
+             "CsrMatrix: indices/values size mismatch");
+  SGNN_CHECK(indptr_.empty() ||
+                 indptr_.back() == static_cast<int64_t>(indices_.size()),
+             "CsrMatrix: indptr end must equal nnz");
+  Register();
+}
+
+CsrMatrix::CsrMatrix(const CsrMatrix& other)
+    : n_(other.n_),
+      device_(other.device_),
+      indptr_(other.indptr_),
+      indices_(other.indices_),
+      values_(other.values_) {
+  Register();
+}
+
+CsrMatrix& CsrMatrix::operator=(const CsrMatrix& other) {
+  if (this == &other) return *this;
+  Unregister();
+  n_ = other.n_;
+  device_ = other.device_;
+  indptr_ = other.indptr_;
+  indices_ = other.indices_;
+  values_ = other.values_;
+  Register();
+  return *this;
+}
+
+CsrMatrix::CsrMatrix(CsrMatrix&& other) noexcept
+    : n_(other.n_),
+      device_(other.device_),
+      indptr_(std::move(other.indptr_)),
+      indices_(std::move(other.indices_)),
+      values_(std::move(other.values_)) {
+  other.n_ = 0;
+  other.indptr_.clear();
+  other.indices_.clear();
+  other.values_.clear();
+}
+
+CsrMatrix& CsrMatrix::operator=(CsrMatrix&& other) noexcept {
+  if (this == &other) return *this;
+  Unregister();
+  n_ = other.n_;
+  device_ = other.device_;
+  indptr_ = std::move(other.indptr_);
+  indices_ = std::move(other.indices_);
+  values_ = std::move(other.values_);
+  other.n_ = 0;
+  other.indptr_.clear();
+  other.indices_.clear();
+  other.values_.clear();
+  return *this;
+}
+
+CsrMatrix::~CsrMatrix() { Unregister(); }
+
+size_t CsrMatrix::bytes() const {
+  return indptr_.size() * sizeof(int64_t) + indices_.size() * sizeof(int32_t) +
+         values_.size() * sizeof(float);
+}
+
+void CsrMatrix::Register() const {
+  if (bytes() > 0) DeviceTracker::Global().OnAlloc(device_, bytes());
+}
+
+void CsrMatrix::Unregister() const {
+  if (bytes() > 0) DeviceTracker::Global().OnFree(device_, bytes());
+}
+
+void CsrMatrix::MoveToDevice(Device device) {
+  if (device == device_) return;
+  Unregister();
+  device_ = device;
+  Register();
+}
+
+void CsrMatrix::SpMM(const Matrix& x, Matrix* out) const {
+  SGNN_CHECK(x.rows() == n_, "SpMM: input row count must equal n");
+  SGNN_CHECK(out->rows() == n_ && out->cols() == x.cols(),
+             "SpMM: output shape mismatch");
+  SGNN_CHECK(out->data() != x.data(), "SpMM: output must not alias input");
+  const int64_t f = x.cols();
+  for (int64_t i = 0; i < n_; ++i) {
+    float* orow = out->row(i);
+    std::memset(orow, 0, static_cast<size_t>(f) * sizeof(float));
+    for (int64_t p = indptr_[i]; p < indptr_[i + 1]; ++p) {
+      const float w = values_[p];
+      const float* xrow = x.row(indices_[p]);
+      for (int64_t j = 0; j < f; ++j) orow[j] += w * xrow[j];
+    }
+  }
+}
+
+void CsrMatrix::SpMV(const std::vector<float>& x,
+                     std::vector<float>* y) const {
+  SGNN_CHECK(static_cast<int64_t>(x.size()) == n_, "SpMV: size mismatch");
+  y->assign(static_cast<size_t>(n_), 0.0f);
+  for (int64_t i = 0; i < n_; ++i) {
+    double acc = 0.0;
+    for (int64_t p = indptr_[i]; p < indptr_[i + 1]; ++p) {
+      acc += double(values_[p]) * x[static_cast<size_t>(indices_[p])];
+    }
+    (*y)[static_cast<size_t>(i)] = static_cast<float>(acc);
+  }
+}
+
+std::vector<double> CsrMatrix::RowSums() const {
+  std::vector<double> sums(static_cast<size_t>(n_), 0.0);
+  for (int64_t i = 0; i < n_; ++i) {
+    double acc = 0.0;
+    for (int64_t p = indptr_[i]; p < indptr_[i + 1]; ++p) acc += values_[p];
+    sums[static_cast<size_t>(i)] = acc;
+  }
+  return sums;
+}
+
+}  // namespace sgnn::sparse

@@ -1,0 +1,80 @@
+// Compressed-sparse-row graph matrix and propagation kernels.
+//
+// Propagation — one application of the n x n sparse graph matrix to the
+// n x F dense representation — is the paper's O(mF)-time elementary
+// operation. This module is the "SP backend" of Table 6.
+
+#ifndef SGNN_SPARSE_CSR_H_
+#define SGNN_SPARSE_CSR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/device.h"
+#include "tensor/matrix.h"
+#include "tensor/status.h"
+
+namespace sgnn::sparse {
+
+/// A square CSR matrix with float values, device-tagged so graph storage
+/// shows up in the correct memory column (FB keeps it on the accelerator,
+/// MB on the host).
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Builds from raw CSR arrays. `indptr` has n+1 entries; `indices` and
+  /// `values` have nnz entries. Column indices within a row need not be
+  /// sorted but must be < n.
+  CsrMatrix(int64_t n, std::vector<int64_t> indptr,
+            std::vector<int32_t> indices, std::vector<float> values,
+            Device device = Device::kHost);
+
+  CsrMatrix(const CsrMatrix& other);
+  CsrMatrix& operator=(const CsrMatrix& other);
+  CsrMatrix(CsrMatrix&& other) noexcept;
+  CsrMatrix& operator=(CsrMatrix&& other) noexcept;
+  ~CsrMatrix();
+
+  int64_t n() const { return n_; }
+  int64_t nnz() const { return static_cast<int64_t>(indices_.size()); }
+  Device device() const { return device_; }
+
+  const std::vector<int64_t>& indptr() const { return indptr_; }
+  const std::vector<int32_t>& indices() const { return indices_; }
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>& mutable_values() { return values_; }
+
+  /// Storage bytes (indptr + indices + values), the O(m) graph footprint.
+  size_t bytes() const;
+
+  /// Re-tags storage onto another device (simulated transfer).
+  void MoveToDevice(Device device);
+
+  /// Out-degree (row nnz count) of node v.
+  int64_t RowDegree(int64_t v) const { return indptr_[v + 1] - indptr_[v]; }
+
+  /// out = this * x. Shapes: (n,n) x (n,F) -> (n,F). `out` must be
+  /// pre-shaped (n, F); aliasing with x is not allowed.
+  void SpMM(const Matrix& x, Matrix* out) const;
+
+  /// y = this * x for a single vector.
+  void SpMV(const std::vector<float>& x, std::vector<float>* y) const;
+
+  /// Weighted row sums: out[i] = sum_j values[i][j].
+  std::vector<double> RowSums() const;
+
+ private:
+  void Register() const;
+  void Unregister() const;
+
+  int64_t n_ = 0;
+  Device device_ = Device::kHost;
+  std::vector<int64_t> indptr_;
+  std::vector<int32_t> indices_;
+  std::vector<float> values_;
+};
+
+}  // namespace sgnn::sparse
+
+#endif  // SGNN_SPARSE_CSR_H_

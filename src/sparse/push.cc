@@ -1,0 +1,98 @@
+#include "sparse/push.h"
+
+#include <cmath>
+#include <deque>
+
+#include "tensor/status.h"
+
+namespace sgnn::sparse {
+
+PushStats ApproxPprPush(const CsrMatrix& norm, const PushConfig& config,
+                        const std::vector<float>& x,
+                        std::vector<float>* out) {
+  const int64_t n = norm.n();
+  SGNN_CHECK(static_cast<int64_t>(x.size()) == n,
+             "ApproxPprPush: signal size mismatch");
+  PushStats stats;
+  std::vector<double> residual(x.begin(), x.end());
+  std::vector<double> reserve(static_cast<size_t>(n), 0.0);
+  std::vector<bool> queued(static_cast<size_t>(n), false);
+  std::deque<int32_t> queue;
+  const auto& indptr = norm.indptr();
+  const auto& indices = norm.indices();
+  const auto& values = norm.values();
+
+  auto threshold = [&](int64_t u) {
+    return config.epsilon *
+           static_cast<double>(indptr[static_cast<size_t>(u) + 1] -
+                               indptr[static_cast<size_t>(u)] + 1);
+  };
+  for (int64_t u = 0; u < n; ++u) {
+    if (std::fabs(residual[static_cast<size_t>(u)]) > threshold(u)) {
+      queue.push_back(static_cast<int32_t>(u));
+      queued[static_cast<size_t>(u)] = true;
+    }
+  }
+  const double alpha = config.alpha;
+  while (!queue.empty()) {
+    if (config.max_pushes > 0 && stats.pushes >= config.max_pushes) break;
+    const int32_t u = queue.front();
+    queue.pop_front();
+    queued[static_cast<size_t>(u)] = false;
+    const double r = residual[static_cast<size_t>(u)];
+    if (std::fabs(r) <= threshold(u)) continue;
+    ++stats.pushes;
+    reserve[static_cast<size_t>(u)] += alpha * r;
+    residual[static_cast<size_t>(u)] = 0.0;
+    const double spread = (1.0 - alpha) * r;
+    for (int64_t p = indptr[static_cast<size_t>(u)];
+         p < indptr[static_cast<size_t>(u) + 1]; ++p) {
+      const int32_t v = indices[static_cast<size_t>(p)];
+      // Row-wise application of Ã: mass flows along Ã[v][u]; for the
+      // symmetric normalization Ã[v][u] == Ã[u][v], so the row weight is
+      // reusable here.
+      residual[static_cast<size_t>(v)] +=
+          spread * static_cast<double>(values[static_cast<size_t>(p)]);
+      ++stats.edge_touches;
+      if (!queued[static_cast<size_t>(v)] &&
+          std::fabs(residual[static_cast<size_t>(v)]) > threshold(v)) {
+        queue.push_back(v);
+        queued[static_cast<size_t>(v)] = true;
+      }
+    }
+  }
+  out->resize(static_cast<size_t>(n));
+  for (int64_t u = 0; u < n; ++u) {
+    // Unpushed residual still contributes its α-weighted mass (first-order
+    // correction keeps the estimate unbiased at threshold scale).
+    (*out)[static_cast<size_t>(u)] = static_cast<float>(
+        reserve[static_cast<size_t>(u)] +
+        alpha * residual[static_cast<size_t>(u)]);
+    stats.residual_l1 += std::fabs(residual[static_cast<size_t>(u)]);
+  }
+  return stats;
+}
+
+PushStats ApproxPprPushMatrix(const CsrMatrix& norm, const PushConfig& config,
+                              const Matrix& x, Matrix* out) {
+  SGNN_CHECK(x.rows() == norm.n(), "ApproxPprPushMatrix: shape mismatch");
+  *out = Matrix(x.rows(), x.cols(), x.device());
+  PushStats total;
+  std::vector<float> column(static_cast<size_t>(x.rows()));
+  std::vector<float> result;
+  for (int64_t f = 0; f < x.cols(); ++f) {
+    for (int64_t i = 0; i < x.rows(); ++i) {
+      column[static_cast<size_t>(i)] = x.at(i, f);
+    }
+    const PushStats s = ApproxPprPush(norm, config, column, &result);
+    total.pushes += s.pushes;
+    total.edge_touches += s.edge_touches;
+    total.residual_l1 += s.residual_l1;
+    for (int64_t i = 0; i < x.rows(); ++i) {
+      out->at(i, f) = result[static_cast<size_t>(i)];
+    }
+  }
+  return total;
+}
+
+}  // namespace sgnn::sparse

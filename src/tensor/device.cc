@@ -1,0 +1,92 @@
+#include "tensor/device.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sgnn {
+
+const char* DeviceName(Device device) {
+  return device == Device::kHost ? "host" : "accel";
+}
+
+DeviceTracker& DeviceTracker::Global() {
+  static DeviceTracker tracker;
+  return tracker;
+}
+
+void DeviceTracker::OnAlloc(Device device, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int i = static_cast<int>(device);
+  live_[i] += bytes;
+  peak_[i] = std::max(peak_[i], live_[i]);
+  if (device == Device::kAccel && accel_capacity_ != 0 &&
+      live_[i] > accel_capacity_) {
+    accel_oom_ = true;
+  }
+}
+
+void DeviceTracker::OnFree(Device device, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int i = static_cast<int>(device);
+  live_[i] = bytes <= live_[i] ? live_[i] - bytes : 0;
+}
+
+void DeviceTracker::set_accel_capacity(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  accel_capacity_ = bytes;
+}
+
+size_t DeviceTracker::accel_capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accel_capacity_;
+}
+
+size_t DeviceTracker::live_bytes(Device device) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_[static_cast<int>(device)];
+}
+
+size_t DeviceTracker::peak_bytes(Device device) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_[static_cast<int>(device)];
+}
+
+bool DeviceTracker::accel_oom() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accel_oom_;
+}
+
+void DeviceTracker::ResetPeak() {
+  std::lock_guard<std::mutex> lock(mu_);
+  peak_[0] = live_[0];
+  peak_[1] = live_[1];
+}
+
+void DeviceTracker::ClearOom() {
+  std::lock_guard<std::mutex> lock(mu_);
+  accel_oom_ = false;
+}
+
+void DeviceTracker::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  live_[0] = live_[1] = 0;
+  peak_[0] = peak_[1] = 0;
+  accel_oom_ = false;
+}
+
+std::string FormatBytes(size_t bytes) {
+  char buf[32];
+  const double b = static_cast<double>(bytes);
+  if (b >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2f GB", b / 1e9);
+  } else if (b >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", b / 1e6);
+  } else if (b >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", b / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%zu B", bytes);
+  }
+  return buf;
+}
+
+}  // namespace sgnn

@@ -1,0 +1,82 @@
+// Simulated device model.
+//
+// The paper evaluates GPU-vs-RAM memory placement (full-batch keeps the graph
+// and all representations on the GPU; decoupled mini-batch keeps them in host
+// RAM and streams batches). This repo has no GPU, so we reproduce the *memory
+// semantics*: every Matrix is tagged with a Device, a global DeviceTracker
+// accounts live and peak bytes per device, and allocations on the simulated
+// accelerator beyond a configurable capacity latch an OOM flag that training
+// pipelines surface exactly where the paper reports "(OOM)".
+//
+// Timing is measured on the real CPU; a per-device speed factor lets the
+// Figure-5 hardware study replay measured stage times under a different
+// CPU/GPU balance.
+
+#ifndef SGNN_TENSOR_DEVICE_H_
+#define SGNN_TENSOR_DEVICE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace sgnn {
+
+/// Placement of a tensor in the simulated two-device machine.
+enum class Device {
+  kHost = 0,   ///< CPU / RAM (unbounded in the simulation).
+  kAccel = 1,  ///< Simulated accelerator ("GPU" in paper tables).
+};
+
+/// Returns "host" or "accel".
+const char* DeviceName(Device device);
+
+/// Global byte accounting for the simulated machine. Thread-safe.
+class DeviceTracker {
+ public:
+  /// The process-wide tracker instance.
+  static DeviceTracker& Global();
+
+  /// Records an allocation of `bytes` on `device`.
+  void OnAlloc(Device device, size_t bytes);
+
+  /// Records a release of `bytes` on `device`.
+  void OnFree(Device device, size_t bytes);
+
+  /// Sets the simulated accelerator capacity in bytes (0 = unlimited).
+  void set_accel_capacity(size_t bytes);
+  size_t accel_capacity() const;
+
+  /// Live bytes currently resident on `device`.
+  size_t live_bytes(Device device) const;
+
+  /// High-water mark since the last ResetPeak().
+  size_t peak_bytes(Device device) const;
+
+  /// True once any accelerator allocation exceeded capacity. Latched until
+  /// ClearOom().
+  bool accel_oom() const;
+
+  /// Resets peak counters to the current live values.
+  void ResetPeak();
+
+  /// Clears the latched OOM flag.
+  void ClearOom();
+
+  /// Resets all counters and the OOM flag (test isolation helper).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  size_t live_[2] = {0, 0};
+  size_t peak_[2] = {0, 0};
+  size_t accel_capacity_ = 0;
+  bool accel_oom_ = false;
+};
+
+/// Formats a byte count as "1.23 GB" / "45.6 MB" for table output.
+std::string FormatBytes(size_t bytes);
+
+}  // namespace sgnn
+
+#endif  // SGNN_TENSOR_DEVICE_H_

@@ -1,0 +1,117 @@
+#include "tensor/matrix.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace sgnn {
+
+Matrix::Matrix(int64_t rows, int64_t cols, Device device)
+    : rows_(rows), cols_(cols), device_(device) {
+  SGNN_CHECK(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+  data_.assign(static_cast<size_t>(rows) * cols, 0.0f);
+  Register();
+}
+
+Matrix::Matrix(const Matrix& other)
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      device_(other.device_),
+      data_(other.data_) {
+  Register();
+}
+
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this == &other) return *this;
+  Unregister();
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  device_ = other.device_;
+  data_ = other.data_;
+  Register();
+  return *this;
+}
+
+Matrix::Matrix(Matrix&& other) noexcept
+    : rows_(other.rows_),
+      cols_(other.cols_),
+      device_(other.device_),
+      data_(std::move(other.data_)) {
+  other.rows_ = 0;
+  other.cols_ = 0;
+  // Ownership of the registered bytes moves with the data; `other` now holds
+  // an empty buffer and must not unregister them on destruction.
+}
+
+Matrix& Matrix::operator=(Matrix&& other) noexcept {
+  if (this == &other) return *this;
+  Unregister();
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  device_ = other.device_;
+  data_ = std::move(other.data_);
+  other.rows_ = 0;
+  other.cols_ = 0;
+  return *this;
+}
+
+Matrix::~Matrix() { Unregister(); }
+
+void Matrix::Register() const {
+  if (bytes() > 0) DeviceTracker::Global().OnAlloc(device_, bytes());
+}
+
+void Matrix::Unregister() const {
+  if (bytes() > 0) DeviceTracker::Global().OnFree(device_, bytes());
+}
+
+void Matrix::Fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::FillNormal(Rng* rng, float mean, float stddev) {
+  for (auto& v : data_) v = static_cast<float>(rng->Normal(mean, stddev));
+}
+
+void Matrix::FillUniform(Rng* rng, float lo, float hi) {
+  for (auto& v : data_) v = static_cast<float>(rng->Uniform(lo, hi));
+}
+
+void Matrix::MoveToDevice(Device device) {
+  if (device == device_) return;
+  Unregister();
+  device_ = device;
+  Register();
+}
+
+Matrix Matrix::CloneTo(Device device) const {
+  Matrix out(rows_, cols_, device);
+  std::memcpy(out.data(), data(), bytes());
+  return out;
+}
+
+Matrix Matrix::GatherRows(const std::vector<int32_t>& indices) const {
+  Matrix out(static_cast<int64_t>(indices.size()), cols_, device_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    SGNN_CHECK(indices[i] >= 0 && indices[i] < rows_,
+               "GatherRows index out of range");
+    std::memcpy(out.row(static_cast<int64_t>(i)), row(indices[i]),
+                static_cast<size_t>(cols_) * sizeof(float));
+  }
+  return out;
+}
+
+double Matrix::Norm() const {
+  double sum = 0.0;
+  for (float v : data_) sum += static_cast<double>(v) * v;
+  return std::sqrt(sum);
+}
+
+bool Matrix::AllClose(const Matrix& other, float tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace sgnn

@@ -1,0 +1,197 @@
+#include "tensor/ops.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace sgnn::ops {
+
+void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
+  SGNN_CHECK(a.cols() == b.rows(), "Gemm: inner dimensions mismatch");
+  SGNN_CHECK(out->rows() == a.rows() && out->cols() == b.cols(),
+             "Gemm: output shape mismatch");
+  const int64_t n = a.rows(), k = a.cols(), m = b.cols();
+  out->Fill(0.0f);
+  // i-k-j loop order: streams through b and out rows contiguously.
+  for (int64_t i = 0; i < n; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = b.row(kk);
+      for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out) {
+  SGNN_CHECK(a.rows() == b.rows(), "GemmTransA: inner dimensions mismatch");
+  SGNN_CHECK(out->rows() == a.cols() && out->cols() == b.cols(),
+             "GemmTransA: output shape mismatch");
+  const int64_t k = a.rows(), n = a.cols(), m = b.cols();
+  out->Fill(0.0f);
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.row(kk);
+    const float* brow = b.row(kk);
+    for (int64_t i = 0; i < n; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* orow = out->row(i);
+      for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out) {
+  SGNN_CHECK(a.cols() == b.cols(), "GemmTransB: inner dimensions mismatch");
+  SGNN_CHECK(out->rows() == a.rows() && out->cols() == b.rows(),
+             "GemmTransB: output shape mismatch");
+  const int64_t n = a.rows(), k = a.cols(), m = b.rows();
+  for (int64_t i = 0; i < n; ++i) {
+    const float* arow = a.row(i);
+    float* orow = out->row(i);
+    for (int64_t j = 0; j < m; ++j) {
+      const float* brow = b.row(j);
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) acc += double(arow[kk]) * brow[kk];
+      orow[j] = static_cast<float>(acc);
+    }
+  }
+}
+
+void Axpy(float alpha, const Matrix& x, Matrix* y) {
+  SGNN_CHECK(x.size() == y->size(), "Axpy: size mismatch");
+  const float* xd = x.data();
+  float* yd = y->data();
+  for (int64_t i = 0; i < x.size(); ++i) yd[i] += alpha * xd[i];
+}
+
+void Scale(float alpha, Matrix* x) {
+  float* xd = x->data();
+  for (int64_t i = 0; i < x->size(); ++i) xd[i] *= alpha;
+}
+
+void Copy(const Matrix& x, Matrix* y) {
+  SGNN_CHECK(x.size() == y->size(), "Copy: size mismatch");
+  std::memcpy(y->data(), x.data(), x.bytes());
+}
+
+void Add(const Matrix& a, const Matrix& b, Matrix* out) {
+  SGNN_CHECK(a.size() == b.size() && a.size() == out->size(),
+             "Add: size mismatch");
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out->data();
+  for (int64_t i = 0; i < a.size(); ++i) od[i] = ad[i] + bd[i];
+}
+
+void Sub(const Matrix& a, const Matrix& b, Matrix* out) {
+  SGNN_CHECK(a.size() == b.size() && a.size() == out->size(),
+             "Sub: size mismatch");
+  const float* ad = a.data();
+  const float* bd = b.data();
+  float* od = out->data();
+  for (int64_t i = 0; i < a.size(); ++i) od[i] = ad[i] - bd[i];
+}
+
+void MulInPlace(const Matrix& x, Matrix* y) {
+  SGNN_CHECK(x.size() == y->size(), "MulInPlace: size mismatch");
+  const float* xd = x.data();
+  float* yd = y->data();
+  for (int64_t i = 0; i < x.size(); ++i) yd[i] *= xd[i];
+}
+
+double Dot(const Matrix& a, const Matrix& b) {
+  SGNN_CHECK(a.size() == b.size(), "Dot: size mismatch");
+  const float* ad = a.data();
+  const float* bd = b.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) acc += double(ad[i]) * bd[i];
+  return acc;
+}
+
+void AddRowBroadcast(const Matrix& bias, Matrix* x) {
+  SGNN_CHECK(bias.rows() == 1 && bias.cols() == x->cols(),
+             "AddRowBroadcast: bias shape mismatch");
+  const float* bd = bias.data();
+  for (int64_t i = 0; i < x->rows(); ++i) {
+    float* xrow = x->row(i);
+    for (int64_t j = 0; j < x->cols(); ++j) xrow[j] += bd[j];
+  }
+}
+
+void ColumnSum(const Matrix& x, Matrix* out) {
+  SGNN_CHECK(out->rows() == 1 && out->cols() == x.cols(),
+             "ColumnSum: output shape mismatch");
+  out->Fill(0.0f);
+  float* od = out->data();
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    const float* xrow = x.row(i);
+    for (int64_t j = 0; j < x.cols(); ++j) od[j] += xrow[j];
+  }
+}
+
+void ColumnNorm(const Matrix& x, Matrix* out) {
+  SGNN_CHECK(out->rows() == 1 && out->cols() == x.cols(),
+             "ColumnNorm: output shape mismatch");
+  std::vector<double> acc(static_cast<size_t>(x.cols()), 0.0);
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    const float* xrow = x.row(i);
+    for (int64_t j = 0; j < x.cols(); ++j)
+      acc[static_cast<size_t>(j)] += double(xrow[j]) * xrow[j];
+  }
+  for (int64_t j = 0; j < x.cols(); ++j)
+    out->at(0, j) = static_cast<float>(std::sqrt(acc[static_cast<size_t>(j)]));
+}
+
+void ColumnDot(const Matrix& a, const Matrix& b, Matrix* out) {
+  SGNN_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+             "ColumnDot: input shape mismatch");
+  SGNN_CHECK(out->rows() == 1 && out->cols() == a.cols(),
+             "ColumnDot: output shape mismatch");
+  std::vector<double> acc(static_cast<size_t>(a.cols()), 0.0);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.row(i);
+    const float* brow = b.row(i);
+    for (int64_t j = 0; j < a.cols(); ++j)
+      acc[static_cast<size_t>(j)] += double(arow[j]) * brow[j];
+  }
+  for (int64_t j = 0; j < a.cols(); ++j)
+    out->at(0, j) = static_cast<float>(acc[static_cast<size_t>(j)]);
+}
+
+void ColumnScale(const Matrix& alpha, Matrix* x) {
+  SGNN_CHECK(alpha.rows() == 1 && alpha.cols() == x->cols(),
+             "ColumnScale: alpha shape mismatch");
+  const float* ad = alpha.data();
+  for (int64_t i = 0; i < x->rows(); ++i) {
+    float* xrow = x->row(i);
+    for (int64_t j = 0; j < x->cols(); ++j) xrow[j] *= ad[j];
+  }
+}
+
+void AxpyColumnwise(const Matrix& alpha, const Matrix& x, Matrix* y) {
+  SGNN_CHECK(alpha.rows() == 1 && alpha.cols() == x.cols(),
+             "AxpyColumnwise: alpha shape mismatch");
+  SGNN_CHECK(x.rows() == y->rows() && x.cols() == y->cols(),
+             "AxpyColumnwise: shape mismatch");
+  const float* ad = alpha.data();
+  for (int64_t i = 0; i < x.rows(); ++i) {
+    const float* xrow = x.row(i);
+    float* yrow = y->row(i);
+    for (int64_t j = 0; j < x.cols(); ++j) yrow[j] += ad[j] * xrow[j];
+  }
+}
+
+void RowL2Normalize(Matrix* x) {
+  for (int64_t i = 0; i < x->rows(); ++i) {
+    float* xrow = x->row(i);
+    double acc = 0.0;
+    for (int64_t j = 0; j < x->cols(); ++j) acc += double(xrow[j]) * xrow[j];
+    if (acc <= 0.0) continue;
+    const float inv = static_cast<float>(1.0 / std::sqrt(acc));
+    for (int64_t j = 0; j < x->cols(); ++j) xrow[j] *= inv;
+  }
+}
+
+}  // namespace sgnn::ops

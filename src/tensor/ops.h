@@ -1,0 +1,69 @@
+// Dense linear-algebra kernels over Matrix.
+//
+// These implement the "transformation" side of the paper's complexity model
+// (Section 2.2): scalar ops cost O(nF), weight multiplications O(nF^2).
+
+#ifndef SGNN_TENSOR_OPS_H_
+#define SGNN_TENSOR_OPS_H_
+
+#include "tensor/matrix.h"
+
+namespace sgnn::ops {
+
+/// out = a * b. Shapes: (n,k) x (k,m) -> (n,m). `out` is overwritten and must
+/// be pre-shaped; aliasing with inputs is not allowed.
+void Gemm(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a^T * b. Shapes: (k,n) x (k,m) -> (n,m).
+void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a * b^T. Shapes: (n,k) x (m,k) -> (n,m).
+void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// y += alpha * x (same shape).
+void Axpy(float alpha, const Matrix& x, Matrix* y);
+
+/// x *= alpha.
+void Scale(float alpha, Matrix* x);
+
+/// y = x (copies values; shapes must match).
+void Copy(const Matrix& x, Matrix* y);
+
+/// out = a + b.
+void Add(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// out = a - b.
+void Sub(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// Elementwise product: y *= x.
+void MulInPlace(const Matrix& x, Matrix* y);
+
+/// Sum over all elements of the elementwise product <a, b> (Frobenius inner
+/// product). Used for filter-parameter gradients.
+double Dot(const Matrix& a, const Matrix& b);
+
+/// Adds `bias` (1 x F) to every row of x.
+void AddRowBroadcast(const Matrix& bias, Matrix* x);
+
+/// Column-wise sums of x into out (1 x F). Used for bias gradients.
+void ColumnSum(const Matrix& x, Matrix* out);
+
+/// Per-column L2 norms of x into out (1 x F).
+void ColumnNorm(const Matrix& x, Matrix* out);
+
+/// Per-column inner products sum_r a[r][c]*b[r][c] into out (1 x F).
+/// Used by the OptBasis filter's per-channel orthogonalization.
+void ColumnDot(const Matrix& a, const Matrix& b, Matrix* out);
+
+/// Scales column c of x by alpha[0][c].
+void ColumnScale(const Matrix& alpha, Matrix* x);
+
+/// y += x * diag(alpha) where alpha is 1 x F. Channel-wise accumulate.
+void AxpyColumnwise(const Matrix& alpha, const Matrix& x, Matrix* y);
+
+/// L2-normalizes each row of x in place (zero rows left untouched).
+void RowL2Normalize(Matrix* x);
+
+}  // namespace sgnn::ops
+
+#endif  // SGNN_TENSOR_OPS_H_

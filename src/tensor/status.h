@@ -1,0 +1,138 @@
+// Status / Result error-handling primitives (Arrow/RocksDB idiom).
+//
+// Recoverable errors cross module boundaries as `Status` or `Result<T>`
+// values instead of exceptions. Fatal programming errors (out-of-bounds
+// shapes, contract violations) abort via SGNN_CHECK.
+
+#ifndef SGNN_TENSOR_STATUS_H_
+#define SGNN_TENSOR_STATUS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace sgnn {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,     ///< Simulated accelerator OOM (see tensor/device.h).
+  kNotFound,
+  kFailedPrecondition,
+  kIOError,
+  kNotImplemented,
+  kInternal,
+};
+
+/// A success-or-error value. Cheap to copy on the OK path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kOutOfMemory: return "OutOfMemory";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+      case StatusCode::kIOError: return "IOError";
+      case StatusCode::kNotImplemented: return "NotImplemented";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union, in the spirit of arrow::Result<T>.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status (error).
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  /// Returns the contained value; must only be called when ok().
+  T& value() { return std::get<T>(repr_); }
+  const T& value() const { return std::get<T>(repr_); }
+
+  /// Moves the contained value out; must only be called when ok().
+  T&& MoveValue() { return std::move(std::get<T>(repr_)); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace sgnn
+
+/// Aborts with a message when `cond` is false. For contract violations only.
+#define SGNN_CHECK(cond, msg)                                            \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::fprintf(stderr, "SGNN_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, msg);                                       \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+/// Propagates a non-OK Status to the caller.
+#define SGNN_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::sgnn::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+#endif  // SGNN_TENSOR_STATUS_H_

@@ -1,0 +1,323 @@
+// Property-style sweeps: filter identities, hyperparameter families, and
+// spectral invariants that must hold across parameter ranges.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/registry.h"
+#include "eval/eigen.h"
+#include "sparse/adjacency.h"
+#include "tensor/ops.h"
+
+namespace sgnn::filters {
+namespace {
+
+constexpr int kHops = 6;
+
+struct SmallGraph {
+  sparse::CsrMatrix adj;   // self-looped, unnormalized
+  sparse::CsrMatrix norm;  // ρ = 1/2
+  Matrix x;
+};
+
+const SmallGraph& Fixture() {
+  static const SmallGraph* g = [] {
+    auto* sg = new SmallGraph();
+    Rng rng(77);
+    sparse::EdgeList edges;
+    for (int i = 0; i < 90; ++i) {
+      edges.emplace_back(static_cast<int32_t>(rng.UniformInt(40)),
+                         static_cast<int32_t>(rng.UniformInt(40)));
+    }
+    sg->adj = sparse::BuildAdjacency(40, edges, true).MoveValue();
+    sg->norm = sparse::NormalizeAdjacency(sg->adj, 0.5);
+    sg->x = Matrix(40, 3, Device::kHost);
+    sg->x.FillNormal(&rng);
+    return sg;
+  }();
+  return *g;
+}
+
+Matrix Apply(SpectralFilter* f, const Matrix& x) {
+  FilterContext ctx{&Fixture().norm, Device::kHost};
+  Matrix y;
+  f->Forward(ctx, x, &y, false);
+  return y;
+}
+
+// ----------------------------------------------------- algebraic identities
+
+TEST(FilterIdentity, ImpulseEqualsRepeatedPropagation) {
+  const auto& g = Fixture();
+  auto f = CreateFilter("impulse", 3).MoveValue();
+  Matrix y = Apply(f.get(), g.x);
+  Matrix ref = g.x;
+  Matrix tmp(g.x.rows(), g.x.cols(), Device::kHost);
+  for (int k = 0; k < 3; ++k) {
+    g.norm.SpMM(ref, &tmp);
+    ref = tmp;
+  }
+  EXPECT_TRUE(y.AllClose(ref, 1e-4f));
+}
+
+TEST(FilterIdentity, MonomialIsMeanOfImpulses) {
+  const auto& g = Fixture();
+  auto mono = CreateFilter("monomial", 4).MoveValue();
+  Matrix y = Apply(mono.get(), g.x);
+  Matrix ref(g.x.rows(), g.x.cols(), Device::kHost);
+  Matrix power = g.x;
+  Matrix tmp(g.x.rows(), g.x.cols(), Device::kHost);
+  for (int k = 0; k <= 4; ++k) {
+    ops::Axpy(1.0f / 5.0f, power, &ref);
+    g.norm.SpMM(power, &tmp);
+    power = tmp;
+  }
+  EXPECT_TRUE(y.AllClose(ref, 1e-4f));
+}
+
+TEST(FilterIdentity, PprAtAlphaOneIsScaledIdentity) {
+  FilterHyperParams hp;
+  hp.alpha = 1.0;  // θ_0 = 1, rest 0
+  auto f = CreateFilter("ppr", kHops, hp).MoveValue();
+  const auto& g = Fixture();
+  Matrix y = Apply(f.get(), g.x);
+  EXPECT_TRUE(y.AllClose(g.x, 1e-5f));
+}
+
+TEST(FilterIdentity, HkAtAlphaZeroIsIdentity) {
+  FilterHyperParams hp;
+  hp.alpha = 0.0;
+  auto f = CreateFilter("hk", kHops, hp).MoveValue();
+  const auto& g = Fixture();
+  Matrix y = Apply(f.get(), g.x);
+  EXPECT_TRUE(y.AllClose(g.x, 1e-5f));
+}
+
+TEST(FilterIdentity, ChebyshevOneHotEqualsClenshawRelation) {
+  // U_k - U_{k-2} = 2 T_k for k >= 2 (second vs first kind).
+  auto cheb = CreateFilter("chebyshev", kHops).MoveValue();
+  auto clen = CreateFilter("clenshaw", kHops).MoveValue();
+  for (double lam : {0.2, 0.9, 1.6}) {
+    auto set_onehot = [&](SpectralFilter* f, int k, double v) {
+      for (size_t i = 0; i < f->params().size(); ++i) f->params()[i] = 0.0;
+      f->params()[static_cast<size_t>(k)] = v;
+    };
+    set_onehot(cheb.get(), 3, 2.0);          // 2 T_3
+    set_onehot(clen.get(), 3, 1.0);          // U_3
+    clen->params()[1] = -1.0;                // - U_1
+    EXPECT_NEAR(cheb->Response(lam), clen->Response(lam), 1e-9) << lam;
+  }
+}
+
+TEST(FilterIdentity, LegendreMatchesJacobiAtZeroZero) {
+  FilterHyperParams hp;
+  hp.jacobi_a = 0.0;
+  hp.jacobi_b = 0.0;
+  auto leg = CreateFilter("legendre", kHops).MoveValue();
+  auto jac = CreateFilter("jacobi", kHops, hp).MoveValue();
+  leg->ResetParameters(nullptr);
+  jac->ResetParameters(nullptr);
+  // Same one-hot coefficients on both.
+  for (size_t i = 0; i < leg->params().size(); ++i) {
+    leg->params()[i] = 0.0;
+    jac->params()[i] = 0.0;
+  }
+  leg->params()[4] = 1.0;
+  jac->params()[4] = 1.0;
+  for (double lam = 0.0; lam <= 2.0; lam += 0.4) {
+    EXPECT_NEAR(leg->Response(lam), jac->Response(lam), 1e-9) << lam;
+  }
+}
+
+TEST(FilterIdentity, GnnLfHfWithZeroBetaIsPurePpr) {
+  FilterHyperParams hp;
+  hp.alpha = 0.3;
+  hp.alpha2 = 0.3;
+  hp.beta = 0.0;
+  hp.beta2 = 0.0;
+  auto bank = CreateFilter("gnn_lf_hf", kHops, hp).MoveValue();
+  bank->ResetParameters(nullptr);
+  bank->params()[0] = 1.0;  // γ1 only
+  bank->params()[1] = 0.0;
+  FilterHyperParams ppr_hp;
+  ppr_hp.alpha = 0.3;
+  auto ppr = CreateFilter("ppr", kHops, ppr_hp).MoveValue();
+  for (double lam = 0.0; lam <= 2.0; lam += 0.25) {
+    EXPECT_NEAR(bank->Response(lam), ppr->Response(lam), 1e-9) << lam;
+  }
+}
+
+// --------------------------------------------------- hyperparameter sweeps
+
+class PprAlphaSweep : public ::testing::TestWithParam<double> {};
+INSTANTIATE_TEST_SUITE_P(Alphas, PprAlphaSweep,
+                         ::testing::Values(0.05, 0.1, 0.2, 0.35, 0.5, 0.8));
+
+TEST_P(PprAlphaSweep, ResponseMonotoneDecreasingOnLowBand) {
+  // The truncated series is strictly monotone on [0, 1]; beyond λ = 1 the
+  // alternating tail of the K-truncation may ripple, as in the paper's
+  // polynomial approximation discussion.
+  FilterHyperParams hp;
+  hp.alpha = GetParam();
+  auto f = CreateFilter("ppr", 10, hp).MoveValue();
+  double prev = f->Response(0.0);
+  for (double lam = 0.1; lam <= 1.0; lam += 0.1) {
+    const double cur = f->Response(lam);
+    EXPECT_LE(cur, prev + 1e-9) << "alpha=" << GetParam() << " lam=" << lam;
+    prev = cur;
+  }
+}
+
+TEST_P(PprAlphaSweep, SmallerAlphaSmoothsMore) {
+  // At high frequency the response must shrink as α decreases.
+  FilterHyperParams lo_hp;
+  lo_hp.alpha = GetParam();
+  FilterHyperParams hi_hp;
+  hi_hp.alpha = std::min(1.0, GetParam() + 0.2);
+  auto lo = CreateFilter("ppr", 10, lo_hp).MoveValue();
+  auto hi = CreateFilter("ppr", 10, hi_hp).MoveValue();
+  EXPECT_LE(lo->Response(1.5), hi->Response(1.5) + 1e-9);
+}
+
+TEST_P(PprAlphaSweep, MatchesSpectralOperator) {
+  const auto& g = Fixture();
+  FilterHyperParams hp;
+  hp.alpha = GetParam();
+  auto f = CreateFilter("ppr", kHops, hp).MoveValue();
+  Matrix y = Apply(f.get(), g.x);
+  Matrix lap = eval::DenseLaplacian(g.norm);
+  auto eig = eval::JacobiEigen(lap).MoveValue();
+  std::vector<double> resp(eig.values.size());
+  for (size_t i = 0; i < resp.size(); ++i) resp[i] = f->Response(eig.values[i]);
+  Matrix expected = eval::SpectralApply(eig, resp, g.x);
+  EXPECT_TRUE(y.AllClose(expected, 5e-3f));
+}
+
+class JacobiAbSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+INSTANTIATE_TEST_SUITE_P(AB, JacobiAbSweep,
+                         ::testing::Values(std::make_pair(0.0, 0.0),
+                                           std::make_pair(1.0, 1.0),
+                                           std::make_pair(0.5, 1.5),
+                                           std::make_pair(2.0, 0.0),
+                                           std::make_pair(-0.5, -0.5)));
+
+TEST_P(JacobiAbSweep, OperatorMatchesResponse) {
+  const auto& g = Fixture();
+  FilterHyperParams hp;
+  hp.jacobi_a = GetParam().first;
+  hp.jacobi_b = GetParam().second;
+  auto f = CreateFilter("jacobi", kHops, hp).MoveValue();
+  f->ResetParameters(nullptr);
+  Matrix y = Apply(f.get(), g.x);
+  Matrix lap = eval::DenseLaplacian(g.norm);
+  auto eig = eval::JacobiEigen(lap).MoveValue();
+  std::vector<double> resp(eig.values.size());
+  for (size_t i = 0; i < resp.size(); ++i) resp[i] = f->Response(eig.values[i]);
+  Matrix expected = eval::SpectralApply(eig, resp, g.x);
+  Matrix diff(y.rows(), y.cols(), Device::kHost);
+  ops::Sub(y, expected, &diff);
+  EXPECT_LT(diff.Norm() / std::max(1.0, expected.Norm()), 5e-3);
+}
+
+class RhoSweep : public ::testing::TestWithParam<double> {};
+INSTANTIATE_TEST_SUITE_P(Rhos, RhoSweep,
+                         ::testing::Values(0.0, 0.25, 0.5, 0.75, 1.0));
+
+TEST_P(RhoSweep, NormalizedSpectralRadiusAtMostOne) {
+  // D̄^{ρ-1}ĀD̄^{-ρ} is similar to the symmetric normalization for every ρ,
+  // so its spectrum stays within [-1, 1].
+  const auto& g = Fixture();
+  sparse::CsrMatrix norm = sparse::NormalizeAdjacency(g.adj, GetParam());
+  Rng rng(31);
+  std::vector<float> v(static_cast<size_t>(norm.n()));
+  for (auto& e : v) e = static_cast<float>(rng.Normal());
+  std::vector<float> w;
+  double lambda = 0.0;
+  for (int it = 0; it < 200; ++it) {
+    norm.SpMV(v, &w);
+    double n2 = 0.0;
+    for (const float e : w) n2 += double(e) * e;
+    lambda = std::sqrt(n2);
+    if (lambda < 1e-12) break;
+    for (size_t i = 0; i < v.size(); ++i) {
+      v[i] = static_cast<float>(w[i] / lambda);
+    }
+  }
+  EXPECT_LE(lambda, 1.0 + 1e-3) << "rho=" << GetParam();
+}
+
+TEST_P(RhoSweep, FilterStaysFiniteUnderAnyNormalization) {
+  const auto& g = Fixture();
+  sparse::CsrMatrix norm = sparse::NormalizeAdjacency(g.adj, GetParam());
+  auto f = CreateFilter("chebyshev", 10).MoveValue();
+  f->ResetParameters(nullptr);
+  FilterContext ctx{&norm, Device::kHost};
+  Matrix y;
+  f->Forward(ctx, g.x, &y, false);
+  for (int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(y.data()[i]));
+  }
+}
+
+// ------------------------------------------------------- linearity checks
+
+class LinearityTest : public ::testing::TestWithParam<std::string> {};
+INSTANTIATE_TEST_SUITE_P(
+    Filters, LinearityTest,
+    ::testing::Values("linear", "ppr", "chebyshev", "bernstein", "fagnn",
+                      "g2cn", "figure", "var_linear"),
+    [](const auto& info) { return info.param; });
+
+TEST_P(LinearityTest, FilterIsLinearOperator) {
+  const auto& g = Fixture();
+  auto f = CreateFilter(GetParam(), kHops, {}, 3).MoveValue();
+  f->ResetParameters(nullptr);
+  Rng rng(9);
+  Matrix z(g.x.rows(), g.x.cols(), Device::kHost);
+  z.FillNormal(&rng);
+  // g(a x + b z) == a g(x) + b g(z).
+  Matrix combo(g.x.rows(), g.x.cols(), Device::kHost);
+  ops::Copy(g.x, &combo);
+  ops::Scale(2.0f, &combo);
+  ops::Axpy(-0.5f, z, &combo);
+  Matrix lhs = Apply(f.get(), combo);
+  Matrix gx = Apply(f.get(), g.x);
+  Matrix gz = Apply(f.get(), z);
+  Matrix rhs(g.x.rows(), g.x.cols(), Device::kHost);
+  ops::Copy(gx, &rhs);
+  ops::Scale(2.0f, &rhs);
+  ops::Axpy(-0.5f, gz, &rhs);
+  EXPECT_TRUE(lhs.AllClose(rhs, 1e-3f)) << GetParam();
+}
+
+// --------------------------------------------------------- training seeds
+
+TEST(Determinism, SameSeedSameParameters) {
+  auto f1 = CreateFilter("var_monomial", kHops).MoveValue();
+  auto f2 = CreateFilter("var_monomial", kHops).MoveValue();
+  Rng r1(42), r2(42);
+  f1->ResetParameters(&r1);
+  f2->ResetParameters(&r2);
+  const auto& g = Fixture();
+  FilterContext ctx{&Fixture().norm, Device::kHost};
+  Matrix y1, y2;
+  f1->Forward(ctx, g.x, &y1, true);
+  f2->Forward(ctx, g.x, &y2, true);
+  EXPECT_TRUE(y1.AllClose(y2));
+  // One identical gradient step keeps them identical.
+  f1->params().ZeroGrad();
+  f2->params().ZeroGrad();
+  f1->Backward(ctx, y1, nullptr);
+  f2->Backward(ctx, y2, nullptr);
+  nn::AdamConfig opt;
+  f1->params().AdamStep(opt, 1);
+  f2->params().AdamStep(opt, 1);
+  for (size_t i = 0; i < f1->params().size(); ++i) {
+    EXPECT_DOUBLE_EQ(f1->params()[i], f2->params()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace sgnn::filters

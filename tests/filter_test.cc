@@ -1,0 +1,509 @@
+// Tests for all 27 spectral filters: taxonomy coverage, spectral
+// correctness against exact eigendecomposition, gradient checks, operator
+// symmetry, and mini-batch/full-batch equivalence. Property-style checks
+// run as parameterized suites over every registered filter.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/registry.h"
+
+#include "core/bank_filters.h"
+#include "eval/eigen.h"
+#include "sparse/adjacency.h"
+#include "tensor/ops.h"
+
+namespace sgnn::filters {
+namespace {
+
+constexpr int kHops = 6;
+constexpr int64_t kNodes = 32;
+constexpr int64_t kDim = 5;
+
+/// Small random test graph (normalized adjacency) shared by all cases.
+struct TestGraph {
+  sparse::CsrMatrix norm;
+  Matrix x;
+  eval::EigenDecomposition eig;
+};
+
+const TestGraph& SharedGraph() {
+  static const TestGraph* g = [] {
+    auto* tg = new TestGraph();
+    Rng rng(42);
+    sparse::EdgeList edges;
+    for (int i = 0; i < 80; ++i) {
+      edges.emplace_back(
+          static_cast<int32_t>(rng.UniformInt(kNodes)),
+          static_cast<int32_t>(rng.UniformInt(kNodes)));
+    }
+    auto adj = sparse::BuildAdjacency(kNodes, edges, true).MoveValue();
+    tg->norm = sparse::NormalizeAdjacency(adj, 0.5);
+    tg->x = Matrix(kNodes, kDim, Device::kHost);
+    tg->x.FillNormal(&rng);
+    Matrix lap = eval::DenseLaplacian(tg->norm);
+    tg->eig = eval::JacobiEigen(lap).MoveValue();
+    return tg;
+  }();
+  return *g;
+}
+
+std::unique_ptr<SpectralFilter> MakeFilter(const std::string& name) {
+  auto r = CreateFilter(name, kHops, {}, kDim);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.MoveValue();
+}
+
+class AllFiltersTest : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(Taxonomy, AllFiltersTest,
+                         ::testing::ValuesIn(AllFilterNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST_P(AllFiltersTest, CreatesWithDeclaredName) {
+  auto f = MakeFilter(GetParam());
+  EXPECT_EQ(f->name(), GetParam());
+}
+
+TEST_P(AllFiltersTest, TypeMatchesTaxonomy) {
+  auto f = MakeFilter(GetParam());
+  for (const auto& row : FilterTaxonomy()) {
+    if (row.name == GetParam()) {
+      EXPECT_EQ(f->type(), row.type);
+      return;
+    }
+  }
+  FAIL() << "filter missing from taxonomy";
+}
+
+TEST_P(AllFiltersTest, ForwardShapeAndFiniteness) {
+  const TestGraph& tg = SharedGraph();
+  auto f = MakeFilter(GetParam());
+  f->ResetParameters(nullptr);
+  FilterContext ctx{&tg.norm, Device::kHost};
+  Matrix y;
+  f->Forward(ctx, tg.x, &y, /*cache=*/false);
+  ASSERT_EQ(y.rows(), kNodes);
+  ASSERT_EQ(y.cols(), kDim);
+  for (int64_t i = 0; i < y.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(y.data()[i])) << GetParam();
+  }
+}
+
+// Forward output must equal the exact spectral operator U g(Λ) Uᵀ x built
+// from the filter's own scalar Response. OptBasis is excluded: its realized
+// basis is input-dependent, so no input-independent response exists.
+TEST_P(AllFiltersTest, MatchesExactSpectralOperator) {
+  if (GetParam() == "optbasis") GTEST_SKIP() << "data-dependent basis";
+  const TestGraph& tg = SharedGraph();
+  auto f = MakeFilter(GetParam());
+  f->ResetParameters(nullptr);  // deterministic, jitter-free parameters
+  FilterContext ctx{&tg.norm, Device::kHost};
+  Matrix y;
+  f->Forward(ctx, tg.x, &y, /*cache=*/false);
+  std::vector<double> response(tg.eig.values.size());
+  for (size_t i = 0; i < response.size(); ++i) {
+    response[i] = f->Response(tg.eig.values[i]);
+  }
+  Matrix expected = eval::SpectralApply(tg.eig, response, tg.x);
+  const double scale = std::max(1.0, expected.Norm());
+  Matrix diff(kNodes, kDim, Device::kHost);
+  ops::Sub(y, expected, &diff);
+  EXPECT_LT(diff.Norm() / scale, 2e-3) << GetParam();
+}
+
+// g(L̃) is symmetric: <g x, z> == <x, g z>. OptBasis excluded (the basis it
+// builds depends on which input it orthogonalizes).
+TEST_P(AllFiltersTest, OperatorIsSymmetric) {
+  if (GetParam() == "optbasis") GTEST_SKIP() << "data-dependent basis";
+  const TestGraph& tg = SharedGraph();
+  auto f = MakeFilter(GetParam());
+  f->ResetParameters(nullptr);
+  FilterContext ctx{&tg.norm, Device::kHost};
+  Rng rng(77);
+  Matrix z(kNodes, kDim, Device::kHost);
+  z.FillNormal(&rng);
+  Matrix gx, gz;
+  f->Forward(ctx, tg.x, &gx, false);
+  f->Forward(ctx, z, &gz, false);
+  const double lhs = ops::Dot(gx, z);
+  const double rhs = ops::Dot(tg.x, gz);
+  EXPECT_NEAR(lhs, rhs, 1e-2 * std::max(1.0, std::fabs(lhs))) << GetParam();
+}
+
+// Finite-difference check of the parameter gradient under L = 0.5||y||².
+// Favard checks only its θ block (basis parameters use straight-through
+// gradients by design).
+TEST_P(AllFiltersTest, ParameterGradientFiniteDifference) {
+  const TestGraph& tg = SharedGraph();
+  auto f = MakeFilter(GetParam());
+  Rng rng(5);
+  f->ResetParameters(&rng);
+  if (f->params().size() == 0) GTEST_SKIP() << "fixed filter";
+  FilterContext ctx{&tg.norm, Device::kHost};
+  Matrix y;
+  f->Forward(ctx, tg.x, &y, /*cache=*/true);
+  f->params().ZeroGrad();
+  f->Backward(ctx, y, nullptr);
+
+  size_t n_check = std::min<size_t>(f->params().size(), 4);
+  if (GetParam() == "favard") n_check = std::min<size_t>(kHops + 1, 4);
+  const double eps = 1e-4;
+  for (size_t i = 0; i < n_check; ++i) {
+    const double analytic = f->params().grads()[i];
+    const double orig = f->params()[i];
+    f->params()[i] = orig + eps;
+    Matrix yp;
+    f->Forward(ctx, tg.x, &yp, false);
+    f->params()[i] = orig - eps;
+    Matrix ym;
+    f->Forward(ctx, tg.x, &ym, false);
+    f->params()[i] = orig;
+    const double fd =
+        (0.5 * ops::Dot(yp, yp) - 0.5 * ops::Dot(ym, ym)) / (2 * eps);
+    const double tol = 1e-2 * std::max(1.0, std::fabs(fd));
+    EXPECT_NEAR(analytic, fd, tol) << GetParam() << " param " << i;
+  }
+}
+
+// Mini-batch Precompute + CombineTerms over all rows must reproduce the
+// full-batch Forward output.
+TEST_P(AllFiltersTest, PrecomputeCombineMatchesForward) {
+  const TestGraph& tg = SharedGraph();
+  auto f = MakeFilter(GetParam());
+  f->ResetParameters(nullptr);
+  if (!f->SupportsMiniBatch()) GTEST_SKIP() << "full-batch only";
+  FilterContext ctx{&tg.norm, Device::kHost};
+  Matrix y_fb;
+  f->Forward(ctx, tg.x, &y_fb, false);
+  std::vector<Matrix> terms;
+  ASSERT_TRUE(f->Precompute(ctx, tg.x, &terms).ok());
+  std::vector<const Matrix*> ptrs;
+  for (const auto& t : terms) ptrs.push_back(&t);
+  Matrix y_mb;
+  f->CombineTerms(ptrs, &y_mb, false);
+  EXPECT_TRUE(y_fb.AllClose(y_mb, 2e-3f)) << GetParam();
+}
+
+// CombineTerms parameter gradients must match the full-batch Backward ones.
+TEST_P(AllFiltersTest, CombineGradientsMatchForwardGradients) {
+  const TestGraph& tg = SharedGraph();
+  auto f = MakeFilter(GetParam());
+  Rng rng(6);
+  f->ResetParameters(&rng);
+  if (!f->SupportsMiniBatch() || f->params().size() == 0) {
+    GTEST_SKIP();
+  }
+  FilterContext ctx{&tg.norm, Device::kHost};
+  Rng grng(8);
+  Matrix gbar(kNodes, kDim, Device::kHost);
+  gbar.FillNormal(&grng);
+
+  Matrix y;
+  f->Forward(ctx, tg.x, &y, true);
+  f->params().ZeroGrad();
+  f->Backward(ctx, gbar, nullptr);
+  std::vector<double> fb_grads = f->params().grads();
+
+  std::vector<Matrix> terms;
+  ASSERT_TRUE(f->Precompute(ctx, tg.x, &terms).ok());
+  std::vector<const Matrix*> ptrs;
+  for (const auto& t : terms) ptrs.push_back(&t);
+  Matrix y_mb;
+  f->CombineTerms(ptrs, &y_mb, true);
+  f->params().ZeroGrad();
+  f->BackwardCombine(ptrs, gbar);
+  const std::vector<double>& mb_grads = f->params().grads();
+  ASSERT_EQ(fb_grads.size(), mb_grads.size());
+  for (size_t i = 0; i < fb_grads.size(); ++i) {
+    EXPECT_NEAR(fb_grads[i], mb_grads[i],
+                1e-2 * std::max(1.0, std::fabs(fb_grads[i])))
+        << GetParam() << " param " << i;
+  }
+}
+
+// Input gradient must agree with finite differences through the filter.
+TEST_P(AllFiltersTest, InputGradientFiniteDifference) {
+  if (GetParam() == "optbasis") GTEST_SKIP() << "straight-through input grad";
+  const TestGraph& tg = SharedGraph();
+  auto f = MakeFilter(GetParam());
+  f->ResetParameters(nullptr);
+  FilterContext ctx{&tg.norm, Device::kHost};
+  Matrix x = tg.x;
+  Matrix y;
+  f->Forward(ctx, x, &y, true);
+  f->params().ZeroGrad();
+  Matrix grad_x;
+  f->Backward(ctx, y, &grad_x);
+  const double eps = 1e-3;
+  const int64_t r = 3, c = 2;
+  const float orig = x.at(r, c);
+  x.at(r, c) = orig + static_cast<float>(eps);
+  Matrix yp;
+  f->Forward(ctx, x, &yp, false);
+  x.at(r, c) = orig - static_cast<float>(eps);
+  Matrix ym;
+  f->Forward(ctx, x, &ym, false);
+  x.at(r, c) = orig;
+  const double fd =
+      (0.5 * ops::Dot(yp, yp) - 0.5 * ops::Dot(ym, ym)) / (2 * eps);
+  EXPECT_NEAR(grad_x.at(r, c), fd, 5e-2 * std::max(1.0, std::fabs(fd)))
+      << GetParam();
+}
+
+TEST_P(AllFiltersTest, ResponseIsFiniteOnSpectrumRange) {
+  auto f = MakeFilter(GetParam());
+  f->ResetParameters(nullptr);
+  for (double lam = 0.0; lam <= 2.0; lam += 0.1) {
+    EXPECT_TRUE(std::isfinite(f->Response(lam))) << GetParam() << " " << lam;
+  }
+}
+
+TEST_P(AllFiltersTest, ResetParametersIsDeterministic) {
+  auto f1 = MakeFilter(GetParam());
+  auto f2 = MakeFilter(GetParam());
+  Rng r1(9), r2(9);
+  f1->ResetParameters(&r1);
+  f2->ResetParameters(&r2);
+  ASSERT_EQ(f1->params().size(), f2->params().size());
+  for (size_t i = 0; i < f1->params().size(); ++i) {
+    EXPECT_DOUBLE_EQ(f1->params()[i], f2->params()[i]);
+  }
+}
+
+// ------------------------------------------------------------------
+// Filter-specific spot checks.
+
+TEST(Registry, Has27Filters) {
+  EXPECT_EQ(AllFilterNames().size(), 27u);
+  EXPECT_EQ(FilterNamesByType(FilterType::kFixed).size(), 7u);
+  EXPECT_EQ(FilterNamesByType(FilterType::kVariable).size(), 11u);
+  EXPECT_EQ(FilterNamesByType(FilterType::kBank).size(), 9u);
+}
+
+TEST(Registry, UnknownNameFails) {
+  auto r = CreateFilter("nonexistent", 4);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Registry, AdaGnnRequiresFeatureDim) {
+  EXPECT_FALSE(CreateFilter("adagnn", 4).ok());
+  EXPECT_TRUE(CreateFilter("adagnn", 4, {}, 8).ok());
+}
+
+TEST(IdentityFilter, ResponseIsOne) {
+  auto f = MakeFilter("identity");
+  for (double lam : {0.0, 0.7, 1.3, 2.0}) {
+    EXPECT_DOUBLE_EQ(f->Response(lam), 1.0);
+  }
+}
+
+TEST(IdentityFilter, ForwardIsInput) {
+  const TestGraph& tg = SharedGraph();
+  auto f = MakeFilter("identity");
+  FilterContext ctx{&tg.norm, Device::kHost};
+  Matrix y;
+  f->Forward(ctx, tg.x, &y, false);
+  EXPECT_TRUE(y.AllClose(tg.x));
+}
+
+TEST(LinearFilter, LowPassShape) {
+  auto f = MakeFilter("linear");
+  EXPECT_NEAR(f->Response(0.0), 1.0, 1e-9);
+  EXPECT_GT(f->Response(0.2), f->Response(1.0));
+  EXPECT_NEAR(f->Response(2.0), 0.0, 1e-9);
+}
+
+TEST(ImpulseFilter, ResponseIsPowerOfOneMinusLambda) {
+  auto f = MakeFilter("impulse");
+  EXPECT_NEAR(f->Response(0.5), std::pow(0.5, kHops), 1e-9);
+  EXPECT_NEAR(f->Response(1.0), 0.0, 1e-12);
+}
+
+TEST(PprFilter, ResponseMatchesGeometricSeries) {
+  FilterHyperParams hp;
+  hp.alpha = 0.3;
+  auto f = CreateFilter("ppr", kHops, hp).MoveValue();
+  const double lam = 0.8;
+  double expect = 0.0, w = hp.alpha;
+  for (int k = 0; k <= kHops; ++k) {
+    expect += w * std::pow(1.0 - lam, k);
+    w *= (1.0 - hp.alpha);
+  }
+  EXPECT_NEAR(f->Response(lam), expect, 1e-9);
+}
+
+TEST(HkFilter, TruncatedHeatKernel) {
+  FilterHyperParams hp;
+  hp.alpha = 1.0;
+  auto f = CreateFilter("hk", 12, hp).MoveValue();
+  // e^{-α} Σ α^k/k! (1-λ)^k ≈ e^{-αλ} for K large.
+  EXPECT_NEAR(f->Response(0.5), std::exp(-0.5), 1e-3);
+}
+
+TEST(MonomialFilter, ResponseAveragesBasis) {
+  auto f = MakeFilter("monomial");
+  EXPECT_NEAR(f->Response(0.0), 1.0, 1e-9);  // all terms are 1 at λ=0
+}
+
+TEST(GaussianFilter, PeaksAtZeroFrequency) {
+  auto f = MakeFilter("gaussian");
+  EXPECT_GT(f->Response(0.0), f->Response(1.0));
+  EXPECT_GT(f->Response(1.0), f->Response(2.0));
+}
+
+TEST(ChebyshevFilter, BasisIsChebyshevOnShiftedDomain) {
+  // With θ = one-hot at k the response equals T_k(1-λ).
+  auto f = MakeFilter("chebyshev");
+  auto& p = f->params();
+  for (size_t i = 0; i < p.size(); ++i) p[i] = 0.0;
+  p[3] = 1.0;
+  const double lam = 0.6;
+  const double x = 1.0 - lam;
+  const double t3 = 4 * x * x * x - 3 * x;  // T_3
+  EXPECT_NEAR(f->Response(lam), t3, 1e-9);
+}
+
+TEST(ClenshawFilter, SecondKindBasis) {
+  auto f = MakeFilter("clenshaw");
+  auto& p = f->params();
+  for (size_t i = 0; i < p.size(); ++i) p[i] = 0.0;
+  p[2] = 1.0;
+  const double lam = 0.4;
+  const double x = 1.0 - lam;
+  const double u2 = 4 * x * x - 1;  // U_2
+  EXPECT_NEAR(f->Response(lam), u2, 1e-9);
+}
+
+TEST(BernsteinFilter, PartitionOfUnity) {
+  // With all θ = 1 the Bernstein response is identically 1.
+  auto f = MakeFilter("bernstein");
+  auto& p = f->params();
+  for (size_t i = 0; i < p.size(); ++i) p[i] = 1.0;
+  for (double lam : {0.0, 0.5, 1.0, 1.7, 2.0}) {
+    EXPECT_NEAR(f->Response(lam), 1.0, 1e-9);
+  }
+}
+
+TEST(LegendreFilter, RecurrenceMatchesClosedForm) {
+  auto f = MakeFilter("legendre");
+  auto& p = f->params();
+  for (size_t i = 0; i < p.size(); ++i) p[i] = 0.0;
+  p[2] = 1.0;
+  const double lam = 0.3;
+  const double x = 1.0 - lam;
+  EXPECT_NEAR(f->Response(lam), 0.5 * (3 * x * x - 1), 1e-9);  // P_2
+}
+
+TEST(JacobiFilter, ReducesToLegendreAtZeroZero) {
+  FilterHyperParams hp;
+  hp.jacobi_a = 0.0;
+  hp.jacobi_b = 0.0;
+  auto f = CreateFilter("jacobi", kHops, hp).MoveValue();
+  auto& p = f->params();
+  for (size_t i = 0; i < p.size(); ++i) p[i] = 0.0;
+  p[2] = 1.0;
+  const double lam = 0.9;
+  const double x = 1.0 - lam;
+  EXPECT_NEAR(f->Response(lam), 0.5 * (3 * x * x - 1), 1e-9);
+}
+
+TEST(VarLinearFilter, FactorsAreConvex) {
+  // Response at λ=0 must be 1 (p + q = 1 per factor) for any parameters.
+  auto f = MakeFilter("var_linear");
+  Rng rng(21);
+  f->ResetParameters(&rng);
+  EXPECT_NEAR(f->Response(0.0), 1.0, 1e-9);
+}
+
+TEST(FagnnFilter, BetaShiftsResponse) {
+  FilterHyperParams hp1;
+  hp1.beta = 0.1;
+  FilterHyperParams hp2;
+  hp2.beta = 0.9;
+  auto f1 = CreateFilter("fagnn", 3, hp1).MoveValue();
+  auto f2 = CreateFilter("fagnn", 3, hp2).MoveValue();
+  f1->ResetParameters(nullptr);
+  f2->ResetParameters(nullptr);
+  EXPECT_LT(f1->Response(0.0), f2->Response(0.0));
+}
+
+TEST(MixtureBank, G2cnHasTwoChannels) {
+  auto f = MakeG2cnFilter(6, {});
+  EXPECT_EQ(f->num_channels(), 2u);
+  f->ResetParameters(nullptr);
+  // γ (2) + no channel params.
+  EXPECT_EQ(f->params().size(), 2u);
+}
+
+TEST(MixtureBank, FigureHasFourChannels) {
+  auto f = MakeFigureFilter(4, {});
+  EXPECT_EQ(f->num_channels(), 4u);
+  Rng rng(3);
+  f->ResetParameters(&rng);
+  // γ (4) + monomial (5) + chebyshev (5) + bernstein (5).
+  EXPECT_EQ(f->params().size(), 4u + 5u + 5u + 5u);
+}
+
+TEST(MiniBatchSupport, MatchesPaperTable10) {
+  // Iterative-architecture filters are FB-only; the decoupled rest support MB.
+  const std::vector<std::string> fb_only = {"adagnn", "fbgnn1", "fbgnn2",
+                                            "acmgnn1", "acmgnn2", "favard"};
+  for (const auto& name : AllFilterNames()) {
+    auto f = MakeFilter(name);
+    const bool expected =
+        std::find(fb_only.begin(), fb_only.end(), name) == fb_only.end();
+    EXPECT_EQ(f->SupportsMiniBatch(), expected) << name;
+  }
+}
+
+TEST(Taxonomy, ComplexityStringsNonEmpty) {
+  for (const auto& row : FilterTaxonomy()) {
+    EXPECT_FALSE(row.time.empty());
+    EXPECT_FALSE(row.memory.empty());
+    EXPECT_FALSE(row.models.empty());
+  }
+}
+
+TEST(HopCount, IdentityIgnoresHops) {
+  const TestGraph& tg = SharedGraph();
+  auto f2 = CreateFilter("identity", 2).MoveValue();
+  auto f9 = CreateFilter("identity", 9).MoveValue();
+  FilterContext ctx{&tg.norm, Device::kHost};
+  Matrix y2, y9;
+  f2->Forward(ctx, tg.x, &y2, false);
+  f9->Forward(ctx, tg.x, &y9, false);
+  EXPECT_TRUE(y2.AllClose(y9));
+}
+
+TEST(HopCount, ImpulseDependsOnHops) {
+  const TestGraph& tg = SharedGraph();
+  auto f2 = CreateFilter("impulse", 2).MoveValue();
+  auto f9 = CreateFilter("impulse", 9).MoveValue();
+  FilterContext ctx{&tg.norm, Device::kHost};
+  Matrix y2, y9;
+  f2->Forward(ctx, tg.x, &y2, false);
+  f9->Forward(ctx, tg.x, &y9, false);
+  EXPECT_FALSE(y2.AllClose(y9));
+}
+
+TEST(VariableFilter, CacheRequiredForBackward) {
+  const TestGraph& tg = SharedGraph();
+  auto f = MakeFilter("var_monomial");
+  Rng rng(31);
+  f->ResetParameters(&rng);
+  FilterContext ctx{&tg.norm, Device::kHost};
+  Matrix y;
+  f->Forward(ctx, tg.x, &y, /*cache=*/true);
+  f->params().ZeroGrad();
+  Matrix gx;
+  f->Backward(ctx, y, &gx);  // should not crash, grads populated
+  double total = 0.0;
+  for (const double g : f->params().grads()) total += std::fabs(g);
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace sgnn::filters

@@ -1,0 +1,229 @@
+// Tests for synthetic graph generation and the dataset registry.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/datasets.h"
+#include "graph/generator.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+
+#include <cstdio>
+
+namespace sgnn::graph {
+namespace {
+
+GeneratorConfig SmallConfig(double homophily) {
+  GeneratorConfig c;
+  c.n = 800;
+  c.avg_degree = 8.0;
+  c.num_classes = 4;
+  c.homophily = homophily;
+  c.feature_dim = 16;
+  c.seed = 11;
+  return c;
+}
+
+TEST(Generator, ProducesRequestedSize) {
+  Graph g = GenerateSbm(SmallConfig(0.8));
+  EXPECT_EQ(g.n, 800);
+  EXPECT_EQ(g.features.rows(), 800);
+  EXPECT_EQ(g.features.cols(), 16);
+  EXPECT_EQ(static_cast<int64_t>(g.labels.size()), g.n);
+}
+
+TEST(Generator, DegreeNearTarget) {
+  Graph g = GenerateSbm(SmallConfig(0.8));
+  // nnz includes self loops and both edge directions.
+  const double avg_deg =
+      static_cast<double>(g.num_edges() - g.n) / static_cast<double>(g.n);
+  EXPECT_GT(avg_deg, 4.0);
+  EXPECT_LT(avg_deg, 16.0);
+}
+
+TEST(Generator, HomophilyTracksTarget) {
+  Graph high = GenerateSbm(SmallConfig(0.9));
+  Graph low = GenerateSbm(SmallConfig(0.1));
+  EXPECT_GT(NodeHomophily(high), 0.6);
+  EXPECT_LT(NodeHomophily(low), 0.35);
+  EXPECT_GT(NodeHomophily(high), NodeHomophily(low) + 0.3);
+}
+
+TEST(Generator, AllClassesPresent) {
+  Graph g = GenerateSbm(SmallConfig(0.5));
+  std::set<int32_t> seen(g.labels.begin(), g.labels.end());
+  EXPECT_EQ(static_cast<int32_t>(seen.size()), g.num_classes);
+}
+
+TEST(Generator, DeterministicInSeed) {
+  Graph a = GenerateSbm(SmallConfig(0.7));
+  Graph b = GenerateSbm(SmallConfig(0.7));
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_TRUE(a.features.AllClose(b.features));
+}
+
+TEST(Generator, SeedChangesGraph) {
+  GeneratorConfig c1 = SmallConfig(0.7);
+  GeneratorConfig c2 = c1;
+  c2.seed = 12;
+  Graph a = GenerateSbm(c1);
+  Graph b = GenerateSbm(c2);
+  EXPECT_NE(a.labels, b.labels);
+}
+
+TEST(Generator, ClassSkewImbalances) {
+  GeneratorConfig c = SmallConfig(0.5);
+  c.class_skew = 1.5;
+  Graph g = GenerateSbm(c);
+  std::vector<int64_t> counts(4, 0);
+  for (const int32_t y : g.labels) counts[static_cast<size_t>(y)]++;
+  EXPECT_GT(counts[0], counts[3] * 2);
+}
+
+TEST(Generator, GridTopologyIsRegular) {
+  GeneratorConfig c = SmallConfig(0.7);
+  Graph g = GenerateGrid(20, 20, c);
+  EXPECT_EQ(g.n, 400);
+  // Interior node of an 8-neighborhood grid: 8 neighbors + self loop.
+  int64_t max_deg = 0;
+  for (int64_t v = 0; v < g.n; ++v) {
+    max_deg = std::max(max_deg, g.adj.RowDegree(v));
+  }
+  EXPECT_EQ(max_deg, 9);
+}
+
+TEST(Generator, GridLabelsPatchy) {
+  GeneratorConfig c = SmallConfig(0.85);
+  Graph g = GenerateGrid(30, 30, c);
+  EXPECT_GT(NodeHomophily(g), 0.45);
+}
+
+TEST(Splits, PartitionCoversAllNodes) {
+  Splits s = RandomSplits(100, 7);
+  EXPECT_EQ(s.train.size() + s.val.size() + s.test.size(), 100u);
+  std::set<int32_t> all;
+  all.insert(s.train.begin(), s.train.end());
+  all.insert(s.val.begin(), s.val.end());
+  all.insert(s.test.begin(), s.test.end());
+  EXPECT_EQ(all.size(), 100u);  // disjoint
+}
+
+TEST(Splits, RespectsFractions) {
+  Splits s = RandomSplits(1000, 3);
+  EXPECT_EQ(s.train.size(), 600u);
+  EXPECT_EQ(s.val.size(), 200u);
+  EXPECT_EQ(s.test.size(), 200u);
+}
+
+TEST(Splits, SeedDeterminism) {
+  Splits a = RandomSplits(50, 9);
+  Splits b = RandomSplits(50, 9);
+  Splits c = RandomSplits(50, 10);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_NE(a.train, c.train);
+}
+
+TEST(DegreeBuckets, PartitionByMedian) {
+  Graph g = GenerateSbm(SmallConfig(0.5));
+  std::vector<int32_t> low, high;
+  DegreeBuckets(g, &low, &high);
+  EXPECT_EQ(low.size() + high.size(), static_cast<size_t>(g.n));
+  EXPECT_GT(low.size(), 0u);
+  EXPECT_GT(high.size(), 0u);
+}
+
+TEST(Datasets, RegistryHas22Entries) {
+  EXPECT_EQ(AllDatasets().size(), 22u);
+}
+
+TEST(Datasets, ScaleCategoriesMatchTable3) {
+  EXPECT_EQ(DatasetsByScale(Scale::kSmall).size(), 11u);
+  EXPECT_EQ(DatasetsByScale(Scale::kMedium).size(), 6u);
+  EXPECT_EQ(DatasetsByScale(Scale::kLarge).size(), 5u);
+}
+
+TEST(Datasets, FindByName) {
+  auto r = FindDataset("cora_sim");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().num_classes, 7);
+  EXPECT_FALSE(FindDataset("nope").ok());
+}
+
+TEST(Datasets, MakeMatchesSpec) {
+  const auto spec = FindDataset("chameleon_sim").value();
+  Graph g = MakeDataset(spec, 1);
+  EXPECT_EQ(g.n, spec.n);
+  EXPECT_EQ(g.num_classes, spec.num_classes);
+  EXPECT_EQ(g.features.cols(), spec.feature_dim);
+  // Realized homophily within a loose band of the target.
+  EXPECT_NEAR(NodeHomophily(g), spec.homophily, 0.2);
+}
+
+TEST(Datasets, HeterophilousSpecsAreHeterophilous) {
+  for (const auto& spec : AllDatasets()) {
+    if (spec.scale != Scale::kSmall) continue;
+    Graph g = MakeDataset(spec, 2);
+    const double h = NodeHomophily(g);
+    if (spec.homophilous) {
+      EXPECT_GT(h, 0.4) << spec.name;
+    } else {
+      EXPECT_LT(h, 0.5) << spec.name;
+    }
+  }
+}
+
+TEST(Datasets, UnknownNameErrors) {
+  EXPECT_FALSE(MakeDatasetByName("missing_sim", 1).ok());
+}
+
+TEST(Homophily, PerfectOnSingleClassGraph) {
+  GeneratorConfig c = SmallConfig(0.5);
+  Graph g = GenerateSbm(c);
+  std::fill(g.labels.begin(), g.labels.end(), 0);
+  EXPECT_DOUBLE_EQ(NodeHomophily(g), 1.0);
+}
+
+
+TEST(GraphIo, RoundTrip) {
+  GeneratorConfig c = SmallConfig(0.7);
+  Graph g = GenerateSbm(c);
+  const std::string path = "/tmp/sgnn_graph_test.bin";
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  auto r = LoadGraph(path);
+  ASSERT_TRUE(r.ok());
+  const Graph& h = r.value();
+  EXPECT_EQ(h.n, g.n);
+  EXPECT_EQ(h.num_edges(), g.num_edges());
+  EXPECT_EQ(h.labels, g.labels);
+  EXPECT_TRUE(h.features.AllClose(g.features));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, LoadMissingFails) {
+  EXPECT_FALSE(LoadGraph("/tmp/sgnn_missing_graph.bin").ok());
+}
+
+TEST(EdgeHomophily, TracksNodeHomophily) {
+  Graph high = GenerateSbm(SmallConfig(0.9));
+  Graph low = GenerateSbm(SmallConfig(0.1));
+  EXPECT_GT(EdgeHomophily(high), EdgeHomophily(low) + 0.3);
+}
+
+TEST(AdjustedHomophily, NearZeroForRandomLabels) {
+  Graph g = GenerateSbm(SmallConfig(0.5));
+  Rng rng(21);
+  for (auto& y : g.labels) {
+    y = static_cast<int32_t>(rng.UniformInt(4));
+  }
+  EXPECT_NEAR(AdjustedHomophily(g), 0.0, 0.05);
+}
+
+TEST(AdjustedHomophily, PositiveUnderHomophily) {
+  Graph g = GenerateSbm(SmallConfig(0.9));
+  EXPECT_GT(AdjustedHomophily(g), 0.5);
+}
+
+}  // namespace
+}  // namespace sgnn::graph

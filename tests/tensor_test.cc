@@ -1,0 +1,321 @@
+// Unit tests for the tensor substrate: Matrix, ops, RNG, device tracking.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/device.h"
+#include "tensor/matrix.h"
+#include "tensor/ops.h"
+#include "tensor/rng.h"
+#include "tensor/status.h"
+
+namespace sgnn {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntBounded) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(17), 17u);
+  }
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < 4000; ++i) hits[rng.UniformInt(8)]++;
+  for (int h : hits) EXPECT_GT(h, 300);  // roughly uniform
+}
+
+TEST(Rng, NormalMomentsApproximate) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, ForkIndependentStream) {
+  Rng a(5);
+  Rng b = a.Fork();
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(Matrix, ZeroInitialized) {
+  Matrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  for (int64_t i = 0; i < m.size(); ++i) EXPECT_EQ(m.data()[i], 0.0f);
+}
+
+TEST(Matrix, AtAccessors) {
+  Matrix m(2, 2);
+  m.at(1, 0) = 3.5f;
+  EXPECT_FLOAT_EQ(m.at(1, 0), 3.5f);
+  EXPECT_FLOAT_EQ(m.row(1)[0], 3.5f);
+}
+
+TEST(Matrix, GatherRows) {
+  Matrix m(4, 2);
+  for (int64_t i = 0; i < 4; ++i) m.at(i, 0) = static_cast<float>(i);
+  Matrix g = m.GatherRows({3, 1});
+  EXPECT_EQ(g.rows(), 2);
+  EXPECT_FLOAT_EQ(g.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(g.at(1, 0), 1.0f);
+}
+
+TEST(Matrix, AllCloseDetectsDifference) {
+  Matrix a(2, 2), b(2, 2);
+  EXPECT_TRUE(a.AllClose(b));
+  b.at(0, 0) = 1e-3f;
+  EXPECT_FALSE(a.AllClose(b, 1e-5f));
+  EXPECT_TRUE(a.AllClose(b, 1e-2f));
+}
+
+TEST(Matrix, NormOfUnitRow) {
+  Matrix m(1, 4);
+  m.Fill(0.5f);
+  EXPECT_NEAR(m.Norm(), 1.0, 1e-6);
+}
+
+TEST(DeviceTracker, TracksLiveBytes) {
+  auto& t = DeviceTracker::Global();
+  t.ResetAll();
+  const size_t before = t.live_bytes(Device::kHost);
+  {
+    Matrix m(100, 100, Device::kHost);
+    EXPECT_EQ(t.live_bytes(Device::kHost), before + 100 * 100 * 4);
+  }
+  EXPECT_EQ(t.live_bytes(Device::kHost), before);
+}
+
+TEST(DeviceTracker, PeakHighWaterMark) {
+  auto& t = DeviceTracker::Global();
+  t.ResetAll();
+  {
+    Matrix a(10, 10, Device::kAccel);
+    Matrix b(20, 10, Device::kAccel);
+  }
+  EXPECT_EQ(t.peak_bytes(Device::kAccel), (100 + 200) * 4u);
+  EXPECT_EQ(t.live_bytes(Device::kAccel), 0u);
+}
+
+TEST(DeviceTracker, OomLatchesAboveCapacity) {
+  auto& t = DeviceTracker::Global();
+  t.ResetAll();
+  t.set_accel_capacity(100);
+  EXPECT_FALSE(t.accel_oom());
+  { Matrix m(10, 10, Device::kAccel); }
+  EXPECT_TRUE(t.accel_oom());  // latched even after free
+  t.ClearOom();
+  EXPECT_FALSE(t.accel_oom());
+  t.set_accel_capacity(0);
+  t.ResetAll();
+}
+
+TEST(DeviceTracker, MoveToDeviceTransfersAccounting) {
+  auto& t = DeviceTracker::Global();
+  t.ResetAll();
+  Matrix m(10, 10, Device::kHost);
+  const size_t bytes = m.bytes();
+  EXPECT_EQ(t.live_bytes(Device::kHost), bytes);
+  m.MoveToDevice(Device::kAccel);
+  EXPECT_EQ(t.live_bytes(Device::kHost), 0u);
+  EXPECT_EQ(t.live_bytes(Device::kAccel), bytes);
+  t.ResetAll();
+}
+
+TEST(DeviceTracker, MoveSemanticsDoNotDoubleCount) {
+  auto& t = DeviceTracker::Global();
+  t.ResetAll();
+  Matrix a(10, 10, Device::kHost);
+  const size_t bytes = a.bytes();
+  Matrix b = std::move(a);
+  EXPECT_EQ(t.live_bytes(Device::kHost), bytes);
+  a = Matrix(5, 5, Device::kHost);
+  EXPECT_EQ(t.live_bytes(Device::kHost), bytes + 100);
+  t.ResetAll();
+}
+
+TEST(FormatBytes, HumanReadable) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(2048), "2.0 KB");
+  EXPECT_EQ(FormatBytes(3'500'000), "3.5 MB");
+  EXPECT_EQ(FormatBytes(1'230'000'000), "1.23 GB");
+}
+
+TEST(Ops, GemmMatchesManual) {
+  Matrix a(2, 3), b(3, 2), out(2, 2);
+  float av[] = {1, 2, 3, 4, 5, 6};
+  float bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(av, av + 6, a.data());
+  std::copy(bv, bv + 6, b.data());
+  ops::Gemm(a, b, &out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(out.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(out.at(1, 1), 154);
+}
+
+TEST(Ops, GemmTransAConsistentWithGemm) {
+  Rng rng(1);
+  Matrix a(4, 3), b(4, 5);
+  a.FillNormal(&rng);
+  b.FillNormal(&rng);
+  Matrix at(3, 4);
+  for (int64_t i = 0; i < 4; ++i)
+    for (int64_t j = 0; j < 3; ++j) at.at(j, i) = a.at(i, j);
+  Matrix out1(3, 5), out2(3, 5);
+  ops::GemmTransA(a, b, &out1);
+  ops::Gemm(at, b, &out2);
+  EXPECT_TRUE(out1.AllClose(out2, 1e-4f));
+}
+
+TEST(Ops, GemmTransBConsistentWithGemm) {
+  Rng rng(2);
+  Matrix a(4, 3), b(5, 3);
+  a.FillNormal(&rng);
+  b.FillNormal(&rng);
+  Matrix bt(3, 5);
+  for (int64_t i = 0; i < 5; ++i)
+    for (int64_t j = 0; j < 3; ++j) bt.at(j, i) = b.at(i, j);
+  Matrix out1(4, 5), out2(4, 5);
+  ops::GemmTransB(a, b, &out1);
+  ops::Gemm(a, bt, &out2);
+  EXPECT_TRUE(out1.AllClose(out2, 1e-4f));
+}
+
+TEST(Ops, AxpyAndScale) {
+  Matrix x(2, 2), y(2, 2);
+  x.Fill(2.0f);
+  y.Fill(1.0f);
+  ops::Axpy(3.0f, x, &y);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 7.0f);
+  ops::Scale(0.5f, &y);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 3.5f);
+}
+
+TEST(Ops, DotIsFrobeniusInner) {
+  Matrix a(2, 2), b(2, 2);
+  a.Fill(2.0f);
+  b.Fill(3.0f);
+  EXPECT_DOUBLE_EQ(ops::Dot(a, b), 24.0);
+}
+
+TEST(Ops, AddSubMul) {
+  Matrix a(1, 3), b(1, 3), out(1, 3);
+  a.Fill(5.0f);
+  b.Fill(2.0f);
+  ops::Add(a, b, &out);
+  EXPECT_FLOAT_EQ(out.at(0, 0), 7.0f);
+  ops::Sub(a, b, &out);
+  EXPECT_FLOAT_EQ(out.at(0, 1), 3.0f);
+  ops::MulInPlace(a, &b);
+  EXPECT_FLOAT_EQ(b.at(0, 2), 10.0f);
+}
+
+TEST(Ops, ColumnSumAndBroadcast) {
+  Matrix x(3, 2);
+  for (int64_t i = 0; i < 3; ++i) {
+    x.at(i, 0) = 1.0f;
+    x.at(i, 1) = 2.0f;
+  }
+  Matrix s(1, 2);
+  ops::ColumnSum(x, &s);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(s.at(0, 1), 6.0f);
+  ops::AddRowBroadcast(s, &x);
+  EXPECT_FLOAT_EQ(x.at(2, 1), 8.0f);
+}
+
+TEST(Ops, ColumnNormAndDot) {
+  Matrix x(2, 2);
+  x.at(0, 0) = 3.0f;
+  x.at(1, 0) = 4.0f;
+  x.at(0, 1) = 1.0f;
+  Matrix norm(1, 2);
+  ops::ColumnNorm(x, &norm);
+  EXPECT_FLOAT_EQ(norm.at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(norm.at(0, 1), 1.0f);
+  Matrix d(1, 2);
+  ops::ColumnDot(x, x, &d);
+  EXPECT_FLOAT_EQ(d.at(0, 0), 25.0f);
+}
+
+TEST(Ops, ColumnScaleAndAxpyColumnwise) {
+  Matrix x(2, 2);
+  x.Fill(1.0f);
+  Matrix alpha(1, 2);
+  alpha.at(0, 0) = 2.0f;
+  alpha.at(0, 1) = 3.0f;
+  ops::ColumnScale(alpha, &x);
+  EXPECT_FLOAT_EQ(x.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(x.at(1, 1), 3.0f);
+  Matrix y(2, 2);
+  ops::AxpyColumnwise(alpha, x, &y);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(y.at(1, 1), 9.0f);
+}
+
+TEST(Ops, RowL2Normalize) {
+  Matrix x(2, 2);
+  x.at(0, 0) = 3.0f;
+  x.at(0, 1) = 4.0f;
+  ops::RowL2Normalize(&x);
+  EXPECT_NEAR(x.at(0, 0), 0.6f, 1e-6);
+  EXPECT_NEAR(x.at(0, 1), 0.8f, 1e-6);
+  // Zero row untouched.
+  EXPECT_FLOAT_EQ(x.at(1, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace sgnn

@@ -1,0 +1,187 @@
+// sgnn_run — command-line experiment runner.
+//
+// Runs one (dataset, filter, scheme) configuration and prints a result row;
+// the programmable entry point behind the bench binaries, for ad-hoc
+// experiments and scripting.
+//
+//   sgnn_run --dataset cora_sim --filter chebyshev --scheme mb \
+//            --hops 10 --epochs 100 --seeds 3 [--csv out.csv]
+//
+// Schemes: fb (full-batch), mb (mini-batch), gp (graph partition),
+// iterative (per-hop transformations).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/registry.h"
+#include "eval/metrics.h"
+#include "eval/table.h"
+#include "graph/datasets.h"
+#include "models/iterative.h"
+#include "models/partition.h"
+#include "models/trainer.h"
+
+namespace {
+
+using namespace sgnn;
+
+/// Minimal --key value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) == 0) {
+        values_[argv[i] + 2] = argv[i + 1];
+      }
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  int GetInt(const std::string& key, int fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: sgnn_run --dataset <name> --filter <name> [--scheme fb|mb|gp|"
+      "iterative]\n"
+      "                [--hops K] [--epochs N] [--seeds S] [--rho R]\n"
+      "                [--alpha A] [--beta B] [--hidden H] [--batch B]\n"
+      "                [--parts P] [--layers J] [--csv path]\n"
+      "datasets: ");
+  for (const auto& spec : graph::AllDatasets()) {
+    std::fprintf(stderr, "%s ", spec.name.c_str());
+  }
+  std::fprintf(stderr, "\nfilters: ");
+  for (const auto& name : filters::AllFilterNames()) {
+    std::fprintf(stderr, "%s ", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string dataset = flags.Get("dataset", "");
+  const std::string filter_name = flags.Get("filter", "");
+  const std::string scheme = flags.Get("scheme", "fb");
+  if (dataset.empty() || filter_name.empty()) {
+    Usage();
+    return 2;
+  }
+  auto spec_or = graph::FindDataset(dataset);
+  if (!spec_or.ok()) {
+    std::fprintf(stderr, "%s\n", spec_or.status().ToString().c_str());
+    return 2;
+  }
+  const graph::DatasetSpec spec = spec_or.value();
+
+  filters::FilterHyperParams hp;
+  hp.alpha = flags.GetDouble("alpha", hp.alpha);
+  hp.beta = flags.GetDouble("beta", hp.beta);
+  const int hops = flags.GetInt("hops", 10);
+  const int seeds = flags.GetInt("seeds", 1);
+
+  std::vector<double> metrics;
+  models::StageStats last_stats;
+  bool any_oom = false;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    graph::Graph g = graph::MakeDataset(spec, seed);
+    graph::Splits splits = graph::RandomSplits(g.n, seed);
+    models::TrainConfig cfg;
+    cfg.epochs = flags.GetInt("epochs", 100);
+    cfg.hidden = flags.GetInt("hidden", 64);
+    cfg.batch_size = flags.GetInt("batch", 4096);
+    cfg.rho = flags.GetDouble("rho", 0.5);
+    cfg.seed = seed;
+    models::TrainResult r;
+    if (scheme == "iterative") {
+      models::IterativeConfig icfg;
+      icfg.base = cfg;
+      icfg.layers = flags.GetInt("layers", 2);
+      icfg.layer_filter = filter_name;
+      r = models::TrainIterative(g, splits, spec.metric, icfg);
+    } else {
+      auto filter_or =
+          filters::CreateFilter(filter_name, hops, hp, g.features.cols());
+      if (!filter_or.ok()) {
+        std::fprintf(stderr, "%s\n", filter_or.status().ToString().c_str());
+        return 2;
+      }
+      auto filter = filter_or.MoveValue();
+      if (scheme == "mb") {
+        if (!filter->SupportsMiniBatch()) {
+          std::fprintf(stderr, "filter %s is full-batch only\n",
+                       filter_name.c_str());
+          return 2;
+        }
+        cfg.phi0_layers = 0;
+        cfg.phi1_layers = 2;
+        r = models::TrainMiniBatch(g, splits, spec.metric, filter.get(), cfg);
+      } else if (scheme == "gp") {
+        models::PartitionConfig pcfg;
+        pcfg.base = cfg;
+        pcfg.num_parts = flags.GetInt("parts", 8);
+        r = models::TrainGraphPartition(g, splits, spec.metric, filter.get(),
+                                        pcfg);
+      } else if (scheme == "fb") {
+        r = models::TrainFullBatch(g, splits, spec.metric, filter.get(), cfg);
+      } else {
+        Usage();
+        return 2;
+      }
+    }
+    metrics.push_back(r.test_metric * 100.0);
+    last_stats = r.stats;
+    any_oom |= r.oom;
+    std::printf("seed %d: test %.2f%s\n", seed, r.test_metric * 100.0,
+                r.oom ? " (OOM)" : "");
+  }
+  const auto summary = eval::Summarize(metrics);
+  std::printf(
+      "\n%s / %s / %s: test %s  pre %.1f ms  train %.1f ms/ep  infer %.1f ms"
+      "  ram %s  accel %s%s\n",
+      dataset.c_str(), filter_name.c_str(), scheme.c_str(),
+      eval::FmtMeanStd(summary.mean, summary.stddev).c_str(),
+      last_stats.precompute_ms, last_stats.train_ms_per_epoch,
+      last_stats.infer_ms, FormatBytes(last_stats.peak_ram_bytes).c_str(),
+      FormatBytes(last_stats.peak_accel_bytes).c_str(),
+      any_oom ? "  (OOM)" : "");
+
+  const std::string csv = flags.Get("csv", "");
+  if (!csv.empty()) {
+    std::FILE* f = std::fopen(csv.c_str(), "a");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", csv.c_str());
+      return 1;
+    }
+    std::fprintf(f, "%s,%s,%s,%d,%.4f,%.4f,%.2f,%.2f,%.2f,%zu,%zu,%d\n",
+                 dataset.c_str(), filter_name.c_str(), scheme.c_str(), hops,
+                 summary.mean, summary.stddev, last_stats.precompute_ms,
+                 last_stats.train_ms_per_epoch, last_stats.infer_ms,
+                 last_stats.peak_ram_bytes, last_stats.peak_accel_bytes,
+                 any_oom ? 1 : 0);
+    std::fclose(f);
+    std::printf("appended to %s\n", csv.c_str());
+  }
+  return 0;
+}
