@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_architecture"
+  "../bench/bench_ablation_architecture.pdb"
+  "CMakeFiles/bench_ablation_architecture.dir/bench_ablation_architecture.cpp.o"
+  "CMakeFiles/bench_ablation_architecture.dir/bench_ablation_architecture.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

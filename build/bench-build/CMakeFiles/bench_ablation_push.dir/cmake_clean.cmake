@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_push"
+  "../bench/bench_ablation_push.pdb"
+  "CMakeFiles/bench_ablation_push.dir/bench_ablation_push.cpp.o"
+  "CMakeFiles/bench_ablation_push.dir/bench_ablation_push.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_push.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_normalization"
+  "../bench/bench_fig10_normalization.pdb"
+  "CMakeFiles/bench_fig10_normalization.dir/bench_fig10_normalization.cpp.o"
+  "CMakeFiles/bench_fig10_normalization.dir/bench_fig10_normalization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_normalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_variance"
+  "../bench/bench_fig4_variance.pdb"
+  "CMakeFiles/bench_fig4_variance.dir/bench_fig4_variance.cpp.o"
+  "CMakeFiles/bench_fig4_variance.dir/bench_fig4_variance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_linkpred"
+  "../bench/bench_fig6_linkpred.pdb"
+  "CMakeFiles/bench_fig6_linkpred.dir/bench_fig6_linkpred.cpp.o"
+  "CMakeFiles/bench_fig6_linkpred.dir/bench_fig6_linkpred.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_linkpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

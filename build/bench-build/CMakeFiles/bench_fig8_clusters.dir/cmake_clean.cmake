@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_clusters"
+  "../bench/bench_fig8_clusters.pdb"
+  "CMakeFiles/bench_fig8_clusters.dir/bench_fig8_clusters.cpp.o"
+  "CMakeFiles/bench_fig8_clusters.dir/bench_fig8_clusters.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

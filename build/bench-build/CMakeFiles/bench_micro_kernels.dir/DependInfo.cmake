@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_kernels.cpp" "bench-build/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o" "gcc" "bench-build/CMakeFiles/bench_micro_kernels.dir/bench_micro_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/models/CMakeFiles/spectral_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/spectral_filters.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/spectral_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/spectral_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/spectral_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/spectral_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/spectral_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table10_mb_effectiveness"
+  "../bench/bench_table10_mb_effectiveness.pdb"
+  "CMakeFiles/bench_table10_mb_effectiveness.dir/bench_table10_mb_effectiveness.cpp.o"
+  "CMakeFiles/bench_table10_mb_effectiveness.dir/bench_table10_mb_effectiveness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_mb_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_fb_effectiveness"
+  "../bench/bench_table5_fb_effectiveness.pdb"
+  "CMakeFiles/bench_table5_fb_effectiveness.dir/bench_table5_fb_effectiveness.cpp.o"
+  "CMakeFiles/bench_table5_fb_effectiveness.dir/bench_table5_fb_effectiveness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_fb_effectiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

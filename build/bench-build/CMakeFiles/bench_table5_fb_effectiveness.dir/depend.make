@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table5_fb_effectiveness.
+# This may be replaced when dependencies are built.

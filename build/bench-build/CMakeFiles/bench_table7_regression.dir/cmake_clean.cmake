@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table7_regression"
+  "../bench/bench_table7_regression.pdb"
+  "CMakeFiles/bench_table7_regression.dir/bench_table7_regression.cpp.o"
+  "CMakeFiles/bench_table7_regression.dir/bench_table7_regression.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterophily_study.dir/heterophily_study.cpp.o"
+  "CMakeFiles/heterophily_study.dir/heterophily_study.cpp.o.d"
+  "heterophily_study"
+  "heterophily_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterophily_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

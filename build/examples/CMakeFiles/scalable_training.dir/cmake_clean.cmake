@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalable_training.dir/scalable_training.cpp.o"
+  "CMakeFiles/scalable_training.dir/scalable_training.cpp.o.d"
+  "scalable_training"
+  "scalable_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalable_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectrum_analysis.dir/spectrum_analysis.cpp.o"
+  "CMakeFiles/spectrum_analysis.dir/spectrum_analysis.cpp.o.d"
+  "spectrum_analysis"
+  "spectrum_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectrum_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bank_filters.cc" "src/core/CMakeFiles/spectral_filters.dir/bank_filters.cc.o" "gcc" "src/core/CMakeFiles/spectral_filters.dir/bank_filters.cc.o.d"
+  "/root/repo/src/core/fixed_filters.cc" "src/core/CMakeFiles/spectral_filters.dir/fixed_filters.cc.o" "gcc" "src/core/CMakeFiles/spectral_filters.dir/fixed_filters.cc.o.d"
+  "/root/repo/src/core/poly_base.cc" "src/core/CMakeFiles/spectral_filters.dir/poly_base.cc.o" "gcc" "src/core/CMakeFiles/spectral_filters.dir/poly_base.cc.o.d"
+  "/root/repo/src/core/product_filters.cc" "src/core/CMakeFiles/spectral_filters.dir/product_filters.cc.o" "gcc" "src/core/CMakeFiles/spectral_filters.dir/product_filters.cc.o.d"
+  "/root/repo/src/core/registry.cc" "src/core/CMakeFiles/spectral_filters.dir/registry.cc.o" "gcc" "src/core/CMakeFiles/spectral_filters.dir/registry.cc.o.d"
+  "/root/repo/src/core/variable_filters.cc" "src/core/CMakeFiles/spectral_filters.dir/variable_filters.cc.o" "gcc" "src/core/CMakeFiles/spectral_filters.dir/variable_filters.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/spectral_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/spectral_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/spectral_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

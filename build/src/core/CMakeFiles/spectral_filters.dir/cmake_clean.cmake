@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_filters.dir/bank_filters.cc.o"
+  "CMakeFiles/spectral_filters.dir/bank_filters.cc.o.d"
+  "CMakeFiles/spectral_filters.dir/fixed_filters.cc.o"
+  "CMakeFiles/spectral_filters.dir/fixed_filters.cc.o.d"
+  "CMakeFiles/spectral_filters.dir/poly_base.cc.o"
+  "CMakeFiles/spectral_filters.dir/poly_base.cc.o.d"
+  "CMakeFiles/spectral_filters.dir/product_filters.cc.o"
+  "CMakeFiles/spectral_filters.dir/product_filters.cc.o.d"
+  "CMakeFiles/spectral_filters.dir/registry.cc.o"
+  "CMakeFiles/spectral_filters.dir/registry.cc.o.d"
+  "CMakeFiles/spectral_filters.dir/variable_filters.cc.o"
+  "CMakeFiles/spectral_filters.dir/variable_filters.cc.o.d"
+  "libspectral_filters.a"
+  "libspectral_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

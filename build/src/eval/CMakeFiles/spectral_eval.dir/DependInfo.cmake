@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/analysis.cc" "src/eval/CMakeFiles/spectral_eval.dir/analysis.cc.o" "gcc" "src/eval/CMakeFiles/spectral_eval.dir/analysis.cc.o.d"
+  "/root/repo/src/eval/eigen.cc" "src/eval/CMakeFiles/spectral_eval.dir/eigen.cc.o" "gcc" "src/eval/CMakeFiles/spectral_eval.dir/eigen.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/eval/CMakeFiles/spectral_eval.dir/metrics.cc.o" "gcc" "src/eval/CMakeFiles/spectral_eval.dir/metrics.cc.o.d"
+  "/root/repo/src/eval/signals.cc" "src/eval/CMakeFiles/spectral_eval.dir/signals.cc.o" "gcc" "src/eval/CMakeFiles/spectral_eval.dir/signals.cc.o.d"
+  "/root/repo/src/eval/spectrum.cc" "src/eval/CMakeFiles/spectral_eval.dir/spectrum.cc.o" "gcc" "src/eval/CMakeFiles/spectral_eval.dir/spectrum.cc.o.d"
+  "/root/repo/src/eval/table.cc" "src/eval/CMakeFiles/spectral_eval.dir/table.cc.o" "gcc" "src/eval/CMakeFiles/spectral_eval.dir/table.cc.o.d"
+  "/root/repo/src/eval/tuning.cc" "src/eval/CMakeFiles/spectral_eval.dir/tuning.cc.o" "gcc" "src/eval/CMakeFiles/spectral_eval.dir/tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/spectral_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/spectral_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

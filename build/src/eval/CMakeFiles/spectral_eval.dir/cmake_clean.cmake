@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_eval.dir/analysis.cc.o"
+  "CMakeFiles/spectral_eval.dir/analysis.cc.o.d"
+  "CMakeFiles/spectral_eval.dir/eigen.cc.o"
+  "CMakeFiles/spectral_eval.dir/eigen.cc.o.d"
+  "CMakeFiles/spectral_eval.dir/metrics.cc.o"
+  "CMakeFiles/spectral_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/spectral_eval.dir/signals.cc.o"
+  "CMakeFiles/spectral_eval.dir/signals.cc.o.d"
+  "CMakeFiles/spectral_eval.dir/spectrum.cc.o"
+  "CMakeFiles/spectral_eval.dir/spectrum.cc.o.d"
+  "CMakeFiles/spectral_eval.dir/table.cc.o"
+  "CMakeFiles/spectral_eval.dir/table.cc.o.d"
+  "CMakeFiles/spectral_eval.dir/tuning.cc.o"
+  "CMakeFiles/spectral_eval.dir/tuning.cc.o.d"
+  "libspectral_eval.a"
+  "libspectral_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

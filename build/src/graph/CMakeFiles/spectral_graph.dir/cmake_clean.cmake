@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_graph.dir/datasets.cc.o"
+  "CMakeFiles/spectral_graph.dir/datasets.cc.o.d"
+  "CMakeFiles/spectral_graph.dir/generator.cc.o"
+  "CMakeFiles/spectral_graph.dir/generator.cc.o.d"
+  "CMakeFiles/spectral_graph.dir/graph.cc.o"
+  "CMakeFiles/spectral_graph.dir/graph.cc.o.d"
+  "CMakeFiles/spectral_graph.dir/io.cc.o"
+  "CMakeFiles/spectral_graph.dir/io.cc.o.d"
+  "libspectral_graph.a"
+  "libspectral_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_models.dir/baselines.cc.o"
+  "CMakeFiles/spectral_models.dir/baselines.cc.o.d"
+  "CMakeFiles/spectral_models.dir/iterative.cc.o"
+  "CMakeFiles/spectral_models.dir/iterative.cc.o.d"
+  "CMakeFiles/spectral_models.dir/linkpred.cc.o"
+  "CMakeFiles/spectral_models.dir/linkpred.cc.o.d"
+  "CMakeFiles/spectral_models.dir/partition.cc.o"
+  "CMakeFiles/spectral_models.dir/partition.cc.o.d"
+  "CMakeFiles/spectral_models.dir/regression.cc.o"
+  "CMakeFiles/spectral_models.dir/regression.cc.o.d"
+  "CMakeFiles/spectral_models.dir/trainer.cc.o"
+  "CMakeFiles/spectral_models.dir/trainer.cc.o.d"
+  "libspectral_models.a"
+  "libspectral_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

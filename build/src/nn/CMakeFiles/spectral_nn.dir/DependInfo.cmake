@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/spectral_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/spectral_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/nn/CMakeFiles/spectral_nn.dir/mlp.cc.o" "gcc" "src/nn/CMakeFiles/spectral_nn.dir/mlp.cc.o.d"
+  "/root/repo/src/nn/parameter.cc" "src/nn/CMakeFiles/spectral_nn.dir/parameter.cc.o" "gcc" "src/nn/CMakeFiles/spectral_nn.dir/parameter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/spectral_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

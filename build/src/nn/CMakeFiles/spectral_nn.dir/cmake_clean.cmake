@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_nn.dir/loss.cc.o"
+  "CMakeFiles/spectral_nn.dir/loss.cc.o.d"
+  "CMakeFiles/spectral_nn.dir/mlp.cc.o"
+  "CMakeFiles/spectral_nn.dir/mlp.cc.o.d"
+  "CMakeFiles/spectral_nn.dir/parameter.cc.o"
+  "CMakeFiles/spectral_nn.dir/parameter.cc.o.d"
+  "libspectral_nn.a"
+  "libspectral_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/adjacency.cc" "src/sparse/CMakeFiles/spectral_sparse.dir/adjacency.cc.o" "gcc" "src/sparse/CMakeFiles/spectral_sparse.dir/adjacency.cc.o.d"
+  "/root/repo/src/sparse/csr.cc" "src/sparse/CMakeFiles/spectral_sparse.dir/csr.cc.o" "gcc" "src/sparse/CMakeFiles/spectral_sparse.dir/csr.cc.o.d"
+  "/root/repo/src/sparse/edge_index.cc" "src/sparse/CMakeFiles/spectral_sparse.dir/edge_index.cc.o" "gcc" "src/sparse/CMakeFiles/spectral_sparse.dir/edge_index.cc.o.d"
+  "/root/repo/src/sparse/push.cc" "src/sparse/CMakeFiles/spectral_sparse.dir/push.cc.o" "gcc" "src/sparse/CMakeFiles/spectral_sparse.dir/push.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/spectral_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_sparse.dir/adjacency.cc.o"
+  "CMakeFiles/spectral_sparse.dir/adjacency.cc.o.d"
+  "CMakeFiles/spectral_sparse.dir/csr.cc.o"
+  "CMakeFiles/spectral_sparse.dir/csr.cc.o.d"
+  "CMakeFiles/spectral_sparse.dir/edge_index.cc.o"
+  "CMakeFiles/spectral_sparse.dir/edge_index.cc.o.d"
+  "CMakeFiles/spectral_sparse.dir/push.cc.o"
+  "CMakeFiles/spectral_sparse.dir/push.cc.o.d"
+  "libspectral_sparse.a"
+  "libspectral_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spectral_tensor.dir/device.cc.o"
+  "CMakeFiles/spectral_tensor.dir/device.cc.o.d"
+  "CMakeFiles/spectral_tensor.dir/matrix.cc.o"
+  "CMakeFiles/spectral_tensor.dir/matrix.cc.o.d"
+  "CMakeFiles/spectral_tensor.dir/ops.cc.o"
+  "CMakeFiles/spectral_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/spectral_tensor.dir/rng.cc.o"
+  "CMakeFiles/spectral_tensor.dir/rng.cc.o.d"
+  "libspectral_tensor.a"
+  "libspectral_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spectral_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

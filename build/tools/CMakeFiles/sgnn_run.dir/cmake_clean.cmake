@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sgnn_run.dir/sgnn_run.cpp.o"
+  "CMakeFiles/sgnn_run.dir/sgnn_run.cpp.o.d"
+  "sgnn_run"
+  "sgnn_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sgnn_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
