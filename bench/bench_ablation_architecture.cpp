@@ -17,6 +17,8 @@ int main() {
 
   const std::vector<std::string> datasets = {"cora_sim", "roman_sim"};
 
+  runtime::Supervisor sup = bench::MakeSupervisor("ablation_architecture");
+
   eval::Table table({"Dataset", "Model", "Test", "Train ms/ep", "Accel"});
   for (const auto& ds : datasets) {
     const auto spec = graph::FindDataset(ds).value();
@@ -25,27 +27,33 @@ int main() {
 
     // Iterative: J = 2 layers of one-hop filter + weight + ReLU.
     for (const char* layer_filter : {"linear", "var_linear", "fbgnn1"}) {
-      models::IterativeConfig icfg;
-      icfg.base = bench::UniversalConfig(false);
-      icfg.base.epochs = bench::FullMode() ? 150 : 50;
-      icfg.layers = 2;
-      icfg.layer_filter = layer_filter;
-      auto r = models::TrainIterative(g, splits, spec.metric, icfg);
+      const auto r =
+          sup.Run({ds, layer_filter, "iterative", 1, "J=2"}, [&] {
+            models::IterativeConfig icfg;
+            icfg.base = bench::UniversalConfig(false);
+            icfg.base.epochs = bench::FullMode() ? 150 : 50;
+            icfg.layers = 2;
+            icfg.layer_filter = layer_filter;
+            return models::TrainIterative(g, splits, spec.metric, icfg);
+          });
       table.AddRow({ds, std::string("iterative J=2 ") + layer_filter,
-                    eval::Fmt(r.test_metric * 100, 1),
+                    bench::CellText(r, eval::Fmt(r.test_metric * 100, 1)),
                     eval::Fmt(r.stats.train_ms_per_epoch, 1),
                     FormatBytes(r.stats.peak_accel_bytes)});
     }
     // Decoupled with matching one-hop content (K = 2) and φ-depth sweep.
     for (const int phi1 : {1, 2, 3}) {
-      auto f = bench::MakeFilter("var_linear", 2, g.features.cols());
       models::TrainConfig cfg = bench::UniversalConfig(false);
       cfg.epochs = bench::FullMode() ? 150 : 50;
       cfg.phi1_layers = phi1;
-      auto r = models::TrainFullBatch(g, splits, spec.metric, f.get(), cfg);
+      runtime::RunOptions opts;
+      opts.hops = 2;
+      const auto r = sup.RunTraining(
+          {ds, "var_linear", "fb", 1, "phi1=" + std::to_string(phi1)}, g,
+          splits, spec.metric, cfg, opts);
       table.AddRow({ds,
                     "decoupled K=2 var_linear phi1=" + std::to_string(phi1),
-                    eval::Fmt(r.test_metric * 100, 1),
+                    bench::CellText(r, eval::Fmt(r.test_metric * 100, 1)),
                     eval::Fmt(r.stats.train_ms_per_epoch, 1),
                     FormatBytes(r.stats.peak_accel_bytes)});
     }

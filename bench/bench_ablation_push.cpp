@@ -32,7 +32,13 @@ int main() {
   // Exact PPR reference: a deep truncation (K = 40, tail mass < 1e-4) so
   // the error column isolates push error instead of truncation mismatch.
   filters::FilterHyperParams hp;
-  auto exact_filter = bench::MakeFilter("ppr", 40, g.features.cols(), hp);
+  auto exact_or = bench::MakeFilter("ppr", 40, g.features.cols(), hp);
+  if (!exact_or.ok()) {
+    std::printf("cannot build exact PPR reference: %s\n",
+                exact_or.status().ToString().c_str());
+    return 1;
+  }
+  auto exact_filter = exact_or.MoveValue();
   filters::FilterContext ctx{&norm, Device::kHost};
   eval::Stopwatch exact_sw;
   Matrix exact;
@@ -77,29 +83,58 @@ int main() {
     return models::EvaluateMetric(spec.metric, logits, labels, rows);
   };
 
+  runtime::Supervisor sup = bench::MakeSupervisor("ablation_push");
+
   eval::Table table({"Method", "eps", "Time ms", "Edge touches / exact",
                      "Max err", "Test"});
-  table.AddRow({"exact SpMM", "-", eval::Fmt(exact_ms, 1), "1.00", "0",
-                eval::Fmt(train_on(exact) * 100, 1)});
+  {
+    const auto rec = sup.Run(
+        {spec.name, "ppr", "mb", 1, "exact"},
+        [&] {
+          models::TrainResult tr;
+          tr.test_metric = train_on(exact);
+          return tr;
+        },
+        [&](const models::TrainResult&, runtime::CellRecord* out) {
+          out->extras.emplace_back("time_ms", exact_ms);
+        });
+    table.AddRow({"exact SpMM", "-",
+                  eval::Fmt(rec.Extra("time_ms", exact_ms), 1), "1.00", "0",
+                  bench::CellText(rec, eval::Fmt(rec.test_metric * 100, 1))});
+  }
   for (const double eps : {1e-2, 1e-3, 1e-4, 1e-5}) {
-    sparse::PushConfig pcfg;
-    pcfg.alpha = hp.alpha;
-    pcfg.epsilon = eps;
-    eval::Stopwatch sw;
-    Matrix approx;
-    const auto stats =
-        sparse::ApproxPprPushMatrix(norm, pcfg, g.features, &approx);
-    const double ms = sw.ElapsedMs();
-    double max_err = 0.0;
-    for (int64_t i = 0; i < approx.size(); ++i) {
-      max_err = std::max(max_err, std::fabs(double(approx.data()[i]) -
-                                            exact.data()[i]));
-    }
-    table.AddRow({"forward push", eval::Fmt(eps, 5), eval::Fmt(ms, 1),
-                  eval::Fmt(static_cast<double>(stats.edge_touches) /
-                                (exact_work * g.features.cols()), 2),
-                  eval::Fmt(max_err, 4),
-                  eval::Fmt(train_on(approx) * 100, 1)});
+    double push_ms = 0.0, max_err = 0.0, touch_ratio = 0.0;
+    const auto rec = sup.Run(
+        {spec.name, "ppr", "mb", 1, "eps=" + eval::Fmt(eps, 5)},
+        [&] {
+          models::TrainResult tr;
+          sparse::PushConfig pcfg;
+          pcfg.alpha = hp.alpha;
+          pcfg.epsilon = eps;
+          eval::Stopwatch sw;
+          Matrix approx;
+          const auto stats =
+              sparse::ApproxPprPushMatrix(norm, pcfg, g.features, &approx);
+          push_ms = sw.ElapsedMs();
+          for (int64_t i = 0; i < approx.size(); ++i) {
+            max_err = std::max(max_err, std::fabs(double(approx.data()[i]) -
+                                                  exact.data()[i]));
+          }
+          touch_ratio = static_cast<double>(stats.edge_touches) /
+                        (exact_work * g.features.cols());
+          tr.test_metric = train_on(approx);
+          return tr;
+        },
+        [&](const models::TrainResult&, runtime::CellRecord* out) {
+          out->extras.emplace_back("time_ms", push_ms);
+          out->extras.emplace_back("max_err", max_err);
+          out->extras.emplace_back("touch_ratio", touch_ratio);
+        });
+    table.AddRow({"forward push", eval::Fmt(eps, 5),
+                  eval::Fmt(rec.Extra("time_ms", 0.0), 1),
+                  eval::Fmt(rec.Extra("touch_ratio", 0.0), 2),
+                  eval::Fmt(rec.Extra("max_err", 0.0), 4),
+                  bench::CellText(rec, eval::Fmt(rec.test_metric * 100, 1))});
     std::printf("[done] eps=%g\n", eps);
   }
   std::printf("\n");

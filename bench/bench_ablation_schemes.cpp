@@ -17,6 +17,8 @@ int main() {
   const std::vector<std::string> datasets = {"cora_sim", "roman_sim"};
   const std::vector<std::string> filter_names = {"ppr", "chebyshev"};
 
+  runtime::Supervisor sup = bench::MakeSupervisor("ablation_schemes");
+
   eval::Table table({"Dataset", "Filter", "Scheme", "Test", "Train ms/ep",
                      "Accel", "Cut %"});
   for (const auto& ds : datasets) {
@@ -30,33 +32,42 @@ int main() {
       models::TrainConfig cfg = bench::UniversalConfig(false);
       cfg.epochs = bench::FullMode() ? 150 : 50;
       {
-        auto f = bench::MakeFilter(name, bench::UniversalHops(),
-                                   g.features.cols());
-        auto r = models::TrainFullBatch(g, splits, spec.metric, f.get(), cfg);
-        table.AddRow({ds, name, "FB", eval::Fmt(r.test_metric * 100, 1),
+        const auto r =
+            sup.RunTraining({ds, name, "fb", 1}, g, splits, spec.metric, cfg);
+        table.AddRow({ds, name, "FB",
+                      bench::CellText(r, eval::Fmt(r.test_metric * 100, 1)),
                       eval::Fmt(r.stats.train_ms_per_epoch, 1),
                       FormatBytes(r.stats.peak_accel_bytes), "-"});
       }
       {
-        auto f = bench::MakeFilter(name, bench::UniversalHops(),
-                                   g.features.cols());
-        models::PartitionConfig pcfg;
-        pcfg.base = cfg;
-        pcfg.num_parts = parts;
-        auto r = models::TrainGraphPartition(g, splits, spec.metric, f.get(),
-                                             pcfg);
-        table.AddRow({ds, name, "GP", eval::Fmt(r.test_metric * 100, 1),
+        const auto r = sup.Run({ds, name, "gp", 1}, [&] {
+          models::TrainResult tr;
+          auto f = bench::MakeFilter(name, bench::UniversalHops(),
+                                     g.features.cols());
+          if (!f.ok()) {
+            tr.status = f.status();
+            return tr;
+          }
+          auto filter = f.MoveValue();
+          models::PartitionConfig pcfg;
+          pcfg.base = cfg;
+          pcfg.num_parts = parts;
+          return models::TrainGraphPartition(g, splits, spec.metric,
+                                             filter.get(), pcfg);
+        });
+        table.AddRow({ds, name, "GP",
+                      bench::CellText(r, eval::Fmt(r.test_metric * 100, 1)),
                       eval::Fmt(r.stats.train_ms_per_epoch, 1),
                       FormatBytes(r.stats.peak_accel_bytes),
                       eval::Fmt(cut * 100, 1)});
       }
       {
-        auto f = bench::MakeFilter(name, bench::UniversalHops(),
-                                   g.features.cols());
         models::TrainConfig mcfg = bench::UniversalConfig(true);
         mcfg.epochs = cfg.epochs;
-        auto r = models::TrainMiniBatch(g, splits, spec.metric, f.get(), mcfg);
-        table.AddRow({ds, name, "MB", eval::Fmt(r.test_metric * 100, 1),
+        const auto r = sup.RunTraining({ds, name, "mb", 1}, g, splits,
+                                       spec.metric, mcfg);
+        table.AddRow({ds, name, "MB",
+                      bench::CellText(r, eval::Fmt(r.test_metric * 100, 1)),
                       eval::Fmt(r.stats.train_ms_per_epoch, 1),
                       FormatBytes(r.stats.peak_accel_bytes), "-"});
       }

@@ -3,6 +3,14 @@
 // Every bench prints the rows/series of one paper table or figure. Defaults
 // are sized for a single-core box; set SPECTRAL_BENCH_FULL=1 to run the
 // paper-scale grids (all datasets, all filters, 10 seeds).
+//
+// All benches run their cells through runtime::Supervisor (see
+// runtime/supervisor.h): a crashed/diverged/OOM/timed-out cell becomes a
+// marked table entry instead of killing the grid, and with
+// SPECTRAL_JOURNAL_DIR set, a re-launched bench resumes from its JSONL
+// journal instead of re-running completed cells. SPECTRAL_CELL_DEADLINE_MS
+// applies a wall-clock deadline per cell; SPECTRAL_FAULT_PLAN injects
+// scripted/probabilistic alloc and IO faults (runtime/fault_injection.h).
 
 #ifndef SGNN_BENCH_BENCH_COMMON_H_
 #define SGNN_BENCH_BENCH_COMMON_H_
@@ -15,6 +23,8 @@
 #include "core/registry.h"
 #include "graph/datasets.h"
 #include "models/trainer.h"
+#include "runtime/fault_injection.h"
+#include "runtime/supervisor.h"
 
 namespace sgnn::bench {
 
@@ -39,6 +49,12 @@ inline std::vector<std::string> BenchFilters() {
   return FullMode() ? filters::AllFilterNames() : QuickFilters();
 }
 
+/// Per-cell wall-clock deadline from SPECTRAL_CELL_DEADLINE_MS (0 = none).
+inline double CellDeadlineMs() {
+  const char* env = std::getenv("SPECTRAL_CELL_DEADLINE_MS");
+  return env != nullptr ? std::atof(env) : 0.0;
+}
+
 /// Universal training configuration (paper Table 4): K=10 handled at filter
 /// creation; epochs shortened outside full mode.
 inline models::TrainConfig UniversalConfig(bool mini_batch) {
@@ -50,6 +66,7 @@ inline models::TrainConfig UniversalConfig(bool mini_batch) {
     c.phi0_layers = 0;
     c.phi1_layers = 2;
   }
+  c.deadline_ms = CellDeadlineMs();
   return c;
 }
 
@@ -57,17 +74,35 @@ inline models::TrainConfig UniversalConfig(bool mini_batch) {
 inline int UniversalHops() { return 10; }
 
 /// Creates a filter for a dataset (passes the attribute dimension through
-/// for AdaGNN) and aborts on error.
-inline std::unique_ptr<filters::SpectralFilter> MakeFilter(
+/// for AdaGNN). Unknown names and bad hyperparameters come back as a non-OK
+/// Result for the caller — typically the supervised runner, which records
+/// the cell as SKIPPED — instead of aborting the whole binary.
+inline Result<std::unique_ptr<filters::SpectralFilter>> MakeFilter(
     const std::string& name, int hops, int64_t feature_dim,
     filters::FilterHyperParams hp = {}) {
-  auto r = filters::CreateFilter(name, hops, hp, feature_dim);
-  if (!r.ok()) {
-    std::fprintf(stderr, "filter %s: %s\n", name.c_str(),
-                 r.status().ToString().c_str());
-    std::exit(1);
-  }
-  return r.MoveValue();
+  return filters::CreateFilter(name, hops, hp, feature_dim);
+}
+
+/// The supervised runner for this bench binary: arms env-configured fault
+/// injection once and opens the bench's journal (when SPECTRAL_JOURNAL_DIR
+/// is set).
+inline runtime::Supervisor MakeSupervisor(const std::string& bench_name) {
+  runtime::FaultInjector::Global().ArmFromEnv();
+  return runtime::Supervisor(bench_name);
+}
+
+/// Table cell for a failed/skipped cell: "(OOM)", "(TIMEOUT)", ...
+inline std::string StatusCell(const runtime::CellRecord& record) {
+  return std::string("(") + runtime::CellStatusName(record.status) + ")";
+}
+
+/// `value` when the cell succeeded, its status marker otherwise. The
+/// " fb->mb" suffix surfaces the OOM degradation in tables.
+inline std::string CellText(const runtime::CellRecord& record,
+                            const std::string& value) {
+  std::string text = record.ok() ? value : StatusCell(record);
+  if (record.fell_back) text += " fb->mb";
+  return text;
 }
 
 /// Banner with the reproduced table/figure id.

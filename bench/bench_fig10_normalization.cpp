@@ -17,6 +17,8 @@ int main() {
   const std::vector<std::string> datasets = {"citeseer_sim", "roman_sim"};
   const std::vector<std::string> filter_names = {"ppr", "var_monomial"};
 
+  runtime::Supervisor sup = bench::MakeSupervisor("fig10");
+
   std::vector<std::string> header = {"Dataset", "Filter"};
   for (const double rho : rhos) header.push_back("rho=" + eval::Fmt(rho, 2));
   eval::Table table(header);
@@ -41,18 +43,29 @@ int main() {
     for (const auto& name : filter_names) {
       std::vector<std::string> row = {ds, name};
       for (const double rho : rhos) {
-        auto filter = bench::MakeFilter(name, bench::UniversalHops(),
-                                        g.features.cols());
         models::TrainConfig cfg = bench::UniversalConfig(false);
         cfg.epochs = bench::FullMode() ? 150 : 50;
         cfg.rho = rho;
-        auto r = models::TrainFullBatch(g, splits, spec.metric, filter.get(),
-                                        cfg);
-        const double acc_high = models::EvaluateMetric(
-            graph::Metric::kAccuracy, r.test_logits, g.labels, high_test);
-        const double acc_low = models::EvaluateMetric(
-            graph::Metric::kAccuracy, r.test_logits, g.labels, low_test);
-        row.push_back(eval::Fmt((acc_high - acc_low) * 100, 1));
+        runtime::CellKey key{ds, name, "fb", 1, "rho=" + eval::Fmt(rho, 2)};
+        const auto rec = sup.RunTraining(
+            key, g, splits, spec.metric, cfg, {},
+            [&](const models::TrainResult& r, runtime::CellRecord* out) {
+              out->extras.emplace_back(
+                  "acc_high",
+                  models::EvaluateMetric(graph::Metric::kAccuracy,
+                                         r.test_logits, g.labels, high_test));
+              out->extras.emplace_back(
+                  "acc_low",
+                  models::EvaluateMetric(graph::Metric::kAccuracy,
+                                         r.test_logits, g.labels, low_test));
+            });
+        if (rec.ok()) {
+          const double gap =
+              rec.Extra("acc_high", 0.0) - rec.Extra("acc_low", 0.0);
+          row.push_back(eval::Fmt(gap * 100, 1));
+        } else {
+          row.push_back(bench::StatusCell(rec));
+        }
       }
       table.AddRow(row);
       std::printf("[done] %s %s\n", ds.c_str(), name.c_str());

@@ -18,6 +18,8 @@ int main() {
                                      "snap_patents_sim"}
           : std::vector<std::string>{"penn94_sim", "pokec_sim"};
 
+  runtime::Supervisor sup = bench::MakeSupervisor("fig2");
+
   eval::Table table({"Dataset", "Filter", "Scheme", "Pre ms", "Train ms/ep",
                      "Infer ms", "RAM", "Accel", "Speedup"});
   for (const auto& ds : datasets) {
@@ -25,35 +27,40 @@ int main() {
     graph::Graph g = graph::MakeDataset(spec, 1);
     graph::Splits splits = graph::RandomSplits(g.n, 1);
     for (const auto& name : bench::BenchFilters()) {
-      auto f_fb = bench::MakeFilter(name, bench::UniversalHops(),
-                                    g.features.cols());
       models::TrainConfig fb_cfg = bench::UniversalConfig(false);
       fb_cfg.epochs = 3;
       fb_cfg.timing_only = true;
-      auto fb = models::TrainFullBatch(g, splits, spec.metric, f_fb.get(),
-                                       fb_cfg);
-      table.AddRow({ds, name, "FB", "-",
-                    eval::Fmt(fb.stats.train_ms_per_epoch, 1),
-                    eval::Fmt(fb.stats.infer_ms, 1),
-                    FormatBytes(fb.stats.peak_ram_bytes),
-                    FormatBytes(fb.stats.peak_accel_bytes), "-"});
-      if (!f_fb->SupportsMiniBatch()) continue;
-      auto f_mb = bench::MakeFilter(name, bench::UniversalHops(),
-                                    g.features.cols());
+      const auto fb = sup.RunTraining({ds, name, "fb", 1}, g, splits,
+                                      spec.metric, fb_cfg);
+      if (fb.ok()) {
+        table.AddRow({ds, name, "FB", "-",
+                      eval::Fmt(fb.stats.train_ms_per_epoch, 1),
+                      eval::Fmt(fb.stats.infer_ms, 1),
+                      FormatBytes(fb.stats.peak_ram_bytes),
+                      FormatBytes(fb.stats.peak_accel_bytes), "-"});
+      } else {
+        table.AddRow({ds, name, "FB", "-", bench::StatusCell(fb), "-", "-",
+                      "-", "-"});
+      }
+      {
+        auto probe = bench::MakeFilter(name, 2, 8);
+        if (!probe.ok() || !probe.value()->SupportsMiniBatch()) continue;
+      }
       models::TrainConfig mb_cfg = bench::UniversalConfig(true);
       mb_cfg.epochs = 3;
       mb_cfg.timing_only = true;
       mb_cfg.batch_size = g.n > 50000 ? 20000 : 4096;
-      auto mb = models::TrainMiniBatch(g, splits, spec.metric, f_mb.get(),
-                                       mb_cfg);
-      // End-to-end time comparison over the short run.
-      const double fb_total = fb.stats.train_ms_per_epoch * mb_cfg.epochs;
-      const double mb_total = mb.stats.precompute_ms / mb_cfg.epochs +
-                              mb.stats.train_ms_per_epoch;
-      const double speedup = mb_total > 0 ? fb.stats.train_ms_per_epoch /
-                                                mb.stats.train_ms_per_epoch
-                                          : 0.0;
-      (void)fb_total;
+      const auto mb = sup.RunTraining({ds, name, "mb", 1}, g, splits,
+                                      spec.metric, mb_cfg);
+      if (!mb.ok()) {
+        table.AddRow({ds, name, "MB", bench::StatusCell(mb), "-", "-", "-",
+                      "-", "-"});
+        continue;
+      }
+      const double speedup = mb.stats.train_ms_per_epoch > 0
+                                 ? fb.stats.train_ms_per_epoch /
+                                       mb.stats.train_ms_per_epoch
+                                 : 0.0;
       table.AddRow({ds, name, "MB", eval::Fmt(mb.stats.precompute_ms, 1),
                     eval::Fmt(mb.stats.train_ms_per_epoch, 1),
                     eval::Fmt(mb.stats.infer_ms, 1),

@@ -20,31 +20,33 @@ int main() {
       "identity", "linear", "ppr", "monomial", "chebyshev"};
   const int seeds = bench::FullMode() ? 10 : 2;
 
+  runtime::Supervisor sup = bench::MakeSupervisor("fig4");
+
   eval::Table table({"Dataset", "Filter", "Scheme", "Mean", "Std", "Min",
                      "Max"});
   for (const auto& ds : datasets) {
     const auto spec = graph::FindDataset(ds).value();
     for (const auto& name : filter_names) {
       for (const bool mb : {false, true}) {
+        if (mb) {
+          auto probe = bench::MakeFilter(name, 2, 8);
+          if (!probe.ok() || !probe.value()->SupportsMiniBatch()) continue;
+        }
         std::vector<double> accs;
         for (int seed = 1; seed <= seeds; ++seed) {
-          graph::Graph g = graph::MakeDataset(spec, seed);
-          graph::Splits splits = graph::RandomSplits(g.n, seed);
-          auto filter = bench::MakeFilter(name, bench::UniversalHops(),
-                                          g.features.cols());
-          models::TrainConfig cfg = bench::UniversalConfig(mb);
-          cfg.epochs = bench::FullMode() ? 150 : 30;
-          cfg.seed = seed;
-          models::TrainResult r;
-          if (mb) {
-            if (!filter->SupportsMiniBatch()) break;
-            r = models::TrainMiniBatch(g, splits, spec.metric, filter.get(),
-                                       cfg);
+          runtime::CellKey key{ds, name, mb ? "mb" : "fb", seed};
+          runtime::CellRecord rec;
+          if (const auto* done = sup.Find(key)) {
+            rec = *done;
           } else {
-            r = models::TrainFullBatch(g, splits, spec.metric, filter.get(),
-                                       cfg);
+            graph::Graph g = graph::MakeDataset(spec, seed);
+            graph::Splits splits = graph::RandomSplits(g.n, seed);
+            models::TrainConfig cfg = bench::UniversalConfig(mb);
+            cfg.epochs = bench::FullMode() ? 150 : 30;
+            cfg.seed = seed;
+            rec = sup.RunTraining(key, g, splits, spec.metric, cfg);
           }
-          accs.push_back(r.test_metric * 100.0);
+          if (rec.ok()) accs.push_back(rec.test_metric * 100.0);
         }
         if (accs.empty()) continue;
         const auto s = eval::Summarize(accs);

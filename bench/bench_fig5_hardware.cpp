@@ -33,24 +33,47 @@ int main() {
   graph::Graph g = graph::MakeDataset(spec, 1);
   graph::Splits splits = graph::RandomSplits(g.n, 1);
 
+  runtime::Supervisor sup = bench::MakeSupervisor("fig5");
+
   eval::Table table({"Filter", "Scheme", "Stage", s1.name, s2.name});
   for (const auto& name : bench::BenchFilters()) {
     // FB: measure one epoch; propagation share estimated from a pure filter
-    // pass vs the full epoch.
-    auto filter = bench::MakeFilter(name, bench::UniversalHops(),
-                                    g.features.cols());
+    // pass vs the full epoch. The pure pass is a derived scalar, so it is
+    // journaled as an extra for resume.
     models::TrainConfig cfg = bench::UniversalConfig(false);
     cfg.epochs = 3;
     cfg.timing_only = true;
-    auto fb = models::TrainFullBatch(g, splits, spec.metric, filter.get(),
-                                     cfg);
-    // Pure propagation time: filter forward alone.
-    sparse::CsrMatrix norm = sparse::NormalizeAdjacency(g.adj, cfg.rho);
-    filters::FilterContext ctx{&norm, Device::kHost};
-    eval::Stopwatch sw;
-    Matrix y;
-    filter->Forward(ctx, g.features, &y, false);
-    const double prop_ms = sw.ElapsedMs();
+    double prop_ms_live = 0.0;
+    const auto fb = sup.Run(
+        {"penn94_sim", name, "fb", 1},
+        [&] {
+          models::TrainResult tr;
+          auto filter_or = bench::MakeFilter(name, bench::UniversalHops(),
+                                             g.features.cols());
+          if (!filter_or.ok()) {
+            tr.status = filter_or.status();
+            return tr;
+          }
+          auto filter = filter_or.MoveValue();
+          tr = models::TrainFullBatch(g, splits, spec.metric, filter.get(),
+                                      cfg);
+          // Pure propagation time: filter forward alone.
+          sparse::CsrMatrix norm = sparse::NormalizeAdjacency(g.adj, cfg.rho);
+          filters::FilterContext ctx{&norm, Device::kHost};
+          eval::Stopwatch sw;
+          Matrix y;
+          filter->Forward(ctx, g.features, &y, false);
+          prop_ms_live = sw.ElapsedMs();
+          return tr;
+        },
+        [&](const models::TrainResult&, runtime::CellRecord* rec) {
+          rec->extras.emplace_back("prop_ms", prop_ms_live);
+        });
+    if (!fb.ok()) {
+      table.AddRow({name, "FB", "epoch", bench::StatusCell(fb), "-"});
+      continue;
+    }
+    const double prop_ms = fb.Extra("prop_ms", 0.0);
     const double fb_epoch = fb.stats.train_ms_per_epoch;
     const double fb_prop = std::min(fb_epoch, 2.0 * prop_ms);  // fwd + bwd
     const double fb_trans = std::max(0.0, fb_epoch - fb_prop);
@@ -58,14 +81,19 @@ int main() {
     table.AddRow({name, "FB", "epoch", eval::Fmt(fb_epoch, 2),
                   eval::Fmt(fb_s2, 2)});
 
-    if (!filter->SupportsMiniBatch()) continue;
-    auto f_mb = bench::MakeFilter(name, bench::UniversalHops(),
-                                  g.features.cols());
+    {
+      auto probe = bench::MakeFilter(name, 2, 8);
+      if (!probe.ok() || !probe.value()->SupportsMiniBatch()) continue;
+    }
     models::TrainConfig mb_cfg = bench::UniversalConfig(true);
     mb_cfg.epochs = 3;
     mb_cfg.timing_only = true;
-    auto mb = models::TrainMiniBatch(g, splits, spec.metric, f_mb.get(),
-                                     mb_cfg);
+    const auto mb = sup.RunTraining({"penn94_sim", name, "mb", 1}, g, splits,
+                                    spec.metric, mb_cfg);
+    if (!mb.ok()) {
+      table.AddRow({name, "MB", "precompute", bench::StatusCell(mb), "-"});
+      continue;
+    }
     // MB: precompute is host-bound, per-epoch training is accelerator-bound.
     const double mb_pre_s2 = mb.stats.precompute_ms / s2.host_speed;
     const double mb_train_s2 = mb.stats.train_ms_per_epoch / s2.accel_speed;

@@ -26,24 +26,43 @@ int main() {
   std::printf("ppa_sim: n=%lld m=%lld\n", static_cast<long long>(g.n),
               static_cast<long long>(g.num_edges()));
 
+  runtime::Supervisor sup = bench::MakeSupervisor("fig6");
+
   eval::Table table({"Filter", "AUC", "Pre ms", "Train ms/ep", "Infer ms",
                      "RAM", "Accel"});
   for (const auto& name : bench::BenchFilters()) {
     auto probe = bench::MakeFilter(name, 2, 8);
-    if (!probe->SupportsMiniBatch()) continue;
-    auto filter = bench::MakeFilter(name, bench::UniversalHops(),
-                                    g.features.cols());
-    models::LinkPredConfig cfg;
-    cfg.base = bench::UniversalConfig(true);
-    cfg.base.epochs = bench::FullMode() ? 10 : 3;
-    cfg.neg_ratio = 2;
-    auto r = models::TrainLinkPrediction(g, filter.get(), cfg);
-    table.AddRow({name, eval::Fmt(r.test_auc, 3),
-                  eval::Fmt(r.stats.precompute_ms, 1),
-                  eval::Fmt(r.stats.train_ms_per_epoch, 1),
-                  eval::Fmt(r.stats.infer_ms, 1),
-                  FormatBytes(r.stats.peak_ram_bytes),
-                  FormatBytes(r.stats.peak_accel_bytes)});
+    if (!probe.ok() || !probe.value()->SupportsMiniBatch()) continue;
+    const auto rec = sup.Run(
+        {"ppa_sim", name, "mb", 1, "linkpred"},
+        [&] {
+          models::TrainResult tr;
+          auto filter_or = bench::MakeFilter(name, bench::UniversalHops(),
+                                             g.features.cols());
+          if (!filter_or.ok()) {
+            tr.status = filter_or.status();
+            return tr;
+          }
+          auto filter = filter_or.MoveValue();
+          models::LinkPredConfig cfg;
+          cfg.base = bench::UniversalConfig(true);
+          cfg.base.epochs = bench::FullMode() ? 10 : 3;
+          cfg.neg_ratio = 2;
+          auto r = models::TrainLinkPrediction(g, filter.get(), cfg);
+          tr.test_metric = r.test_auc;
+          tr.stats = r.stats;
+          return tr;
+        });
+    if (rec.ok()) {
+      table.AddRow({name, eval::Fmt(rec.test_metric, 3),
+                    eval::Fmt(rec.stats.precompute_ms, 1),
+                    eval::Fmt(rec.stats.train_ms_per_epoch, 1),
+                    eval::Fmt(rec.stats.infer_ms, 1),
+                    FormatBytes(rec.stats.peak_ram_bytes),
+                    FormatBytes(rec.stats.peak_accel_bytes)});
+    } else {
+      table.AddRow({name, bench::StatusCell(rec), "-", "-", "-", "-", "-"});
+    }
     std::printf("[done] %s\n", name.c_str());
   }
   std::printf("\n");

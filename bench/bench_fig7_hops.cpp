@@ -19,6 +19,8 @@ int main() {
       "linear", "impulse", "ppr", "gaussian", "var_monomial", "chebyshev"};
   const std::vector<std::string> datasets = {"cora_sim", "chameleon_sim"};
 
+  runtime::Supervisor sup = bench::MakeSupervisor("fig7");
+
   for (const auto& ds : datasets) {
     const auto spec = graph::FindDataset(ds).value();
     graph::Graph g = graph::MakeDataset(spec, 1);
@@ -29,12 +31,15 @@ int main() {
     for (const auto& name : filter_names) {
       std::vector<std::string> row = {name};
       for (const int k : hop_values) {
-        auto filter = bench::MakeFilter(name, k, g.features.cols());
         models::TrainConfig cfg = bench::UniversalConfig(false);
         cfg.epochs = bench::FullMode() ? 120 : 40;
-        auto r = models::TrainFullBatch(g, splits, spec.metric, filter.get(),
-                                        cfg);
-        row.push_back(eval::Fmt(r.test_metric * 100.0, 1));
+        runtime::RunOptions opts;
+        opts.hops = k;
+        runtime::CellKey key{ds, name, "fb", 1, "K=" + std::to_string(k)};
+        const auto rec =
+            sup.RunTraining(key, g, splits, spec.metric, cfg, opts);
+        row.push_back(rec.ok() ? eval::Fmt(rec.test_metric * 100.0, 1)
+                               : bench::StatusCell(rec));
       }
       table.AddRow(row);
       std::printf("[done] %s %s\n", ds.c_str(), name.c_str());

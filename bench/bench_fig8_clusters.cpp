@@ -18,25 +18,49 @@ int main() {
   const std::vector<std::string> filter_names = {
       "impulse", "ppr", "monomial", "chebyshev", "chebinterp", "jacobi"};
 
+  runtime::Supervisor sup = bench::MakeSupervisor("fig8");
+
   eval::Table table({"Dataset", "Filter", "Silhouette", "Intra/Inter",
                      "Test acc"});
-  Rng rng(55);
   for (const auto& ds : datasets) {
     const auto spec = graph::FindDataset(ds).value();
     graph::Graph g = graph::MakeDataset(spec, 1);
     graph::Splits splits = graph::RandomSplits(g.n, 1);
     for (const auto& name : filter_names) {
-      auto filter = bench::MakeFilter(name, bench::UniversalHops(),
-                                      g.features.cols());
-      models::TrainConfig cfg = bench::UniversalConfig(false);
-      cfg.epochs = bench::FullMode() ? 150 : 50;
-      auto r = models::TrainFullBatch(g, splits, spec.metric, filter.get(),
-                                      cfg, /*capture_embeddings=*/true);
-      Matrix proj = eval::PcaProject(r.embeddings, 2, &rng);
-      const double sil = eval::SilhouetteScore(proj, g.labels, &rng);
-      const double ratio = eval::IntraInterRatio(proj, g.labels, &rng);
-      table.AddRow({ds, name, eval::Fmt(sil, 3), eval::Fmt(ratio, 3),
-                    eval::Fmt(r.test_metric * 100.0, 1)});
+      const auto rec = sup.Run(
+          {ds, name, "fb", 1, "clusters"},
+          [&] {
+            models::TrainResult tr;
+            auto filter_or = bench::MakeFilter(name, bench::UniversalHops(),
+                                               g.features.cols());
+            if (!filter_or.ok()) {
+              tr.status = filter_or.status();
+              return tr;
+            }
+            auto filter = filter_or.MoveValue();
+            models::TrainConfig cfg = bench::UniversalConfig(false);
+            cfg.epochs = bench::FullMode() ? 150 : 50;
+            return models::TrainFullBatch(g, splits, spec.metric,
+                                          filter.get(), cfg,
+                                          /*capture_embeddings=*/true);
+          },
+          [&](const models::TrainResult& r, runtime::CellRecord* out) {
+            // Embeddings are too big to journal; score them now and keep the
+            // derived scalars so resumed cells rebuild the same row.
+            Rng rng(55);
+            Matrix proj = eval::PcaProject(r.embeddings, 2, &rng);
+            out->extras.emplace_back(
+                "sil", eval::SilhouetteScore(proj, g.labels, &rng));
+            out->extras.emplace_back(
+                "ratio", eval::IntraInterRatio(proj, g.labels, &rng));
+          });
+      if (rec.ok()) {
+        table.AddRow({ds, name, eval::Fmt(rec.Extra("sil", 0.0), 3),
+                      eval::Fmt(rec.Extra("ratio", 0.0), 3),
+                      eval::Fmt(rec.test_metric * 100.0, 1)});
+      } else {
+        table.AddRow({ds, name, bench::StatusCell(rec), "-", "-"});
+      }
       std::printf("[done] %s %s\n", ds.c_str(), name.c_str());
     }
   }

@@ -23,6 +23,8 @@ int main() {
           : std::vector<std::string>{"cora_sim", "tolokers_sim",
                                      "chameleon_sim", "roman_sim"};
 
+  runtime::Supervisor sup = bench::MakeSupervisor("table10");
+
   std::vector<std::string> header = {"Filter"};
   header.insert(header.end(), datasets.begin(), datasets.end());
   eval::Table table(header);
@@ -31,26 +33,35 @@ int main() {
     // Probe MB support once.
     {
       auto probe = bench::MakeFilter(filter_name, 2, 8);
-      if (!probe->SupportsMiniBatch()) continue;
+      if (!probe.ok() || !probe.value()->SupportsMiniBatch()) continue;
     }
     std::vector<std::string> row = {filter_name};
     for (const auto& ds : datasets) {
       const auto spec = graph::FindDataset(ds).value();
       std::vector<double> metrics;
+      runtime::CellRecord last;
       for (int seed = 1; seed <= bench::NumSeeds(); ++seed) {
-        graph::Graph g = graph::MakeDataset(spec, seed);
-        graph::Splits splits = graph::RandomSplits(g.n, seed);
-        auto filter = bench::MakeFilter(filter_name, bench::UniversalHops(),
-                                        g.features.cols());
-        models::TrainConfig cfg = bench::UniversalConfig(true);
-        cfg.seed = seed;
-        cfg.batch_size = g.n > 50000 ? 20000 : 4096;  // paper's two regimes
-        auto result = models::TrainMiniBatch(g, splits, spec.metric,
-                                             filter.get(), cfg);
-        metrics.push_back(result.test_metric * 100.0);
+        runtime::CellKey key{ds, filter_name, "mb", seed};
+        runtime::CellRecord rec;
+        if (const auto* done = sup.Find(key)) {
+          rec = *done;
+        } else {
+          graph::Graph g = graph::MakeDataset(spec, seed);
+          graph::Splits splits = graph::RandomSplits(g.n, seed);
+          models::TrainConfig cfg = bench::UniversalConfig(true);
+          cfg.seed = seed;
+          cfg.batch_size = g.n > 50000 ? 20000 : 4096;  // paper's two regimes
+          rec = sup.RunTraining(key, g, splits, spec.metric, cfg);
+        }
+        if (rec.ok()) metrics.push_back(rec.test_metric * 100.0);
+        last = rec;
       }
-      const auto s = eval::Summarize(metrics);
-      row.push_back(eval::FmtMeanStd(s.mean, s.stddev));
+      if (metrics.empty()) {
+        row.push_back(bench::StatusCell(last));
+      } else {
+        const auto s = eval::Summarize(metrics);
+        row.push_back(eval::FmtMeanStd(s.mean, s.stddev));
+      }
     }
     table.AddRow(row);
     std::printf("[done] %s\n", filter_name.c_str());

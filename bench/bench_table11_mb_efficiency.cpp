@@ -20,6 +20,8 @@ int main() {
                                      "snap_patents_sim", "wiki_sim"}
           : std::vector<std::string>{"penn94_sim", "arxiv_sim", "pokec_sim"};
 
+  runtime::Supervisor sup = bench::MakeSupervisor("table11");
+
   eval::Table table({"Dataset", "Filter", "Pre ms", "Train ms/ep", "Infer ms",
                      "RAM", "Accel"});
   for (const auto& ds : datasets) {
@@ -27,20 +29,26 @@ int main() {
     graph::Graph g = graph::MakeDataset(spec, 1);
     graph::Splits splits = graph::RandomSplits(g.n, 1);
     for (const auto& filter_name : bench::BenchFilters()) {
-      auto filter = bench::MakeFilter(filter_name, bench::UniversalHops(),
-                                      g.features.cols());
-      if (!filter->SupportsMiniBatch()) continue;
+      {
+        auto probe = bench::MakeFilter(filter_name, 2, 8);
+        if (!probe.ok() || !probe.value()->SupportsMiniBatch()) continue;
+      }
       models::TrainConfig cfg = bench::UniversalConfig(true);
       cfg.epochs = bench::FullMode() ? 10 : 3;
       cfg.timing_only = true;
       cfg.batch_size = g.n > 50000 ? 20000 : 4096;
-      auto r =
-          models::TrainMiniBatch(g, splits, spec.metric, filter.get(), cfg);
-      table.AddRow({ds, filter_name, eval::Fmt(r.stats.precompute_ms, 1),
-                    eval::Fmt(r.stats.train_ms_per_epoch, 1),
-                    eval::Fmt(r.stats.infer_ms, 1),
-                    FormatBytes(r.stats.peak_ram_bytes),
-                    FormatBytes(r.stats.peak_accel_bytes)});
+      runtime::CellKey key{ds, filter_name, "mb", 1};
+      const auto r = sup.RunTraining(key, g, splits, spec.metric, cfg);
+      if (r.ok()) {
+        table.AddRow({ds, filter_name, eval::Fmt(r.stats.precompute_ms, 1),
+                      eval::Fmt(r.stats.train_ms_per_epoch, 1),
+                      eval::Fmt(r.stats.infer_ms, 1),
+                      FormatBytes(r.stats.peak_ram_bytes),
+                      FormatBytes(r.stats.peak_accel_bytes)});
+      } else {
+        table.AddRow({ds, filter_name, bench::StatusCell(r), "-", "-", "-",
+                      "-"});
+      }
     }
     std::printf("[done] %s\n", ds.c_str());
   }

@@ -26,6 +26,8 @@ int main() {
           : std::vector<std::string>{"cora_sim", "tolokers_sim",
                                      "chameleon_sim", "roman_sim"};
 
+  runtime::Supervisor sup = bench::MakeSupervisor("table5");
+
   std::vector<std::string> header = {"Filter"};
   header.insert(header.end(), datasets.begin(), datasets.end());
   eval::Table table(header);
@@ -35,19 +37,36 @@ int main() {
     for (const auto& ds : datasets) {
       const auto spec = graph::FindDataset(ds).value();
       std::vector<double> metrics;
+      bool all_ok = true;
+      runtime::CellRecord last;
       for (int seed = 1; seed <= bench::NumSeeds(); ++seed) {
-        graph::Graph g = graph::MakeDataset(spec, seed);
-        graph::Splits splits = graph::RandomSplits(g.n, seed);
-        auto filter = bench::MakeFilter(filter_name, bench::UniversalHops(),
-                                        g.features.cols());
-        models::TrainConfig cfg = bench::UniversalConfig(false);
-        cfg.seed = seed;
-        auto result = models::TrainFullBatch(g, splits, spec.metric,
-                                             filter.get(), cfg);
-        metrics.push_back(result.test_metric * 100.0);
+        runtime::CellKey key{ds, filter_name, "fb", seed};
+        runtime::CellRecord rec;
+        if (const auto* done = sup.Find(key)) {
+          rec = *done;  // resume: skip dataset generation entirely
+        } else {
+          graph::Graph g = graph::MakeDataset(spec, seed);
+          graph::Splits splits = graph::RandomSplits(g.n, seed);
+          models::TrainConfig cfg = bench::UniversalConfig(false);
+          cfg.seed = seed;
+          rec = sup.RunTraining(key, g, splits, spec.metric, cfg);
+        }
+        if (rec.ok()) {
+          metrics.push_back(rec.test_metric * 100.0);
+        } else {
+          all_ok = false;
+        }
+        last = rec;
       }
-      const auto s = eval::Summarize(metrics);
-      row.push_back(eval::FmtMeanStd(s.mean, s.stddev));
+      if (metrics.empty()) {
+        row.push_back(bench::StatusCell(last));
+      } else {
+        const auto s = eval::Summarize(metrics);
+        std::string cell = eval::FmtMeanStd(s.mean, s.stddev);
+        if (!all_ok) cell += " *";  // some seeds failed; mean over survivors
+        if (last.fell_back) cell += " fb->mb";
+        row.push_back(cell);
+      }
     }
     table.AddRow(row);
     std::printf("[done] %s\n", filter_name.c_str());

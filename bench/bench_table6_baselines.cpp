@@ -35,6 +35,9 @@ int main() {
   auto& tracker = DeviceTracker::Global();
   tracker.set_accel_capacity(static_cast<size_t>(160) << 20);
 
+  // This table *reports* OOM cells; baselines have no MB fallback anyway.
+  runtime::Supervisor sup = bench::MakeSupervisor("table6");
+
   eval::Table table({"Dataset", "Model", "Acc", "Pre ms", "Train ms/ep",
                      "Infer ms", "Accel", "Status"});
   for (const auto& ds : datasets) {
@@ -42,17 +45,21 @@ int main() {
     graph::Graph g = graph::MakeDataset(spec, 1);
     graph::Splits splits = graph::RandomSplits(g.n, 1);
     for (const auto& [kind, backend] : entries) {
+      const std::string label = models::BaselineLabel(kind, backend);
       models::TrainConfig cfg = bench::UniversalConfig(false);
       cfg.epochs = bench::FullMode() ? 50 : 20;
-      auto r = models::TrainBaseline(g, splits, spec.metric, kind, backend,
+      runtime::CellKey key{ds, label, "fb", 1};
+      const auto r = sup.Run(key, [&] {
+        return models::TrainBaseline(g, splits, spec.metric, kind, backend,
                                      cfg);
-      table.AddRow({ds, models::BaselineLabel(kind, backend),
-                    r.oom ? "-" : eval::Fmt(r.test_metric * 100.0, 1),
+      });
+      table.AddRow({ds, label,
+                    r.ok() ? eval::Fmt(r.test_metric * 100.0, 1) : "-",
                     eval::Fmt(r.stats.precompute_ms, 1),
-                    r.oom ? "-" : eval::Fmt(r.stats.train_ms_per_epoch, 1),
-                    r.oom ? "-" : eval::Fmt(r.stats.infer_ms, 1),
+                    r.ok() ? eval::Fmt(r.stats.train_ms_per_epoch, 1) : "-",
+                    r.ok() ? eval::Fmt(r.stats.infer_ms, 1) : "-",
                     FormatBytes(r.stats.peak_accel_bytes),
-                    r.oom ? "(OOM)" : "ok"});
+                    r.ok() ? "ok" : bench::StatusCell(r)});
     }
     std::printf("[done] %s\n", ds.c_str());
   }

@@ -40,14 +40,29 @@ int main() {
   for (const auto& s : signals) header.push_back(s.name);
   eval::Table table(header);
 
+  runtime::Supervisor sup = bench::MakeSupervisor("table7");
+
   for (const auto& name : names) {
     if (name == "identity") continue;  // no spectral degrees of freedom
     std::vector<std::string> row = {name};
     for (const auto& signal : signals) {
-      auto filter = bench::MakeFilter(name, bench::UniversalHops(), 4);
-      auto r = models::RunSignalRegression(problem, signal.fn, filter.get(),
-                                           cfg);
-      row.push_back(eval::Fmt(std::max(0.0, r.r2) * 100.0, 1));
+      runtime::CellKey key{"sbm_regression", name, "fb", 1, signal.name};
+      const auto rec = sup.Run(key, [&] {
+        models::TrainResult tr;
+        auto filter_or = bench::MakeFilter(name, bench::UniversalHops(), 4);
+        if (!filter_or.ok()) {
+          tr.status = filter_or.status();
+          return tr;
+        }
+        auto filter = filter_or.MoveValue();
+        auto r = models::RunSignalRegression(problem, signal.fn, filter.get(),
+                                             cfg);
+        tr.test_metric = r.r2;
+        return tr;
+      });
+      row.push_back(rec.ok()
+                        ? eval::Fmt(std::max(0.0, rec.test_metric) * 100.0, 1)
+                        : bench::StatusCell(rec));
     }
     table.AddRow(row);
     std::printf("[done] %s\n", name.c_str());

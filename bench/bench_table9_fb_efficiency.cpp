@@ -25,6 +25,11 @@ int main() {
   auto& tracker = DeviceTracker::Global();
   tracker.set_accel_capacity(static_cast<size_t>(300) << 20);  // 300 MB
 
+  runtime::Supervisor sup = bench::MakeSupervisor("table9");
+  // This table *reports* the (OOM) cells — no FB->MB degradation here.
+  runtime::RunOptions opts;
+  opts.fallback_to_mb = false;
+
   eval::Table table({"Dataset", "Filter", "Train ms/ep", "Infer ms",
                      "RAM", "Accel", "Status"});
   for (const auto& ds : datasets) {
@@ -32,19 +37,19 @@ int main() {
     graph::Graph g = graph::MakeDataset(spec, 1);
     graph::Splits splits = graph::RandomSplits(g.n, 1);
     for (const auto& filter_name : bench::BenchFilters()) {
-      auto filter = bench::MakeFilter(filter_name, bench::UniversalHops(),
-                                      g.features.cols());
       models::TrainConfig cfg = bench::UniversalConfig(false);
       cfg.epochs = bench::FullMode() ? 10 : 3;
       cfg.timing_only = true;
-      auto r =
-          models::TrainFullBatch(g, splits, spec.metric, filter.get(), cfg);
+      runtime::CellKey key{ds, filter_name, "fb", 1};
+      const auto r = sup.RunTraining(key, g, splits, spec.metric, cfg, opts);
+      const bool timings_valid = r.ok();
       table.AddRow({ds, filter_name,
-                    r.oom ? "-" : eval::Fmt(r.stats.train_ms_per_epoch, 1),
-                    r.oom ? "-" : eval::Fmt(r.stats.infer_ms, 1),
+                    timings_valid ? eval::Fmt(r.stats.train_ms_per_epoch, 1)
+                                  : "-",
+                    timings_valid ? eval::Fmt(r.stats.infer_ms, 1) : "-",
                     FormatBytes(r.stats.peak_ram_bytes),
                     FormatBytes(r.stats.peak_accel_bytes),
-                    r.oom ? "(OOM)" : "ok"});
+                    r.ok() ? "ok" : bench::StatusCell(r)});
     }
     std::printf("[done] %s\n", ds.c_str());
   }

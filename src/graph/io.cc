@@ -1,6 +1,7 @@
 #include "graph/io.h"
 
 #include <cstdio>
+#include <mutex>
 #include <vector>
 
 namespace sgnn::graph {
@@ -17,9 +18,35 @@ bool ReadAll(std::FILE* f, void* data, size_t bytes) {
   return std::fread(data, 1, bytes, f) == bytes;
 }
 
+std::mutex& IoHookMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+IoFaultHook& IoHookSlot() {
+  static IoFaultHook hook;
+  return hook;
+}
+
+Status CheckIoFault(const char* op, const std::string& path) {
+  IoFaultHook hook;
+  {
+    std::lock_guard<std::mutex> lock(IoHookMutex());
+    hook = IoHookSlot();
+  }
+  if (!hook) return Status::OK();
+  return hook(op, path);
+}
+
 }  // namespace
 
+void SetIoFaultHook(IoFaultHook hook) {
+  std::lock_guard<std::mutex> lock(IoHookMutex());
+  IoHookSlot() = std::move(hook);
+}
+
 Status SaveGraph(const Graph& g, const std::string& path) {
+  SGNN_RETURN_IF_ERROR(CheckIoFault("save", path));
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   const int64_t n = g.n;
@@ -44,6 +71,7 @@ Status SaveGraph(const Graph& g, const std::string& path) {
 }
 
 Result<Graph> LoadGraph(const std::string& path) {
+  SGNN_RETURN_IF_ERROR(CheckIoFault("load", path));
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open " + path);
   uint64_t magic = 0;

@@ -7,12 +7,20 @@
 #ifndef SGNN_GRAPH_IO_H_
 #define SGNN_GRAPH_IO_H_
 
+#include <functional>
 #include <string>
 
 #include "graph/graph.h"
 #include "tensor/status.h"
 
 namespace sgnn::graph {
+
+/// Fault-injection hook consulted at the start of every SaveGraph/LoadGraph
+/// (see runtime/fault_injection.h). `op` is "save" or "load". A non-OK
+/// return is surfaced as that operation's result. Pass nullptr to uninstall.
+using IoFaultHook =
+    std::function<Status(const char* op, const std::string& path)>;
+void SetIoFaultHook(IoFaultHook hook);
 
 /// Writes the graph (adjacency, features, labels) to a binary file.
 Status SaveGraph(const Graph& g, const std::string& path);

@@ -1,6 +1,7 @@
 #include "models/trainer.h"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "eval/metrics.h"
@@ -23,6 +24,64 @@ void Shuffle(std::vector<int32_t>* idx, Rng* rng) {
   }
 }
 
+/// Shared failure-path supervision for the training loops: the latched-OOM
+/// check (one place instead of a copy per loop), NaN/Inf divergence
+/// detection on loss and gradient, and the per-run wall-clock deadline.
+/// A run that trips a guard stops instead of crashing; the TrainResult
+/// carries which guard fired.
+class RunGuard {
+ public:
+  RunGuard(const TrainConfig& config, TrainResult* result)
+      : config_(config), result_(result) {}
+
+  /// Epoch-granularity check; returns true when the run must stop. `grad`,
+  /// when non-null, is the current loss gradient and is checked for
+  /// non-finite entries along with the loss.
+  bool ShouldStop(double loss, const Matrix* grad) {
+    if (DeviceTracker::Global().accel_oom()) {
+      result_->oom = true;
+      result_->status =
+          Status::OutOfMemory("simulated accelerator over capacity");
+      return true;
+    }
+    if (config_.divergence_check &&
+        (!std::isfinite(loss) ||
+         (grad != nullptr && !ops::AllFinite(*grad)))) {
+      result_->diverged = true;
+      result_->status =
+          Status::NumericalError("non-finite training loss or gradient");
+      return true;
+    }
+    if (config_.deadline_ms > 0.0 &&
+        clock_.ElapsedMs() > config_.deadline_ms) {
+      result_->timed_out = true;
+      result_->status = Status::DeadlineExceeded(
+          "run exceeded deadline of " + std::to_string(config_.deadline_ms) +
+          " ms");
+      return true;
+    }
+    return false;
+  }
+
+  /// End-of-run check: latches an OOM that fired after the last per-epoch
+  /// check (e.g. during the final evaluation pass).
+  void Finalize() {
+    if (DeviceTracker::Global().accel_oom() && !result_->oom) {
+      result_->oom = true;
+      result_->status =
+          Status::OutOfMemory("simulated accelerator over capacity");
+    }
+  }
+
+  /// True once any guard fired; aborted runs skip the inference pass.
+  bool aborted() const { return !result_->status.ok(); }
+
+ private:
+  const TrainConfig& config_;
+  TrainResult* result_;
+  Stopwatch clock_;
+};
+
 }  // namespace
 
 double EvaluateMetric(graph::Metric metric, const Matrix& logits,
@@ -43,6 +102,7 @@ TrainResult TrainFullBatch(const graph::Graph& g, const graph::Splits& splits,
   auto& tracker = DeviceTracker::Global();
   tracker.ClearOom();
   tracker.ResetPeak();
+  RunGuard guard(config, &result);
 
   Rng rng(config.seed * 0x2545F4914F6CDD1DULL + 7);
   // FB loads graph topology and attributes onto the accelerator.
@@ -93,10 +153,7 @@ TrainResult TrainFullBatch(const graph::Graph& g, const graph::Splits& splits,
     filter->ClearCache();
     train_ms_total += sw.ElapsedMs();
 
-    if (tracker.accel_oom()) {
-      result.oom = true;
-      break;
-    }
+    if (guard.ShouldStop(result.final_train_loss, &grad)) break;
 
     const bool last = (epoch + 1 == config.epochs);
     if (!config.timing_only &&
@@ -122,8 +179,9 @@ TrainResult TrainFullBatch(const graph::Graph& g, const graph::Splits& splits,
     }
   }
 
-  // Inference timing: one full eval-mode pass.
-  {
+  // Inference timing: one full eval-mode pass (skipped when a guard fired:
+  // an aborted run must not keep allocating or burn past its deadline).
+  if (!guard.aborted()) {
     Stopwatch sw;
     Matrix eh0, ehf, elogits;
     phi0.Forward(x, &eh0, /*train=*/false, nullptr);
@@ -138,7 +196,7 @@ TrainResult TrainFullBatch(const graph::Graph& g, const graph::Splits& splits,
       train_ms_total / std::max(1, config.epochs);
   result.stats.peak_ram_bytes = tracker.peak_bytes(Device::kHost);
   result.stats.peak_accel_bytes = tracker.peak_bytes(Device::kAccel);
-  if (tracker.accel_oom()) result.oom = true;
+  guard.Finalize();
   return result;
 }
 
@@ -148,11 +206,16 @@ TrainResult TrainMiniBatch(const graph::Graph& g, const graph::Splits& splits,
                            const TrainConfig& config,
                            bool capture_embeddings) {
   TrainResult result;
-  SGNN_CHECK(filter->SupportsMiniBatch(),
-             "TrainMiniBatch: filter does not support the MB scheme");
+  if (!filter->SupportsMiniBatch()) {
+    result.status = Status::InvalidArgument(
+        "TrainMiniBatch: filter " + filter->name() +
+        " does not support the MB scheme");
+    return result;
+  }
   auto& tracker = DeviceTracker::Global();
   tracker.ClearOom();
   tracker.ResetPeak();
+  RunGuard guard(config, &result);
 
   Rng rng(config.seed * 0x9E3779B97F4A7C15ULL + 13);
   filter->ResetParameters(&rng);
@@ -163,7 +226,10 @@ TrainResult TrainMiniBatch(const graph::Graph& g, const graph::Splits& splits,
   filters::FilterContext host_ctx{&norm, Device::kHost};
   std::vector<Matrix> terms;
   const Status pre = filter->Precompute(host_ctx, g.features, &terms);
-  SGNN_CHECK(pre.ok(), pre.ToString().c_str());
+  if (!pre.ok()) {
+    result.status = pre;
+    return result;
+  }
   result.stats.precompute_ms = pre_sw.ElapsedMs();
 
   // Stage 2: batched training; only batch slices reach the accelerator.
@@ -255,10 +321,7 @@ TrainResult TrainMiniBatch(const graph::Graph& g, const graph::Splits& splits,
       filter->params().AdamStep(config.filter_opt, step);
     }
     train_ms_total += sw.ElapsedMs();
-    if (tracker.accel_oom()) {
-      result.oom = true;
-      break;
-    }
+    if (guard.ShouldStop(result.final_train_loss, nullptr)) break;
     const bool last = (epoch + 1 == config.epochs);
     if (!config.timing_only &&
         ((epoch + 1) % config.eval_every == 0 || last)) {
@@ -279,13 +342,13 @@ TrainResult TrainMiniBatch(const graph::Graph& g, const graph::Splits& splits,
     }
   }
 
-  // Inference timing over the test set.
-  {
+  // Inference timing over the test set (skipped when a guard fired).
+  if (!guard.aborted()) {
     Stopwatch sw;
     eval_rows(splits.test);
     result.stats.infer_ms = sw.ElapsedMs();
   }
-  if (capture_embeddings) {
+  if (capture_embeddings && !guard.aborted()) {
     std::vector<int32_t> all(static_cast<size_t>(g.n));
     std::iota(all.begin(), all.end(), 0);
     Matrix emb(g.n, fi, Device::kHost);
@@ -312,6 +375,7 @@ TrainResult TrainMiniBatch(const graph::Graph& g, const graph::Splits& splits,
       train_ms_total / std::max(1, config.epochs);
   result.stats.peak_ram_bytes = tracker.peak_bytes(Device::kHost);
   result.stats.peak_accel_bytes = tracker.peak_bytes(Device::kAccel);
+  guard.Finalize();
   return result;
 }
 

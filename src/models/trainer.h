@@ -36,6 +36,12 @@ struct TrainConfig {
   /// Timing-only mode: skips metric tracking niceties (used by efficiency
   /// benches to keep runs short); epochs still execute fully.
   bool timing_only = false;
+  /// Per-run wall-clock deadline in milliseconds (0 = none). When exceeded
+  /// the run stops and is marked timed_out — the cell-level analogue of the
+  /// paper's "(OOM)" table entries.
+  double deadline_ms = 0.0;
+  /// NaN/Inf divergence detection on the training loss and loss gradient.
+  bool divergence_check = true;
 };
 
 /// Per-stage efficiency measurements (paper Tables 9/11, Figure 2).
@@ -50,6 +56,11 @@ struct StageStats {
 /// Outcome of one training run.
 struct TrainResult {
   bool oom = false;              ///< simulated accelerator over capacity
+  bool diverged = false;         ///< NaN/Inf loss or gradient detected
+  bool timed_out = false;        ///< wall-clock deadline exceeded
+  /// Non-OK when the run aborted (OOM / NumericalError / DeadlineExceeded /
+  /// precompute failure); carries the human-readable reason.
+  Status status;
   double val_metric = 0.0;
   double test_metric = 0.0;
   double final_train_loss = 0.0;

@@ -1,0 +1,141 @@
+#include "runtime/fault_injection.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/io.h"
+#include "tensor/device.h"
+
+namespace sgnn::runtime {
+
+Result<FaultPlan> ParseFaultPlan(const std::string& text) {
+  FaultPlan plan;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find(',', pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string entry = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("fault plan entry missing '=': " + entry);
+    }
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    if (key == "accel_nth") {
+      plan.accel_alloc_fail_nth = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "accel_prob") {
+      plan.accel_alloc_fail_prob = std::atof(value.c_str());
+    } else if (key == "io_nth") {
+      plan.io_fail_nth = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "io_prob") {
+      plan.io_fail_prob = std::atof(value.c_str());
+    } else if (key == "seed") {
+      plan.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else {
+      return Status::InvalidArgument("unknown fault plan key: " + key);
+    }
+  }
+  if (plan.accel_alloc_fail_prob < 0.0 || plan.accel_alloc_fail_prob > 1.0 ||
+      plan.io_fail_prob < 0.0 || plan.io_fail_prob > 1.0) {
+    return Status::InvalidArgument("fault probabilities must be in [0, 1]");
+  }
+  return plan;
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::Arm(const FaultPlan& plan) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_ = plan;
+    rng_ = Rng(plan.seed);
+    accel_allocs_ = io_ops_ = alloc_faults_ = io_faults_ = 0;
+    armed_ = true;
+  }
+  DeviceTracker::Global().SetAllocFaultHook(
+      [this](Device device, size_t /*bytes*/) {
+        if (device != Device::kAccel) return false;
+        return OnAccelAlloc();
+      });
+  graph::SetIoFaultHook([this](const char* op, const std::string& path) {
+    return OnIo(op, path);
+  });
+}
+
+bool FaultInjector::ArmFromEnv() {
+  const char* env = std::getenv("SPECTRAL_FAULT_PLAN");
+  if (env == nullptr || env[0] == '\0') return false;
+  auto plan = ParseFaultPlan(env);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "SPECTRAL_FAULT_PLAN ignored: %s\n",
+                 plan.status().ToString().c_str());
+    return false;
+  }
+  Arm(plan.value());
+  return true;
+}
+
+void FaultInjector::Disarm() {
+  DeviceTracker::Global().SetAllocFaultHook(nullptr);
+  graph::SetIoFaultHook(nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+}
+
+bool FaultInjector::armed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return armed_;
+}
+
+uint64_t FaultInjector::observed_accel_allocs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accel_allocs_;
+}
+
+uint64_t FaultInjector::observed_io_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return io_ops_;
+}
+
+uint64_t FaultInjector::injected_alloc_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return alloc_faults_;
+}
+
+uint64_t FaultInjector::injected_io_faults() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return io_faults_;
+}
+
+bool FaultInjector::OnAccelAlloc() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_) return false;
+  ++accel_allocs_;
+  bool fail = plan_.accel_alloc_fail_nth != 0 &&
+              accel_allocs_ == plan_.accel_alloc_fail_nth;
+  if (!fail && plan_.accel_alloc_fail_prob > 0.0) {
+    fail = rng_.Bernoulli(plan_.accel_alloc_fail_prob);
+  }
+  if (fail) ++alloc_faults_;
+  return fail;
+}
+
+Status FaultInjector::OnIo(const char* op, const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_) return Status::OK();
+  ++io_ops_;
+  bool fail = plan_.io_fail_nth != 0 && io_ops_ == plan_.io_fail_nth;
+  if (!fail && plan_.io_fail_prob > 0.0) {
+    fail = rng_.Bernoulli(plan_.io_fail_prob);
+  }
+  if (!fail) return Status::OK();
+  ++io_faults_;
+  return Status::IOError(std::string("injected fault on ") + op + " " + path);
+}
+
+}  // namespace sgnn::runtime

@@ -15,13 +15,24 @@ DeviceTracker& DeviceTracker::Global() {
 }
 
 void DeviceTracker::OnAlloc(Device device, size_t bytes) {
+  // The hook runs outside the lock so it may consult the tracker (and so a
+  // slow hook cannot serialize unrelated allocations).
+  AllocFaultHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hook = alloc_fault_hook_;
+  }
+  const bool injected = hook && hook(device, bytes);
   std::lock_guard<std::mutex> lock(mu_);
   const int i = static_cast<int>(device);
   live_[i] += bytes;
   peak_[i] = std::max(peak_[i], live_[i]);
-  if (device == Device::kAccel && accel_capacity_ != 0 &&
-      live_[i] > accel_capacity_) {
+  const bool over_capacity =
+      device == Device::kAccel &&
+      ((accel_capacity_ != 0 && live_[i] > accel_capacity_) || injected);
+  if (over_capacity && !accel_oom_) {
     accel_oom_ = true;
+    ++oom_events_;
   }
 }
 
@@ -56,6 +67,16 @@ bool DeviceTracker::accel_oom() const {
   return accel_oom_;
 }
 
+size_t DeviceTracker::oom_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return oom_events_;
+}
+
+void DeviceTracker::SetAllocFaultHook(AllocFaultHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  alloc_fault_hook_ = std::move(hook);
+}
+
 void DeviceTracker::ResetPeak() {
   std::lock_guard<std::mutex> lock(mu_);
   peak_[0] = live_[0];
@@ -72,6 +93,7 @@ void DeviceTracker::ResetAll() {
   live_[0] = live_[1] = 0;
   peak_[0] = peak_[1] = 0;
   accel_oom_ = false;
+  oom_events_ = 0;
 }
 
 std::string FormatBytes(size_t bytes) {

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <string>
 
@@ -57,6 +58,18 @@ class DeviceTracker {
   /// ClearOom().
   bool accel_oom() const;
 
+  /// Number of capacity crossings: incremented only when an allocation
+  /// latches the OOM flag while it is clear, so a burst of over-capacity
+  /// allocations counts as one event.
+  size_t oom_events() const;
+
+  /// Fault-injection hook (see runtime/fault_injection.h). Called for every
+  /// allocation, outside the tracker lock; returning true for an accelerator
+  /// allocation latches the OOM flag exactly as a capacity overflow would.
+  /// Pass nullptr to uninstall.
+  using AllocFaultHook = std::function<bool(Device device, size_t bytes)>;
+  void SetAllocFaultHook(AllocFaultHook hook);
+
   /// Resets peak counters to the current live values.
   void ResetPeak();
 
@@ -72,6 +85,8 @@ class DeviceTracker {
   size_t peak_[2] = {0, 0};
   size_t accel_capacity_ = 0;
   bool accel_oom_ = false;
+  size_t oom_events_ = 0;
+  AllocFaultHook alloc_fault_hook_;
 };
 
 /// Formats a byte count as "1.23 GB" / "45.6 MB" for table output.

@@ -194,4 +194,12 @@ void RowL2Normalize(Matrix* x) {
   }
 }
 
+bool AllFinite(const Matrix& x) {
+  const float* d = x.data();
+  for (int64_t i = 0; i < x.size(); ++i) {
+    if (!std::isfinite(d[i])) return false;
+  }
+  return true;
+}
+
 }  // namespace sgnn::ops

@@ -64,6 +64,10 @@ void AxpyColumnwise(const Matrix& alpha, const Matrix& x, Matrix* y);
 /// L2-normalizes each row of x in place (zero rows left untouched).
 void RowL2Normalize(Matrix* x);
 
+/// True when every element is finite (no NaN/Inf). Used by the training run
+/// guards for divergence detection.
+bool AllFinite(const Matrix& x);
+
 }  // namespace sgnn::ops
 
 #endif  // SGNN_TENSOR_OPS_H_

@@ -25,6 +25,8 @@ enum class StatusCode {
   kIOError,
   kNotImplemented,
   kInternal,
+  kNumericalError,     ///< NaN/Inf divergence detected by a run guard.
+  kDeadlineExceeded,   ///< Per-run wall-clock deadline hit (cell TIMEOUT).
 };
 
 /// A success-or-error value. Cheap to copy on the OK path.
@@ -55,6 +57,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,6 +88,8 @@ class Status {
       case StatusCode::kIOError: return "IOError";
       case StatusCode::kNotImplemented: return "NotImplemented";
       case StatusCode::kInternal: return "Internal";
+      case StatusCode::kNumericalError: return "NumericalError";
+      case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
     }
     return "Unknown";
   }
@@ -112,6 +122,12 @@ class Result {
   /// Moves the contained value out; must only be called when ok().
   T&& MoveValue() { return std::move(std::get<T>(repr_)); }
 
+  /// Returns the contained value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    if (ok()) return std::get<T>(repr_);
+    return fallback;
+  }
+
  private:
   std::variant<T, Status> repr_;
 };
@@ -134,5 +150,20 @@ class Result {
     ::sgnn::Status _st = (expr);            \
     if (!_st.ok()) return _st;              \
   } while (0)
+
+#define SGNN_STATUS_CONCAT_INNER_(a, b) a##b
+#define SGNN_STATUS_CONCAT_(a, b) SGNN_STATUS_CONCAT_INNER_(a, b)
+
+/// Evaluates `rexpr` (a Result<T> expression); on error returns its Status
+/// to the caller, otherwise move-assigns the value into `lhs`. `lhs` may be
+/// a declaration ("auto g, LoadGraph(p)") or an existing lvalue.
+#define SGNN_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  SGNN_ASSIGN_OR_RETURN_IMPL_(                                        \
+      SGNN_STATUS_CONCAT_(_sgnn_result_, __COUNTER__), lhs, rexpr)
+
+#define SGNN_ASSIGN_OR_RETURN_IMPL_(result, lhs, rexpr) \
+  auto result = (rexpr);                                \
+  if (!result.ok()) return result.status();             \
+  lhs = result.MoveValue()
 
 #endif  // SGNN_TENSOR_STATUS_H_

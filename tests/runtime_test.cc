@@ -1,0 +1,367 @@
+// Tests for the fault-tolerant run harness: journal encode/decode and
+// resume, fault-plan parsing and deterministic injection, and the
+// supervisor's status mapping and FB->MB OOM degradation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/registry.h"
+#include "graph/datasets.h"
+#include "graph/generator.h"
+#include "graph/io.h"
+#include "models/trainer.h"
+#include "runtime/fault_injection.h"
+#include "runtime/journal.h"
+#include "runtime/supervisor.h"
+#include "tensor/device.h"
+
+namespace sgnn::runtime {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+graph::Graph SmallGraph() {
+  graph::GeneratorConfig c;
+  c.n = 400;
+  c.avg_degree = 8.0;
+  c.num_classes = 4;
+  c.homophily = 0.85;
+  c.feature_dim = 16;
+  c.noise = 2.0;
+  c.seed = 3;
+  return graph::GenerateSbm(c);
+}
+
+models::TrainConfig FastConfig() {
+  models::TrainConfig c;
+  c.epochs = 20;
+  c.eval_every = 5;
+  c.hidden = 32;
+  c.batch_size = 256;
+  return c;
+}
+
+TEST(JournalRecord, EncodeDecodeRoundTrip) {
+  CellRecord r;
+  r.key = {"cora_sim", "chebyshev", "fb", 3, "K=6"};
+  r.status = CellStatus::kOk;
+  r.final_scheme = "fb";
+  r.val_metric = 0.91;
+  r.test_metric = 0.875;
+  r.train_loss = 0.31;
+  r.stats.precompute_ms = 1.5;
+  r.stats.train_ms_per_epoch = 22.25;
+  r.stats.infer_ms = 3.0;
+  r.stats.peak_ram_bytes = 12345;
+  r.stats.peak_accel_bytes = 67890;
+  r.wall_ms = 812.5;
+  r.extras.emplace_back("sil", 0.42);
+  r.extras.emplace_back("ratio", 1.25);
+
+  const std::string line = EncodeRecord("fig8", r);
+  auto decoded_or = DecodeRecord(line);
+  ASSERT_TRUE(decoded_or.ok()) << decoded_or.status().ToString();
+  const CellRecord d = decoded_or.value();
+  EXPECT_EQ(d.key.Id(), r.key.Id());
+  EXPECT_EQ(d.status, CellStatus::kOk);
+  EXPECT_TRUE(d.terminal);
+  EXPECT_DOUBLE_EQ(d.val_metric, r.val_metric);
+  EXPECT_DOUBLE_EQ(d.test_metric, r.test_metric);
+  EXPECT_DOUBLE_EQ(d.train_loss, r.train_loss);
+  EXPECT_DOUBLE_EQ(d.stats.train_ms_per_epoch, r.stats.train_ms_per_epoch);
+  EXPECT_EQ(d.stats.peak_ram_bytes, r.stats.peak_ram_bytes);
+  EXPECT_EQ(d.stats.peak_accel_bytes, r.stats.peak_accel_bytes);
+  EXPECT_DOUBLE_EQ(d.wall_ms, r.wall_ms);
+  EXPECT_DOUBLE_EQ(d.Extra("sil"), 0.42);
+  EXPECT_DOUBLE_EQ(d.Extra("ratio"), 1.25);
+  EXPECT_DOUBLE_EQ(d.Extra("absent", -1.0), -1.0);
+}
+
+TEST(JournalRecord, EscapesSpecialCharacters) {
+  CellRecord r;
+  r.key = {"data\"set", "fil\\ter", "fb", 1, "tab\there"};
+  r.status = CellStatus::kFailed;
+  r.detail = "line1\nline2 \"quoted\"";
+  const std::string line = EncodeRecord("b", r);
+  EXPECT_EQ(line.find('\n'), std::string::npos);  // one line per record
+  auto d = DecodeRecord(line);
+  ASSERT_TRUE(d.ok()) << d.status().ToString();
+  EXPECT_EQ(d.value().key.dataset, "data\"set");
+  EXPECT_EQ(d.value().key.filter, "fil\\ter");
+  EXPECT_EQ(d.value().key.variant, "tab\there");
+  EXPECT_EQ(d.value().detail, "line1\nline2 \"quoted\"");
+}
+
+TEST(JournalRecord, DecodeRejectsGarbage) {
+  EXPECT_FALSE(DecodeRecord("not json").ok());
+  EXPECT_FALSE(DecodeRecord("{\"bench\":\"x\", truncated").ok());
+}
+
+TEST(Journal, DisabledWithEmptyPath) {
+  Journal j("");
+  EXPECT_FALSE(j.enabled());
+  CellRecord r;
+  r.key = {"d", "f", "fb", 1, ""};
+  j.Append("b", r);  // no-op, must not crash
+  EXPECT_EQ(j.Find(r.key), nullptr);
+}
+
+TEST(Journal, ReplaysTerminalRecordsAcrossInstances) {
+  const std::string path = TempPath("journal_replay.jsonl");
+  std::remove(path.c_str());
+  {
+    Journal j(path);
+    EXPECT_EQ(j.replayed(), 0u);
+    CellRecord done;
+    done.key = {"cora_sim", "ppr", "fb", 1, ""};
+    done.test_metric = 0.9;
+    j.Append("t", done);
+    CellRecord attempt;  // non-terminal: must not satisfy Find on reload
+    attempt.key = {"cora_sim", "ppr", "fb", 2, ""};
+    attempt.terminal = false;
+    attempt.status = CellStatus::kOom;
+    j.Append("t", attempt);
+  }
+  Journal j2(path);
+  EXPECT_EQ(j2.replayed(), 1u);
+  const CellRecord* found = j2.Find({"cora_sim", "ppr", "fb", 1, ""});
+  ASSERT_NE(found, nullptr);
+  EXPECT_DOUBLE_EQ(found->test_metric, 0.9);
+  EXPECT_EQ(j2.Find({"cora_sim", "ppr", "fb", 2, ""}), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, ToleratesTornFinalLine) {
+  const std::string path = TempPath("journal_torn.jsonl");
+  std::remove(path.c_str());
+  {
+    Journal j(path);
+    CellRecord r;
+    r.key = {"d", "f", "fb", 1, ""};
+    j.Append("t", r);
+  }
+  {
+    // Simulate a SIGKILL mid-write: a truncated trailing line.
+    std::ofstream f(path, std::ios::app);
+    f << "{\"bench\":\"t\",\"dataset\":\"d2\",\"fil";
+  }
+  Journal j(path);
+  EXPECT_EQ(j.replayed(), 1u);
+  EXPECT_NE(j.Find({"d", "f", "fb", 1, ""}), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(FaultPlanParse, ParsesFullPlan) {
+  auto p = ParseFaultPlan("accel_nth=120,accel_prob=0.01,io_nth=3,"
+                          "io_prob=0.5,seed=7");
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p.value().accel_alloc_fail_nth, 120u);
+  EXPECT_DOUBLE_EQ(p.value().accel_alloc_fail_prob, 0.01);
+  EXPECT_EQ(p.value().io_fail_nth, 3u);
+  EXPECT_DOUBLE_EQ(p.value().io_fail_prob, 0.5);
+  EXPECT_EQ(p.value().seed, 7u);
+}
+
+TEST(FaultPlanParse, RejectsUnknownKeysAndBadProbs) {
+  EXPECT_FALSE(ParseFaultPlan("bogus=1").ok());
+  EXPECT_FALSE(ParseFaultPlan("accel_prob=1.5").ok());
+  EXPECT_FALSE(ParseFaultPlan("io_prob=-0.1").ok());
+}
+
+TEST(FaultInjector, NthAllocFaultLatchesOomOnce) {
+  auto& tracker = DeviceTracker::Global();
+  tracker.ResetAll();
+  auto& inj = FaultInjector::Global();
+  FaultPlan plan;
+  plan.accel_alloc_fail_nth = 3;
+  inj.Arm(plan);
+  tracker.OnAlloc(Device::kAccel, 8);
+  tracker.OnAlloc(Device::kAccel, 8);
+  EXPECT_FALSE(tracker.accel_oom());
+  tracker.OnAlloc(Device::kAccel, 8);  // the scripted 3rd allocation
+  EXPECT_TRUE(tracker.accel_oom());
+  EXPECT_EQ(inj.observed_accel_allocs(), 3u);
+  EXPECT_EQ(inj.injected_alloc_faults(), 1u);
+  tracker.OnAlloc(Device::kAccel, 8);  // one-shot: no further faults
+  EXPECT_EQ(inj.injected_alloc_faults(), 1u);
+  tracker.OnFree(Device::kAccel, 32);
+  inj.Disarm();
+  tracker.ResetAll();
+}
+
+TEST(FaultInjector, ProbabilisticFaultsAreSeedDeterministic) {
+  auto& tracker = DeviceTracker::Global();
+  auto& inj = FaultInjector::Global();
+  FaultPlan plan;
+  plan.accel_alloc_fail_prob = 0.3;
+  plan.seed = 11;
+  auto run = [&] {
+    tracker.ResetAll();
+    inj.Arm(plan);
+    std::vector<bool> oom_after;
+    for (int i = 0; i < 50; ++i) {
+      tracker.OnAlloc(Device::kAccel, 8);
+      oom_after.push_back(tracker.accel_oom());
+      tracker.ClearOom();
+      tracker.OnFree(Device::kAccel, 8);
+    }
+    inj.Disarm();
+    return oom_after;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);  // same plan + seed => identical fault sequence
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  tracker.ResetAll();
+}
+
+TEST(FaultInjector, IoFaultSurfacesAsStatusNotCrash) {
+  auto& inj = FaultInjector::Global();
+  FaultPlan plan;
+  plan.io_fail_nth = 1;
+  inj.Arm(plan);
+  auto loaded = graph::LoadGraph(TempPath("does_not_matter.bin"));
+  inj.Disarm();
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  EXPECT_NE(loaded.status().ToString().find("injected"), std::string::npos);
+  EXPECT_EQ(inj.injected_io_faults(), 1u);
+}
+
+TEST(Supervisor, RecordsSkippedForUnknownFilter) {
+  graph::Graph g = SmallGraph();
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+  Supervisor sup("test", "");
+  const CellRecord r = sup.RunTraining({"g", "no_such_filter", "fb", 1}, g, s,
+                                       graph::Metric::kAccuracy,
+                                       FastConfig());
+  EXPECT_EQ(r.status, CellStatus::kSkipped);
+  EXPECT_NE(r.detail.find("no_such_filter"), std::string::npos);
+}
+
+TEST(Supervisor, RecordsSkippedForFullBatchOnlyFilterInMbScheme) {
+  graph::Graph g = SmallGraph();
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+  Supervisor sup("test", "");
+  const CellRecord r = sup.RunTraining({"g", "adagnn", "mb", 1}, g, s,
+                                       graph::Metric::kAccuracy,
+                                       FastConfig());
+  EXPECT_EQ(r.status, CellStatus::kSkipped);
+}
+
+TEST(Supervisor, ResumeSkipsJournaledCellsAndRebuildsSameRow) {
+  const std::string path = TempPath("supervisor_resume.jsonl");
+  std::remove(path.c_str());
+  graph::Graph g = SmallGraph();
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+  const CellKey key{"small", "ppr", "fb", 1, ""};
+  int executions = 0;
+  auto body = [&] {
+    ++executions;
+    models::TrainResult tr;
+    tr.test_metric = 0.75;
+    return tr;
+  };
+  CellRecord first;
+  {
+    Supervisor sup("test", path);
+    first = sup.Run(key, body);
+    EXPECT_EQ(sup.resumed_cells(), 0u);
+  }
+  {
+    Supervisor sup("test", path);
+    const CellRecord again = sup.Run(key, body);
+    EXPECT_EQ(sup.resumed_cells(), 1u);
+    EXPECT_EQ(executions, 1);  // body did not run a second time
+    EXPECT_DOUBLE_EQ(again.test_metric, first.test_metric);
+    EXPECT_EQ(again.status, first.status);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Supervisor, FullBatchOomFallsBackToMiniBatch) {
+  const std::string path = TempPath("supervisor_fallback.jsonl");
+  std::remove(path.c_str());
+  auto& tracker = DeviceTracker::Global();
+  tracker.ResetAll();
+  graph::Graph g = SmallGraph();
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+
+  // Fail an early accelerator allocation: FB OOMs, the MB retry must
+  // survive because the one-shot fault is already spent.
+  auto& inj = FaultInjector::Global();
+  FaultPlan plan;
+  plan.accel_alloc_fail_nth = 10;
+  inj.Arm(plan);
+
+  CellRecord rec;
+  {
+    Supervisor sup("test", path);
+    rec = sup.RunTraining({"small", "ppr", "fb", 1}, g, s,
+                          graph::Metric::kAccuracy, FastConfig());
+  }
+  inj.Disarm();
+  tracker.ResetAll();
+
+  EXPECT_TRUE(rec.ok());
+  EXPECT_TRUE(rec.fell_back);
+  EXPECT_EQ(rec.final_scheme, "mb");
+  EXPECT_EQ(rec.attempts, 2);
+  EXPECT_GT(rec.test_metric, 0.5);
+
+  // The journal must show both the OOM attempt and the fallback result.
+  std::ifstream f(path);
+  std::string line;
+  int oom_attempts = 0, terminal_fallbacks = 0;
+  while (std::getline(f, line)) {
+    auto d = DecodeRecord(line);
+    ASSERT_TRUE(d.ok());
+    if (!d.value().terminal && d.value().status == CellStatus::kOom) {
+      ++oom_attempts;
+    }
+    if (d.value().terminal && d.value().fell_back) ++terminal_fallbacks;
+  }
+  EXPECT_EQ(oom_attempts, 1);
+  EXPECT_EQ(terminal_fallbacks, 1);
+  std::remove(path.c_str());
+}
+
+TEST(Supervisor, OomWithoutFallbackIsReported) {
+  auto& tracker = DeviceTracker::Global();
+  tracker.ResetAll();
+  tracker.set_accel_capacity(64 * 1024);  // everything OOMs
+  graph::Graph g = SmallGraph();
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+  Supervisor sup("test", "");
+  RunOptions opts;
+  opts.fallback_to_mb = false;
+  const CellRecord r = sup.RunTraining({"small", "ppr", "fb", 1}, g, s,
+                                       graph::Metric::kAccuracy, FastConfig(),
+                                       opts);
+  tracker.set_accel_capacity(0);
+  tracker.ResetAll();
+  EXPECT_EQ(r.status, CellStatus::kOom);
+  EXPECT_FALSE(r.fell_back);
+}
+
+TEST(Supervisor, DeadlineProducesTimeoutCell) {
+  graph::Graph g = SmallGraph();
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+  Supervisor sup("test", "");
+  models::TrainConfig cfg = FastConfig();
+  cfg.epochs = 100000;
+  cfg.deadline_ms = 1.0;
+  const CellRecord r = sup.RunTraining({"small", "ppr", "fb", 1}, g, s,
+                                       graph::Metric::kAccuracy, cfg);
+  EXPECT_EQ(r.status, CellStatus::kTimeout);
+}
+
+}  // namespace
+}  // namespace sgnn::runtime

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
 
 #include "tensor/device.h"
 #include "tensor/matrix.h"
@@ -36,6 +39,59 @@ TEST(Result, HoldsStatus) {
   Result<int> r(Status::NotFound("missing"));
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, ValueOrReturnsValueWhenOk) {
+  Result<int> r(42);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(Result, ValueOrReturnsFallbackOnError) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Status, NewCodesHaveNamesAndFactories) {
+  EXPECT_EQ(Status::NumericalError("nan").ToString(), "NumericalError: nan");
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Status SumPositive(int a, int b, int* out) {
+  SGNN_ASSIGN_OR_RETURN(const int va, ParsePositive(a));
+  SGNN_ASSIGN_OR_RETURN(const int vb, ParsePositive(b));
+  *out = va + vb;
+  return Status::OK();
+}
+
+TEST(AssignOrReturn, AssignsOnSuccess) {
+  int sum = 0;
+  ASSERT_TRUE(SumPositive(2, 3, &sum).ok());
+  EXPECT_EQ(sum, 5);
+}
+
+TEST(AssignOrReturn, PropagatesErrorAndStops) {
+  int sum = -7;
+  const Status s = SumPositive(2, 0, &sum);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(sum, -7);  // assignment after the failing expansion never ran
+}
+
+TEST(AssignOrReturn, MovesNonCopyableValues) {
+  auto make = []() -> Result<std::unique_ptr<int>> {
+    return std::make_unique<int>(9);
+  };
+  auto body = [&]() -> Status {
+    SGNN_ASSIGN_OR_RETURN(std::unique_ptr<int> p, make());
+    return p != nullptr && *p == 9 ? Status::OK()
+                                   : Status::Internal("bad move");
+  };
+  EXPECT_TRUE(body().ok());
 }
 
 TEST(Rng, DeterministicForSameSeed) {
@@ -183,6 +239,93 @@ TEST(DeviceTracker, MoveSemanticsDoNotDoubleCount) {
   EXPECT_EQ(t.live_bytes(Device::kHost), bytes);
   a = Matrix(5, 5, Device::kHost);
   EXPECT_EQ(t.live_bytes(Device::kHost), bytes + 100);
+  t.ResetAll();
+}
+
+TEST(DeviceTracker, AllocFaultHookLatchesOom) {
+  auto& t = DeviceTracker::Global();
+  t.ResetAll();
+  int calls = 0;
+  t.SetAllocFaultHook([&](Device d, size_t) {
+    ++calls;
+    return d == Device::kAccel;
+  });
+  t.OnAlloc(Device::kHost, 64);
+  EXPECT_FALSE(t.accel_oom());  // hook fires only for accel allocations
+  t.OnAlloc(Device::kAccel, 64);
+  EXPECT_TRUE(t.accel_oom());
+  EXPECT_EQ(calls, 2);
+  t.OnFree(Device::kHost, 64);
+  t.OnFree(Device::kAccel, 64);
+  t.SetAllocFaultHook(nullptr);
+  t.ResetAll();
+}
+
+TEST(DeviceTracker, OomEventCountsLatchTransitionsOnly) {
+  auto& t = DeviceTracker::Global();
+  t.ResetAll();
+  t.set_accel_capacity(100);
+  t.OnAlloc(Device::kAccel, 200);  // crosses capacity: one event
+  t.OnAlloc(Device::kAccel, 200);  // still latched: no new event
+  EXPECT_EQ(t.oom_events(), 1u);
+  t.ClearOom();
+  t.OnAlloc(Device::kAccel, 200);  // second crossing after clear
+  EXPECT_EQ(t.oom_events(), 2u);
+  t.OnFree(Device::kAccel, 600);
+  t.set_accel_capacity(0);
+  t.ResetAll();
+}
+
+TEST(DeviceTracker, ConcurrentAllocFreeIsExact) {
+  auto& t = DeviceTracker::Global();
+  t.ResetAll();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  constexpr size_t kBytes = 64;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < kIters; ++j) {
+        t.OnAlloc(Device::kAccel, kBytes);
+      }
+      for (int j = 0; j < kIters; ++j) {
+        t.OnFree(Device::kAccel, kBytes);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.live_bytes(Device::kAccel), 0u);
+  // Peak is at least one thread's full allocation and at most all of them.
+  EXPECT_GE(t.peak_bytes(Device::kAccel), kIters * kBytes);
+  EXPECT_LE(t.peak_bytes(Device::kAccel), kThreads * kIters * kBytes);
+  EXPECT_FALSE(t.accel_oom());
+  t.ResetAll();
+}
+
+TEST(DeviceTracker, ConcurrentCapacityCrossingLatchesOnce) {
+  auto& t = DeviceTracker::Global();
+  t.ResetAll();
+  // Capacity sits above any single thread's footprint but far below the
+  // combined one, so the crossing happens while threads race.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 1000;
+  constexpr size_t kBytes = 64;
+  t.set_accel_capacity(2 * kIters * kBytes);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      for (int j = 0; j < kIters; ++j) {
+        t.OnAlloc(Device::kAccel, kBytes);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(t.accel_oom());
+  EXPECT_EQ(t.oom_events(), 1u);  // latch fires exactly once per crossing
+  t.OnFree(Device::kAccel, kThreads * kIters * kBytes);
+  t.set_accel_capacity(0);
   t.ResetAll();
 }
 

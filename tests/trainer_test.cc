@@ -105,6 +105,90 @@ TEST(FullBatch, SimulatedOomTriggers) {
   EXPECT_TRUE(r.oom);
 }
 
+TEST(FullBatch, MidTrainingInjectedOomAbortsCleanly) {
+  auto& tracker = DeviceTracker::Global();
+  graph::Graph g = EasyGraph();
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+  auto f = filters::CreateFilter("ppr", 4).MoveValue();
+  // Let training warm up, then fail an accelerator allocation mid-run.
+  int accel_allocs = 0;
+  tracker.SetAllocFaultHook([&](Device d, size_t) {
+    return d == Device::kAccel && ++accel_allocs == 200;
+  });
+  TrainResult r = TrainFullBatch(g, s, graph::Metric::kAccuracy, f.get(),
+                                 FastConfig());
+  tracker.SetAllocFaultHook(nullptr);
+  tracker.ClearOom();
+  EXPECT_TRUE(r.oom);
+  EXPECT_EQ(r.status.code(), StatusCode::kOutOfMemory);
+  EXPECT_GT(accel_allocs, 200);  // run kept allocating but never crashed
+}
+
+TEST(FullBatch, NanDivergenceAborts) {
+  graph::Graph g = EasyGraph();
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+  auto f = filters::CreateFilter("ppr", 4).MoveValue();
+  TrainConfig c = FastConfig();
+  c.weights_opt.lr = 1e18;  // blows up the loss within a few steps
+  c.filter_opt.lr = 1e18;
+  TrainResult r = TrainFullBatch(g, s, graph::Metric::kAccuracy, f.get(), c);
+  EXPECT_TRUE(r.diverged);
+  EXPECT_EQ(r.status.code(), StatusCode::kNumericalError);
+  EXPECT_FALSE(r.oom);
+}
+
+TEST(FullBatch, DivergenceCheckCanBeDisabled) {
+  graph::Graph g = EasyGraph();
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+  auto f = filters::CreateFilter("ppr", 4).MoveValue();
+  TrainConfig c = FastConfig();
+  c.epochs = 10;
+  c.weights_opt.lr = 1e18;
+  c.filter_opt.lr = 1e18;
+  c.divergence_check = false;
+  TrainResult r = TrainFullBatch(g, s, graph::Metric::kAccuracy, f.get(), c);
+  EXPECT_FALSE(r.diverged);
+}
+
+TEST(FullBatch, DeadlineMarksTimeout) {
+  graph::Graph g = EasyGraph();
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+  auto f = filters::CreateFilter("ppr", 4).MoveValue();
+  TrainConfig c = FastConfig();
+  c.epochs = 10000;
+  c.deadline_ms = 1.0;
+  TrainResult r = TrainFullBatch(g, s, graph::Metric::kAccuracy, f.get(), c);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(MiniBatch, DeadlineMarksTimeout) {
+  graph::Graph g = EasyGraph();
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+  auto f = filters::CreateFilter("ppr", 4).MoveValue();
+  TrainConfig c = FastConfig();
+  c.phi0_layers = 0;
+  c.phi1_layers = 2;
+  c.epochs = 10000;
+  c.deadline_ms = 1.0;
+  TrainResult r = TrainMiniBatch(g, s, graph::Metric::kAccuracy, f.get(), c);
+  EXPECT_TRUE(r.timed_out);
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(MiniBatch, FullBatchOnlyFilterReturnsStatusInsteadOfAborting) {
+  graph::Graph g = EasyGraph();
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+  auto f = filters::CreateFilter("adagnn", 4, {}, g.features.cols())
+               .MoveValue();
+  ASSERT_FALSE(f->SupportsMiniBatch());
+  TrainConfig c = FastConfig();
+  c.phi0_layers = 0;
+  c.phi1_layers = 2;
+  TrainResult r = TrainMiniBatch(g, s, graph::Metric::kAccuracy, f.get(), c);
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+}
+
 TEST(FullBatch, CapturesEmbeddings) {
   graph::Graph g = EasyGraph();
   graph::Splits s = graph::RandomSplits(g.n, 1);

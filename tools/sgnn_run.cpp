@@ -9,6 +9,12 @@
 //
 // Schemes: fb (full-batch), mb (mini-batch), gp (graph partition),
 // iterative (per-hop transformations).
+//
+// Every run goes through the supervised runner (runtime/supervisor.h): a
+// diverging, timed-out, or OOM seed is reported as a status instead of a
+// crash; --deadline-ms bounds each seed's wall-clock; --fallback 0 disables
+// the FB->MB OOM degradation; --journal <path> (or SPECTRAL_JOURNAL_DIR)
+// makes runs resumable; SPECTRAL_FAULT_PLAN injects faults.
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +29,8 @@
 #include "models/iterative.h"
 #include "models/partition.h"
 #include "models/trainer.h"
+#include "runtime/fault_injection.h"
+#include "runtime/supervisor.h"
 
 namespace {
 
@@ -66,6 +74,7 @@ void Usage() {
       "                [--hops K] [--epochs N] [--seeds S] [--rho R]\n"
       "                [--alpha A] [--beta B] [--hidden H] [--batch B]\n"
       "                [--parts P] [--layers J] [--csv path]\n"
+      "                [--deadline-ms D] [--fallback 0|1] [--journal path]\n"
       "datasets: ");
   for (const auto& spec : graph::AllDatasets()) {
     std::fprintf(stderr, "%s ", spec.name.c_str());
@@ -88,6 +97,11 @@ int main(int argc, char** argv) {
     Usage();
     return 2;
   }
+  if (scheme != "fb" && scheme != "mb" && scheme != "gp" &&
+      scheme != "iterative") {
+    Usage();
+    return 2;
+  }
   auto spec_or = graph::FindDataset(dataset);
   if (!spec_or.ok()) {
     std::fprintf(stderr, "%s\n", spec_or.status().ToString().c_str());
@@ -101,60 +115,77 @@ int main(int argc, char** argv) {
   const int hops = flags.GetInt("hops", 10);
   const int seeds = flags.GetInt("seeds", 1);
 
+  runtime::FaultInjector::Global().ArmFromEnv();
+  runtime::Supervisor sup("sgnn_run", flags.Get("journal", ""));
+  runtime::RunOptions options;
+  options.hp = hp;
+  options.hops = hops;
+  options.fallback_to_mb = flags.GetInt("fallback", 1) != 0;
+
   std::vector<double> metrics;
   models::StageStats last_stats;
-  bool any_oom = false;
+  bool any_bad = false;
+  std::string last_marker;
   for (int seed = 1; seed <= seeds; ++seed) {
-    graph::Graph g = graph::MakeDataset(spec, seed);
-    graph::Splits splits = graph::RandomSplits(g.n, seed);
-    models::TrainConfig cfg;
-    cfg.epochs = flags.GetInt("epochs", 100);
-    cfg.hidden = flags.GetInt("hidden", 64);
-    cfg.batch_size = flags.GetInt("batch", 4096);
-    cfg.rho = flags.GetDouble("rho", 0.5);
-    cfg.seed = seed;
-    models::TrainResult r;
-    if (scheme == "iterative") {
-      models::IterativeConfig icfg;
-      icfg.base = cfg;
-      icfg.layers = flags.GetInt("layers", 2);
-      icfg.layer_filter = filter_name;
-      r = models::TrainIterative(g, splits, spec.metric, icfg);
+    runtime::CellKey key{dataset, filter_name, scheme, seed};
+    runtime::CellRecord rec;
+    if (const auto* done = sup.Find(key)) {
+      rec = *done;
     } else {
-      auto filter_or =
-          filters::CreateFilter(filter_name, hops, hp, g.features.cols());
-      if (!filter_or.ok()) {
-        std::fprintf(stderr, "%s\n", filter_or.status().ToString().c_str());
-        return 2;
-      }
-      auto filter = filter_or.MoveValue();
-      if (scheme == "mb") {
-        if (!filter->SupportsMiniBatch()) {
-          std::fprintf(stderr, "filter %s is full-batch only\n",
-                       filter_name.c_str());
-          return 2;
-        }
-        cfg.phi0_layers = 0;
-        cfg.phi1_layers = 2;
-        r = models::TrainMiniBatch(g, splits, spec.metric, filter.get(), cfg);
+      graph::Graph g = graph::MakeDataset(spec, seed);
+      graph::Splits splits = graph::RandomSplits(g.n, seed);
+      models::TrainConfig cfg;
+      cfg.epochs = flags.GetInt("epochs", 100);
+      cfg.hidden = flags.GetInt("hidden", 64);
+      cfg.batch_size = flags.GetInt("batch", 4096);
+      cfg.rho = flags.GetDouble("rho", 0.5);
+      cfg.deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+      cfg.seed = seed;
+      if (scheme == "iterative") {
+        rec = sup.Run(key, [&] {
+          models::IterativeConfig icfg;
+          icfg.base = cfg;
+          icfg.layers = flags.GetInt("layers", 2);
+          icfg.layer_filter = filter_name;
+          return models::TrainIterative(g, splits, spec.metric, icfg);
+        });
       } else if (scheme == "gp") {
-        models::PartitionConfig pcfg;
-        pcfg.base = cfg;
-        pcfg.num_parts = flags.GetInt("parts", 8);
-        r = models::TrainGraphPartition(g, splits, spec.metric, filter.get(),
-                                        pcfg);
-      } else if (scheme == "fb") {
-        r = models::TrainFullBatch(g, splits, spec.metric, filter.get(), cfg);
+        rec = sup.Run(key, [&]() -> models::TrainResult {
+          models::TrainResult tr;
+          auto filter_or =
+              filters::CreateFilter(filter_name, hops, hp, g.features.cols());
+          if (!filter_or.ok()) {
+            tr.status = filter_or.status();
+            return tr;
+          }
+          auto filter = filter_or.MoveValue();
+          models::PartitionConfig pcfg;
+          pcfg.base = cfg;
+          pcfg.num_parts = flags.GetInt("parts", 8);
+          return models::TrainGraphPartition(g, splits, spec.metric,
+                                             filter.get(), pcfg);
+        });
       } else {
-        Usage();
-        return 2;
+        rec = sup.RunTraining(key, g, splits, spec.metric, cfg, options);
       }
     }
-    metrics.push_back(r.test_metric * 100.0);
-    last_stats = r.stats;
-    any_oom |= r.oom;
-    std::printf("seed %d: test %.2f%s\n", seed, r.test_metric * 100.0,
-                r.oom ? " (OOM)" : "");
+    std::string marker;
+    if (!rec.ok()) {
+      marker = std::string(" (") + runtime::CellStatusName(rec.status) + ")";
+      any_bad = true;
+    } else {
+      metrics.push_back(rec.test_metric * 100.0);
+    }
+    if (rec.fell_back) marker += " fb->mb";
+    last_stats = rec.stats;
+    last_marker = marker;
+    std::printf("seed %d: test %.2f%s\n", seed, rec.test_metric * 100.0,
+                marker.c_str());
+  }
+  if (metrics.empty()) {
+    std::printf("\n%s / %s / %s: no successful seed%s\n", dataset.c_str(),
+                filter_name.c_str(), scheme.c_str(), last_marker.c_str());
+    return 1;
   }
   const auto summary = eval::Summarize(metrics);
   std::printf(
@@ -165,7 +196,7 @@ int main(int argc, char** argv) {
       last_stats.precompute_ms, last_stats.train_ms_per_epoch,
       last_stats.infer_ms, FormatBytes(last_stats.peak_ram_bytes).c_str(),
       FormatBytes(last_stats.peak_accel_bytes).c_str(),
-      any_oom ? "  (OOM)" : "");
+      any_bad ? last_marker.c_str() : "");
 
   const std::string csv = flags.Get("csv", "");
   if (!csv.empty()) {
@@ -179,7 +210,7 @@ int main(int argc, char** argv) {
                  summary.mean, summary.stddev, last_stats.precompute_ms,
                  last_stats.train_ms_per_epoch, last_stats.infer_ms,
                  last_stats.peak_ram_bytes, last_stats.peak_accel_bytes,
-                 any_oom ? 1 : 0);
+                 any_bad ? 1 : 0);
     std::fclose(f);
     std::printf("appended to %s\n", csv.c_str());
   }
