@@ -83,6 +83,23 @@ inline Result<std::unique_ptr<filters::SpectralFilter>> MakeFilter(
   return filters::CreateFilter(name, hops, hp, feature_dim);
 }
 
+/// Probes whether filter `name` constructs and supports the mini-batch
+/// scheme. Construction failures are journaled through the supervisor as a
+/// terminal SKIPPED cell under `key` (earlier versions dropped the Result's
+/// error on the floor and the cell silently vanished from the grid); an
+/// FB-only filter returns false without journaling — the caller simply has
+/// no MB cell to run.
+inline bool ProbeMiniBatch(runtime::Supervisor* sup,
+                           const runtime::CellKey& key,
+                           const std::string& name) {
+  auto probe = MakeFilter(name, 2, 8);
+  if (probe.ok()) return probe.value()->SupportsMiniBatch();
+  if (sup->Find(key) == nullptr) {
+    sup->Skip(key, runtime::CellStatus::kSkipped, probe.status().ToString());
+  }
+  return false;
+}
+
 /// The supervised runner for this bench binary: arms env-configured fault
 /// injection once and opens the bench's journal (when SPECTRAL_JOURNAL_DIR
 /// is set).

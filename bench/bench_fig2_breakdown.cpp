@@ -4,7 +4,10 @@
 // and wins wall-clock there.
 
 #include "bench/bench_common.h"
+#include "core/parallel.h"
 #include "eval/table.h"
+#include "graph/generator.h"
+#include "tensor/ops.h"
 
 int main() {
   using namespace sgnn;
@@ -42,10 +45,7 @@ int main() {
         table.AddRow({ds, name, "FB", "-", bench::StatusCell(fb), "-", "-",
                       "-", "-"});
       }
-      {
-        auto probe = bench::MakeFilter(name, 2, 8);
-        if (!probe.ok() || !probe.value()->SupportsMiniBatch()) continue;
-      }
+      if (!bench::ProbeMiniBatch(&sup, {ds, name, "mb", 1}, name)) continue;
       models::TrainConfig mb_cfg = bench::UniversalConfig(true);
       mb_cfg.epochs = 3;
       mb_cfg.timing_only = true;
@@ -72,5 +72,56 @@ int main() {
   }
   std::printf("\n");
   table.Print();
+
+  // Kernel thread-scaling sweep on a >=100k-node synthetic graph: raw
+  // SpMM/GEMM time at 1/2/4 host threads (plus the detected count when
+  // larger), independent of any training loop. Outputs are bit-identical
+  // at every thread count; see docs/PERFORMANCE.md for how to read the
+  // speedup column (it tops out at the physical core count — ~1.0x here on
+  // a single-core box).
+  {
+    graph::GeneratorConfig gc;
+    gc.n = 120000;
+    gc.avg_degree = 10.0;
+    gc.feature_dim = 64;
+    graph::Graph big = graph::GenerateSbm(gc);
+    sparse::CsrMatrix norm = sparse::NormalizeAdjacency(big.adj, 0.5);
+    Matrix weights(big.features.cols(), 64, Device::kHost);
+    for (int64_t i = 0; i < weights.size(); ++i) {
+      weights.data()[i] = 0.01f * static_cast<float>(i % 17) - 0.08f;
+    }
+    Matrix spmm_out(big.n, big.features.cols(), Device::kHost);
+    Matrix gemm_out(big.n, 64, Device::kHost);
+
+    std::vector<int> counts = {1, 2, 4};
+    if (parallel::NumThreads() > 4) counts.push_back(parallel::NumThreads());
+    eval::Table sweep({"Threads", "SpMM ms", "SpMM speedup", "GEMM ms",
+                       "GEMM speedup"});
+    double spmm_base = 0.0, gemm_base = 0.0;
+    for (const int threads : counts) {
+      parallel::SetNumThreads(threads);
+      constexpr int kReps = 3;
+      eval::Stopwatch spmm_sw;
+      for (int r = 0; r < kReps; ++r) norm.SpMM(big.features, &spmm_out);
+      const double spmm_ms = spmm_sw.ElapsedMs() / kReps;
+      eval::Stopwatch gemm_sw;
+      for (int r = 0; r < kReps; ++r) {
+        ops::Gemm(big.features, weights, &gemm_out);
+      }
+      const double gemm_ms = gemm_sw.ElapsedMs() / kReps;
+      if (spmm_base == 0.0) spmm_base = spmm_ms;
+      if (gemm_base == 0.0) gemm_base = gemm_ms;
+      sweep.AddRow({std::to_string(threads), eval::Fmt(spmm_ms, 1),
+                    eval::Fmt(spmm_base / spmm_ms, 2) + "x",
+                    eval::Fmt(gemm_ms, 1),
+                    eval::Fmt(gemm_base / gemm_ms, 2) + "x"});
+    }
+    parallel::SetNumThreads(0);  // back to SGNN_NUM_THREADS / hardware
+    std::printf("\nKernel thread scaling (synthetic DC-SBM, n=%lld, "
+                "nnz=%lld, F=64):\n",
+                static_cast<long long>(big.n),
+                static_cast<long long>(norm.nnz()));
+    sweep.Print();
+  }
   return 0;
 }

@@ -28,9 +28,8 @@ int main() {
     const auto spec = graph::FindDataset(ds).value();
     for (const auto& name : filter_names) {
       for (const bool mb : {false, true}) {
-        if (mb) {
-          auto probe = bench::MakeFilter(name, 2, 8);
-          if (!probe.ok() || !probe.value()->SupportsMiniBatch()) continue;
+        if (mb && !bench::ProbeMiniBatch(&sup, {ds, name, "mb", 1}, name)) {
+          continue;
         }
         std::vector<double> accs;
         for (int seed = 1; seed <= seeds; ++seed) {

@@ -5,7 +5,9 @@
 // propagation-bound FB / MB-variable runs slow down.
 
 #include "bench/bench_common.h"
+#include "core/parallel.h"
 #include "eval/table.h"
+#include "tensor/ops.h"
 
 namespace {
 
@@ -15,6 +17,15 @@ struct Hardware {
   double host_speed;
   double accel_speed;
 };
+
+/// Thread counts for the scaling sweep: 1/2/4 plus the machine's detected
+/// count when it is larger (docs/PERFORMANCE.md "Thread-scaling sweep").
+std::vector<int> SweepThreadCounts() {
+  std::vector<int> counts = {1, 2, 4};
+  const int hw = sgnn::parallel::NumThreads();
+  if (hw > 4) counts.push_back(hw);
+  return counts;
+}
 
 }  // namespace
 
@@ -81,9 +92,8 @@ int main() {
     table.AddRow({name, "FB", "epoch", eval::Fmt(fb_epoch, 2),
                   eval::Fmt(fb_s2, 2)});
 
-    {
-      auto probe = bench::MakeFilter(name, 2, 8);
-      if (!probe.ok() || !probe.value()->SupportsMiniBatch()) continue;
+    if (!bench::ProbeMiniBatch(&sup, {"penn94_sim", name, "mb", 1}, name)) {
+      continue;
     }
     models::TrainConfig mb_cfg = bench::UniversalConfig(true);
     mb_cfg.epochs = 3;
@@ -105,5 +115,52 @@ int main() {
   }
   std::printf("\n");
   table.Print();
+
+  // Thread-scaling sweep: the same hot kernels at 1/2/4/N host threads via
+  // parallel::SetNumThreads. Results are bit-identical across rows (see
+  // docs/PERFORMANCE.md); only the timings change. On a single-core box the
+  // speedup column stays ~1.0x — the sweep reports what it measures.
+  {
+    sparse::CsrMatrix norm = sparse::NormalizeAdjacency(g.adj, 0.5);
+    Matrix weights(g.features.cols(), 64, Device::kHost);
+    for (int64_t i = 0; i < weights.size(); ++i) {
+      weights.data()[i] = 0.01f * static_cast<float>(i % 17) - 0.08f;
+    }
+    Matrix spmm_out(g.n, g.features.cols(), Device::kHost);
+    Matrix gemm_out(g.n, 64, Device::kHost);
+    auto filter_or =
+        bench::MakeFilter("linear", bench::UniversalHops(), g.features.cols());
+
+    eval::Table sweep({"Threads", "SpMM ms", "GEMM ms", "FB epoch ms",
+                       "Epoch speedup"});
+    double epoch_base = 0.0;
+    for (const int threads : SweepThreadCounts()) {
+      parallel::SetNumThreads(threads);
+      constexpr int kReps = 3;
+      eval::Stopwatch spmm_sw;
+      for (int r = 0; r < kReps; ++r) norm.SpMM(g.features, &spmm_out);
+      const double spmm_ms = spmm_sw.ElapsedMs() / kReps;
+      eval::Stopwatch gemm_sw;
+      for (int r = 0; r < kReps; ++r) ops::Gemm(g.features, weights, &gemm_out);
+      const double gemm_ms = gemm_sw.ElapsedMs() / kReps;
+      double epoch_ms = 0.0;
+      if (filter_or.ok()) {
+        models::TrainConfig cfg = bench::UniversalConfig(false);
+        cfg.epochs = 3;
+        cfg.timing_only = true;
+        const auto tr = models::TrainFullBatch(g, splits, spec.metric,
+                                               filter_or.value().get(), cfg);
+        epoch_ms = tr.stats.train_ms_per_epoch;
+      }
+      if (epoch_base == 0.0) epoch_base = epoch_ms;
+      sweep.AddRow({std::to_string(threads), eval::Fmt(spmm_ms, 2),
+                    eval::Fmt(gemm_ms, 2), eval::Fmt(epoch_ms, 2),
+                    epoch_ms > 0.0 ? eval::Fmt(epoch_base / epoch_ms, 2) + "x"
+                                   : "-"});
+    }
+    parallel::SetNumThreads(0);  // back to SGNN_NUM_THREADS / hardware
+    std::printf("\nThread scaling (penn94_sim, filter=linear):\n");
+    sweep.Print();
+  }
   return 0;
 }

@@ -31,8 +31,10 @@ int main() {
   eval::Table table({"Filter", "AUC", "Pre ms", "Train ms/ep", "Infer ms",
                      "RAM", "Accel"});
   for (const auto& name : bench::BenchFilters()) {
-    auto probe = bench::MakeFilter(name, 2, 8);
-    if (!probe.ok() || !probe.value()->SupportsMiniBatch()) continue;
+    if (!bench::ProbeMiniBatch(&sup, {"ppa_sim", name, "mb", 1, "linkpred"},
+                               name)) {
+      continue;
+    }
     const auto rec = sup.Run(
         {"ppa_sim", name, "mb", 1, "linkpred"},
         [&] {

@@ -30,10 +30,11 @@ int main() {
   eval::Table table(header);
 
   for (const auto& filter_name : bench::BenchFilters()) {
-    // Probe MB support once.
-    {
-      auto probe = bench::MakeFilter(filter_name, 2, 8);
-      if (!probe.ok() || !probe.value()->SupportsMiniBatch()) continue;
+    // Probe MB support once; a filter that fails to construct is journaled
+    // as SKIPPED under the first dataset's cell key.
+    if (!bench::ProbeMiniBatch(&sup, {datasets.front(), filter_name, "mb", 1},
+                               filter_name)) {
+      continue;
     }
     std::vector<std::string> row = {filter_name};
     for (const auto& ds : datasets) {

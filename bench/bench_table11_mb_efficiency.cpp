@@ -29,9 +29,9 @@ int main() {
     graph::Graph g = graph::MakeDataset(spec, 1);
     graph::Splits splits = graph::RandomSplits(g.n, 1);
     for (const auto& filter_name : bench::BenchFilters()) {
-      {
-        auto probe = bench::MakeFilter(filter_name, 2, 8);
-        if (!probe.ok() || !probe.value()->SupportsMiniBatch()) continue;
+      if (!bench::ProbeMiniBatch(&sup, {ds, filter_name, "mb", 1},
+                                 filter_name)) {
+        continue;
       }
       models::TrainConfig cfg = bench::UniversalConfig(true);
       cfg.epochs = bench::FullMode() ? 10 : 3;

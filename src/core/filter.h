@@ -8,6 +8,30 @@
 //   * Precompute emitting per-hop representations (mini-batch training),
 //   * a scalar frequency response ĝ(λ) on [0, 2] (spectral analysis),
 //   * learnable coefficients θ / γ as a ScalarParams group.
+//
+// Taxonomy (paper Table 1). The benchmark's 27 filters split along two
+// orthogonal axes. The first is WHAT is learned — the FilterType enum
+// below:
+//   * fixed (7): constant basis and constant coefficients. identity,
+//     linear, impulse, monomial, ppr, hk, gaussian — all in
+//     fixed_filters.h, as coefficient schedules over PolynomialBasisFilter
+//     (poly_base.h).
+//   * variable (11): fixed polynomial basis, learnable coefficients θ_k.
+//     var_monomial, horner, chebyshev, chebinterp, clenshaw, bernstein,
+//     legendre, jacobi, favard, optbasis live in variable_filters.h (again
+//     over poly_base.h); var_linear lives in product_filters.h because its
+//     learnable form is a product, not a sum (next axis).
+//   * bank (9): Q sub-filters mixed by learnable channel weights γ.
+//     fbgnn1/2, acmgnn1/2, fagnn are factored two/three-branch banks in
+//     product_filters.h; adagnn (per-channel iterative product) is also
+//     there; g2cn, gnn_lf_hf, figure are sum-form mixtures realized by
+//     MixtureBankFilter in bank_filters.h.
+// The second axis is HOW the polynomial is realized — summed hop terms
+// (poly_base.h / bank_filters.h, MB-precomputable) versus factored
+// products of first-order terms (product_filters.h, inherently sequential
+// and therefore FB-only). registry.cc is the single name -> (type, class,
+// hyperparameters) table; core/parallel.h supplies the thread pool the
+// underlying SpMM/GEMM kernels run on.
 
 #ifndef SGNN_CORE_FILTER_H_
 #define SGNN_CORE_FILTER_H_

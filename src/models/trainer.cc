@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/parallel.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "nn/loss.h"
@@ -99,6 +100,7 @@ TrainResult TrainFullBatch(const graph::Graph& g, const graph::Splits& splits,
                            const TrainConfig& config,
                            bool capture_embeddings) {
   TrainResult result;
+  result.stats.threads = parallel::NumThreads();
   auto& tracker = DeviceTracker::Global();
   tracker.ClearOom();
   tracker.ResetPeak();
@@ -212,6 +214,7 @@ TrainResult TrainMiniBatch(const graph::Graph& g, const graph::Splits& splits,
         " does not support the MB scheme");
     return result;
   }
+  result.stats.threads = parallel::NumThreads();
   auto& tracker = DeviceTracker::Global();
   tracker.ClearOom();
   tracker.ResetPeak();
@@ -243,12 +246,21 @@ TrainResult TrainMiniBatch(const graph::Graph& g, const graph::Splits& splits,
                           std::vector<const Matrix*>* ptrs) {
     hold->clear();
     ptrs->clear();
-    hold->reserve(terms.size());
-    for (const auto& term : terms) {
-      Matrix slice = term.GatherRows(batch_rows);
-      slice.MoveToDevice(Device::kAccel);
-      hold->push_back(std::move(slice));
-    }
+    hold->resize(terms.size());
+    // Host-side row gathers are independent per term and may run
+    // concurrently (DeviceTracker host accounting is mutex-protected and
+    // the fault hook only counts accelerator allocations). The accelerator
+    // transfers stay serial in term order so fault-injection replay sees
+    // the same allocation sequence at any thread count.
+    parallel::ParallelFor(
+        0, static_cast<int64_t>(terms.size()), 1,
+        [&](int64_t lo, int64_t hi) {
+          for (int64_t t = lo; t < hi; ++t) {
+            (*hold)[static_cast<size_t>(t)] =
+                terms[static_cast<size_t>(t)].GatherRows(batch_rows);
+          }
+        });
+    for (auto& m : *hold) m.MoveToDevice(Device::kAccel);
     for (const auto& m : *hold) ptrs->push_back(&m);
   };
 

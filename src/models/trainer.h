@@ -51,6 +51,10 @@ struct StageStats {
   double infer_ms = 0.0;
   size_t peak_ram_bytes = 0;     ///< host high-water mark
   size_t peak_accel_bytes = 0;   ///< simulated accelerator high-water mark
+  /// Host threads the kernel layer used for this run (parallel::NumThreads()
+  /// at run start); journaled so efficiency rows are comparable across
+  /// machines and SGNN_NUM_THREADS settings.
+  int threads = 1;
 };
 
 /// Outcome of one training run.

@@ -81,10 +81,9 @@ void Mlp::Forward(const Matrix& x, Matrix* out, bool train, Rng* rng) {
       if (train) {
         preacts_.push_back(y);  // cache pre-activation for ReLU backward
       }
-      // ReLU.
-      float* yd = y.data();
-      for (int64_t i = 0; i < y.size(); ++i) yd[i] = yd[i] > 0 ? yd[i] : 0.0f;
-      // Inverted dropout (train only).
+      ops::ReluInPlace(&y);
+      // Inverted dropout (train only). The mask draw stays serial: it
+      // consumes the run's Rng stream in element order.
       if (train && dropout_ > 0.0) {
         SGNN_CHECK(rng != nullptr, "Mlp: dropout requires rng in train mode");
         Matrix mask(y.rows(), y.cols(), device_);
@@ -119,12 +118,7 @@ void Mlp::Backward(const Matrix& grad_out, Matrix* grad_in) {
       if (!masks_.empty() && masks_[li].size() > 0) {
         ops::MulInPlace(masks_[li], &grad);
       }
-      const Matrix& pre = preacts_[li];
-      const float* pd = pre.data();
-      float* gd = grad.data();
-      for (int64_t i = 0; i < grad.size(); ++i) {
-        if (pd[i] <= 0.0f) gd[i] = 0.0f;
-      }
+      ops::ReluBackwardInPlace(preacts_[li], &grad);
     }
     Matrix* gin = nullptr;
     Matrix gbuf;

@@ -220,6 +220,7 @@ std::string EncodeRecord(const std::string& bench, const CellRecord& record) {
   out += ",\"infer_ms\":" + FmtDouble(record.stats.infer_ms);
   out += ",\"ram_bytes\":" + std::to_string(record.stats.peak_ram_bytes);
   out += ",\"accel_bytes\":" + std::to_string(record.stats.peak_accel_bytes);
+  out += ",\"threads\":" + std::to_string(record.stats.threads);
   out += ",\"wall_ms\":" + FmtDouble(record.wall_ms);
   for (const auto& [name, value] : record.extras) {
     out += ",";
@@ -269,6 +270,9 @@ Result<CellRecord> DecodeRecord(const std::string& line) {
   }
   if (parser.GetDouble("accel_bytes", &num)) {
     r.stats.peak_accel_bytes = static_cast<size_t>(num);
+  }
+  if (parser.GetDouble("threads", &num)) {
+    r.stats.threads = static_cast<int>(num);
   }
   parser.GetDouble("wall_ms", &r.wall_ms);
   for (const auto& [key, raw] : parser.scalars()) {

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "core/parallel.h"
 #include "eval/table.h"
 #include "tensor/device.h"
 
@@ -37,6 +38,10 @@ CellRecord Supervisor::Skip(const CellKey& key, CellStatus status,
   record.status = status;
   record.detail = std::move(detail);
   record.final_scheme = key.scheme;
+  // Skips never ran a trainer, so stamp the thread count here; every
+  // journal row then carries it (bench rows are comparable across
+  // SGNN_NUM_THREADS settings).
+  record.stats.threads = parallel::NumThreads();
   journal_->Append(bench_, record);
   return record;
 }

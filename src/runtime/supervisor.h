@@ -74,6 +74,12 @@ class Supervisor {
                          const RunOptions& options = {},
                          const PostFn& post = nullptr);
 
+  /// Records a cell that never ran (bad filter name, unsupported scheme,
+  /// ...) with a terminal status and the human-readable reason. Public so
+  /// bench-side probes can journal *why* a cell is absent instead of
+  /// silently dropping the error.
+  CellRecord Skip(const CellKey& key, CellStatus status, std::string detail);
+
   /// Cells served from the journal instead of running, this process.
   size_t resumed_cells() const { return resumed_; }
 
@@ -81,7 +87,6 @@ class Supervisor {
   bool journaling() const { return journal_->enabled(); }
 
  private:
-  CellRecord Skip(const CellKey& key, CellStatus status, std::string detail);
   static void FillFromResult(const models::TrainResult& result,
                              CellRecord* record);
 

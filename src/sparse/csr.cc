@@ -2,7 +2,22 @@
 
 #include <cstring>
 
+#include "core/parallel.h"
+
 namespace sgnn::sparse {
+
+namespace {
+
+/// Rows per SpMM/SpMV chunk: targets ~64k multiply-adds per chunk so chunk
+/// dispatch overhead stays under ~1% of kernel time (docs/PERFORMANCE.md).
+/// Boundaries depend only on the matrix shape, so results are identical at
+/// any thread count (each output row is written by exactly one chunk).
+int64_t RowGrain(int64_t n, int64_t nnz, int64_t f) {
+  const int64_t avg_row_flops = (n > 0 ? nnz / n + 1 : 1) * (f > 0 ? f : 1);
+  return parallel::GrainForFlops(avg_row_flops, int64_t{1} << 16);
+}
+
+}  // namespace
 
 CsrMatrix::CsrMatrix(int64_t n, std::vector<int64_t> indptr,
                      std::vector<int32_t> indices, std::vector<float> values,
@@ -98,37 +113,50 @@ void CsrMatrix::SpMM(const Matrix& x, Matrix* out) const {
              "SpMM: output shape mismatch");
   SGNN_CHECK(out->data() != x.data(), "SpMM: output must not alias input");
   const int64_t f = x.cols();
-  for (int64_t i = 0; i < n_; ++i) {
-    float* orow = out->row(i);
-    std::memset(orow, 0, static_cast<size_t>(f) * sizeof(float));
-    for (int64_t p = indptr_[i]; p < indptr_[i + 1]; ++p) {
-      const float w = values_[p];
-      const float* xrow = x.row(indices_[p]);
-      for (int64_t j = 0; j < f; ++j) orow[j] += w * xrow[j];
-    }
-  }
+  // Row-partitioned: each chunk owns a contiguous row range of `out`, so
+  // the parallel result is bit-identical to the serial one.
+  parallel::ParallelFor(
+      0, n_, RowGrain(n_, nnz(), f), [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          float* orow = out->row(i);
+          std::memset(orow, 0, static_cast<size_t>(f) * sizeof(float));
+          for (int64_t p = indptr_[i]; p < indptr_[i + 1]; ++p) {
+            const float w = values_[p];
+            const float* xrow = x.row(indices_[p]);
+            for (int64_t j = 0; j < f; ++j) orow[j] += w * xrow[j];
+          }
+        }
+      });
 }
 
 void CsrMatrix::SpMV(const std::vector<float>& x,
                      std::vector<float>* y) const {
   SGNN_CHECK(static_cast<int64_t>(x.size()) == n_, "SpMV: size mismatch");
   y->assign(static_cast<size_t>(n_), 0.0f);
-  for (int64_t i = 0; i < n_; ++i) {
-    double acc = 0.0;
-    for (int64_t p = indptr_[i]; p < indptr_[i + 1]; ++p) {
-      acc += double(values_[p]) * x[static_cast<size_t>(indices_[p])];
-    }
-    (*y)[static_cast<size_t>(i)] = static_cast<float>(acc);
-  }
+  parallel::ParallelFor(
+      0, n_, RowGrain(n_, nnz(), 1), [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          double acc = 0.0;
+          for (int64_t p = indptr_[i]; p < indptr_[i + 1]; ++p) {
+            acc += double(values_[p]) * x[static_cast<size_t>(indices_[p])];
+          }
+          (*y)[static_cast<size_t>(i)] = static_cast<float>(acc);
+        }
+      });
 }
 
 std::vector<double> CsrMatrix::RowSums() const {
   std::vector<double> sums(static_cast<size_t>(n_), 0.0);
-  for (int64_t i = 0; i < n_; ++i) {
-    double acc = 0.0;
-    for (int64_t p = indptr_[i]; p < indptr_[i + 1]; ++p) acc += values_[p];
-    sums[static_cast<size_t>(i)] = acc;
-  }
+  parallel::ParallelFor(
+      0, n_, RowGrain(n_, nnz(), 1), [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          double acc = 0.0;
+          for (int64_t p = indptr_[i]; p < indptr_[i + 1]; ++p) {
+            acc += values_[p];
+          }
+          sums[static_cast<size_t>(i)] = acc;
+        }
+      });
   return sums;
 }
 

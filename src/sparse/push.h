@@ -6,6 +6,22 @@
 // degree-scaled threshold, trading bounded error for large speedups on
 // sparse signals. Used as an alternative mini-batch precompute path; the
 // ablation bench quantifies the speed/accuracy trade-off.
+//
+// Where this sits in the filter taxonomy (see core/filter.h): push is a
+// realization strategy, not a filter of its own. It computes the same PPR
+// series as the fixed `ppr` filter (fixed_filters.h) and can substitute for
+// the hop-term precompute of any summed-form filter (poly_base.h,
+// bank_filters.h); the factored product-form filters (product_filters.h)
+// cannot use it because their first-order factors must be applied
+// sequentially at full precision.
+//
+// Execution model: propagation proceeds in synchronous frontier rounds.
+// Within a round the frontier is split into per-source-range lanes whose
+// partition depends only on the frontier size; lanes accumulate into
+// thread-local delta buffers (core/parallel.h) and are merged in lane
+// order, so results are bit-identical at any thread count
+// (docs/PERFORMANCE.md). The matrix form parallelizes across feature
+// columns instead, with the per-column pushes running their lanes inline.
 
 #ifndef SGNN_SPARSE_PUSH_H_
 #define SGNN_SPARSE_PUSH_H_

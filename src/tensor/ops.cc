@@ -3,7 +3,24 @@
 #include <cmath>
 #include <cstring>
 
+#include "core/parallel.h"
+
 namespace sgnn::ops {
+
+namespace {
+
+/// Elements per chunk for O(1)-per-element kernels (axpy, add, relu, ...):
+/// large enough that dispatch overhead is negligible, small enough that a
+/// typical n x F representation still splits across threads.
+constexpr int64_t kElementGrain = int64_t{1} << 15;
+
+/// Rows per chunk for kernels doing `row_flops` work per row — the shared
+/// ~64k-flops-per-chunk target (docs/PERFORMANCE.md).
+int64_t RowGrain(int64_t row_flops) {
+  return parallel::GrainForFlops(row_flops, int64_t{1} << 16);
+}
+
+}  // namespace
 
 void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
   SGNN_CHECK(a.cols() == b.rows(), "Gemm: inner dimensions mismatch");
@@ -11,17 +28,21 @@ void Gemm(const Matrix& a, const Matrix& b, Matrix* out) {
              "Gemm: output shape mismatch");
   const int64_t n = a.rows(), k = a.cols(), m = b.cols();
   out->Fill(0.0f);
-  // i-k-j loop order: streams through b and out rows contiguously.
-  for (int64_t i = 0; i < n; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out->row(i);
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = b.row(kk);
-      for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+  // Row-partitioned over `out`; within a row the i-k-j order streams through
+  // b and out contiguously and accumulates kk in ascending order, so the
+  // parallel result is bit-identical to the serial one.
+  parallel::ParallelFor(0, n, RowGrain(k * m), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* arow = a.row(i);
+      float* orow = out->row(i);
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = b.row(kk);
+        for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
 void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out) {
@@ -30,16 +51,21 @@ void GemmTransA(const Matrix& a, const Matrix& b, Matrix* out) {
              "GemmTransA: output shape mismatch");
   const int64_t k = a.rows(), n = a.cols(), m = b.cols();
   out->Fill(0.0f);
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = a.row(kk);
-    const float* brow = b.row(kk);
-    for (int64_t i = 0; i < n; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* orow = out->row(i);
-      for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+  // i-outer so each chunk owns a row range of `out` (the kk-outer order
+  // would race on out rows). Per output element the kk accumulation is
+  // still ascending, so any thread count gives the same bits.
+  parallel::ParallelFor(0, n, RowGrain(k * m), [&](int64_t lo, int64_t hi) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float* arow = a.row(kk);
+      const float* brow = b.row(kk);
+      for (int64_t i = lo; i < hi; ++i) {
+        const float av = arow[i];
+        if (av == 0.0f) continue;
+        float* orow = out->row(i);
+        for (int64_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+      }
     }
-  }
+  });
 }
 
 void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out) {
@@ -47,28 +73,38 @@ void GemmTransB(const Matrix& a, const Matrix& b, Matrix* out) {
   SGNN_CHECK(out->rows() == a.rows() && out->cols() == b.rows(),
              "GemmTransB: output shape mismatch");
   const int64_t n = a.rows(), k = a.cols(), m = b.rows();
-  for (int64_t i = 0; i < n; ++i) {
-    const float* arow = a.row(i);
-    float* orow = out->row(i);
-    for (int64_t j = 0; j < m; ++j) {
-      const float* brow = b.row(j);
-      double acc = 0.0;
-      for (int64_t kk = 0; kk < k; ++kk) acc += double(arow[kk]) * brow[kk];
-      orow[j] = static_cast<float>(acc);
+  parallel::ParallelFor(0, n, RowGrain(k * m), [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* arow = a.row(i);
+      float* orow = out->row(i);
+      for (int64_t j = 0; j < m; ++j) {
+        const float* brow = b.row(j);
+        double acc = 0.0;
+        for (int64_t kk = 0; kk < k; ++kk) acc += double(arow[kk]) * brow[kk];
+        orow[j] = static_cast<float>(acc);
+      }
     }
-  }
+  });
 }
 
 void Axpy(float alpha, const Matrix& x, Matrix* y) {
   SGNN_CHECK(x.size() == y->size(), "Axpy: size mismatch");
   const float* xd = x.data();
   float* yd = y->data();
-  for (int64_t i = 0; i < x.size(); ++i) yd[i] += alpha * xd[i];
+  parallel::ParallelFor(0, x.size(), kElementGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            yd[i] += alpha * xd[i];
+                          }
+                        });
 }
 
 void Scale(float alpha, Matrix* x) {
   float* xd = x->data();
-  for (int64_t i = 0; i < x->size(); ++i) xd[i] *= alpha;
+  parallel::ParallelFor(0, x->size(), kElementGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) xd[i] *= alpha;
+                        });
 }
 
 void Copy(const Matrix& x, Matrix* y) {
@@ -82,7 +118,12 @@ void Add(const Matrix& a, const Matrix& b, Matrix* out) {
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out->data();
-  for (int64_t i = 0; i < a.size(); ++i) od[i] = ad[i] + bd[i];
+  parallel::ParallelFor(0, a.size(), kElementGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            od[i] = ad[i] + bd[i];
+                          }
+                        });
 }
 
 void Sub(const Matrix& a, const Matrix& b, Matrix* out) {
@@ -91,16 +132,30 @@ void Sub(const Matrix& a, const Matrix& b, Matrix* out) {
   const float* ad = a.data();
   const float* bd = b.data();
   float* od = out->data();
-  for (int64_t i = 0; i < a.size(); ++i) od[i] = ad[i] - bd[i];
+  parallel::ParallelFor(0, a.size(), kElementGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            od[i] = ad[i] - bd[i];
+                          }
+                        });
 }
 
 void MulInPlace(const Matrix& x, Matrix* y) {
   SGNN_CHECK(x.size() == y->size(), "MulInPlace: size mismatch");
   const float* xd = x.data();
   float* yd = y->data();
-  for (int64_t i = 0; i < x.size(); ++i) yd[i] *= xd[i];
+  parallel::ParallelFor(0, x.size(), kElementGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) yd[i] *= xd[i];
+                        });
 }
 
+// Dot and the Column* reductions below stay serial on purpose: a chunked
+// reduction changes the floating-point summation order, and these feed
+// filter-parameter gradients and the OptBasis orthogonalization, where the
+// serial bits are the documented reference. They are O(nF) against the
+// kernels' O(nF^2)/O(mF), so the ceiling they put on scaling is small
+// (measured in docs/PERFORMANCE.md).
 double Dot(const Matrix& a, const Matrix& b) {
   SGNN_CHECK(a.size() == b.size(), "Dot: size mismatch");
   const float* ad = a.data();
@@ -114,10 +169,13 @@ void AddRowBroadcast(const Matrix& bias, Matrix* x) {
   SGNN_CHECK(bias.rows() == 1 && bias.cols() == x->cols(),
              "AddRowBroadcast: bias shape mismatch");
   const float* bd = bias.data();
-  for (int64_t i = 0; i < x->rows(); ++i) {
-    float* xrow = x->row(i);
-    for (int64_t j = 0; j < x->cols(); ++j) xrow[j] += bd[j];
-  }
+  parallel::ParallelFor(
+      0, x->rows(), RowGrain(x->cols()), [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          float* xrow = x->row(i);
+          for (int64_t j = 0; j < x->cols(); ++j) xrow[j] += bd[j];
+        }
+      });
 }
 
 void ColumnSum(const Matrix& x, Matrix* out) {
@@ -164,10 +222,13 @@ void ColumnScale(const Matrix& alpha, Matrix* x) {
   SGNN_CHECK(alpha.rows() == 1 && alpha.cols() == x->cols(),
              "ColumnScale: alpha shape mismatch");
   const float* ad = alpha.data();
-  for (int64_t i = 0; i < x->rows(); ++i) {
-    float* xrow = x->row(i);
-    for (int64_t j = 0; j < x->cols(); ++j) xrow[j] *= ad[j];
-  }
+  parallel::ParallelFor(
+      0, x->rows(), RowGrain(x->cols()), [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          float* xrow = x->row(i);
+          for (int64_t j = 0; j < x->cols(); ++j) xrow[j] *= ad[j];
+        }
+      });
 }
 
 void AxpyColumnwise(const Matrix& alpha, const Matrix& x, Matrix* y) {
@@ -176,22 +237,53 @@ void AxpyColumnwise(const Matrix& alpha, const Matrix& x, Matrix* y) {
   SGNN_CHECK(x.rows() == y->rows() && x.cols() == y->cols(),
              "AxpyColumnwise: shape mismatch");
   const float* ad = alpha.data();
-  for (int64_t i = 0; i < x.rows(); ++i) {
-    const float* xrow = x.row(i);
-    float* yrow = y->row(i);
-    for (int64_t j = 0; j < x.cols(); ++j) yrow[j] += ad[j] * xrow[j];
-  }
+  parallel::ParallelFor(
+      0, x.rows(), RowGrain(x.cols()), [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const float* xrow = x.row(i);
+          float* yrow = y->row(i);
+          for (int64_t j = 0; j < x.cols(); ++j) yrow[j] += ad[j] * xrow[j];
+        }
+      });
 }
 
 void RowL2Normalize(Matrix* x) {
-  for (int64_t i = 0; i < x->rows(); ++i) {
-    float* xrow = x->row(i);
-    double acc = 0.0;
-    for (int64_t j = 0; j < x->cols(); ++j) acc += double(xrow[j]) * xrow[j];
-    if (acc <= 0.0) continue;
-    const float inv = static_cast<float>(1.0 / std::sqrt(acc));
-    for (int64_t j = 0; j < x->cols(); ++j) xrow[j] *= inv;
-  }
+  parallel::ParallelFor(
+      0, x->rows(), RowGrain(2 * x->cols()), [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; ++i) {
+          float* xrow = x->row(i);
+          double acc = 0.0;
+          for (int64_t j = 0; j < x->cols(); ++j) {
+            acc += double(xrow[j]) * xrow[j];
+          }
+          if (acc <= 0.0) continue;
+          const float inv = static_cast<float>(1.0 / std::sqrt(acc));
+          for (int64_t j = 0; j < x->cols(); ++j) xrow[j] *= inv;
+        }
+      });
+}
+
+void ReluInPlace(Matrix* x) {
+  float* xd = x->data();
+  parallel::ParallelFor(0, x->size(), kElementGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            xd[i] = xd[i] > 0.0f ? xd[i] : 0.0f;
+                          }
+                        });
+}
+
+void ReluBackwardInPlace(const Matrix& preact, Matrix* grad) {
+  SGNN_CHECK(preact.size() == grad->size(),
+             "ReluBackwardInPlace: size mismatch");
+  const float* pd = preact.data();
+  float* gd = grad->data();
+  parallel::ParallelFor(0, grad->size(), kElementGrain,
+                        [&](int64_t lo, int64_t hi) {
+                          for (int64_t i = lo; i < hi; ++i) {
+                            if (pd[i] <= 0.0f) gd[i] = 0.0f;
+                          }
+                        });
 }
 
 bool AllFinite(const Matrix& x) {

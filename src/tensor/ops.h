@@ -64,6 +64,12 @@ void AxpyColumnwise(const Matrix& alpha, const Matrix& x, Matrix* y);
 /// L2-normalizes each row of x in place (zero rows left untouched).
 void RowL2Normalize(Matrix* x);
 
+/// x = max(x, 0) elementwise — the MLP activation.
+void ReluInPlace(Matrix* x);
+
+/// Zeroes grad where the cached pre-activation was <= 0 (ReLU backward).
+void ReluBackwardInPlace(const Matrix& preact, Matrix* grad);
+
 /// True when every element is finite (no NaN/Inf). Used by the training run
 /// guards for divergence detection.
 bool AllFinite(const Matrix& x);
