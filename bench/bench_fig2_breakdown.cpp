@@ -4,7 +4,7 @@
 // and wins wall-clock there.
 
 #include "bench/bench_common.h"
-#include "core/parallel.h"
+#include "tensor/parallel.h"
 #include "eval/table.h"
 #include "graph/generator.h"
 #include "tensor/ops.h"

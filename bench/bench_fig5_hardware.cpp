@@ -5,7 +5,7 @@
 // propagation-bound FB / MB-variable runs slow down.
 
 #include "bench/bench_common.h"
-#include "core/parallel.h"
+#include "tensor/parallel.h"
 #include "eval/table.h"
 #include "tensor/ops.h"
 

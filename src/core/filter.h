@@ -30,7 +30,7 @@
 // (poly_base.h / bank_filters.h, MB-precomputable) versus factored
 // products of first-order terms (product_filters.h, inherently sequential
 // and therefore FB-only). registry.cc is the single name -> (type, class,
-// hyperparameters) table; core/parallel.h supplies the thread pool the
+// hyperparameters) table; tensor/parallel.h supplies the thread pool the
 // underlying SpMM/GEMM kernels run on.
 
 #ifndef SGNN_CORE_FILTER_H_
@@ -119,8 +119,9 @@ class SpectralFilter {
   /// Emits the per-hop representations consumed by the mini-batch trainer:
   /// fixed filters emit one combined matrix; variable filters K+1 basis
   /// terms; banks the concatenation over channels. Host-resident.
-  virtual Status Precompute(const FilterContext& ctx, const Matrix& x,
-                            std::vector<Matrix>* terms) = 0;
+  [[nodiscard]] virtual Status Precompute(const FilterContext& ctx,
+                                          const Matrix& x,
+                                          std::vector<Matrix>* terms) = 0;
 
   /// Combines precomputed per-hop rows using the current θ: given `terms`
   /// gathered for a batch (same order as Precompute emitted), produces the

@@ -44,7 +44,7 @@ class PolynomialBasisFilter : public SpectralFilter {
   void ClearCache() override;
   double Response(double lambda) const override;
   bool SupportsMiniBatch() const override { return true; }
-  Status Precompute(const FilterContext& ctx, const Matrix& x,
+  [[nodiscard]] Status Precompute(const FilterContext& ctx, const Matrix& x,
                     std::vector<Matrix>* terms) override;
   void CombineTerms(const std::vector<const Matrix*>& batch_terms, Matrix* y,
                     bool cache) override;

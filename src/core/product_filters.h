@@ -38,7 +38,7 @@ class ProductFilter : public SpectralFilter {
   void ClearCache() override;
   double Response(double lambda) const override;
   bool SupportsMiniBatch() const override { return mini_batch_; }
-  Status Precompute(const FilterContext& ctx, const Matrix& x,
+  [[nodiscard]] Status Precompute(const FilterContext& ctx, const Matrix& x,
                     std::vector<Matrix>* terms) override;
   void CombineTerms(const std::vector<const Matrix*>& batch_terms, Matrix* y,
                     bool cache) override;
@@ -149,7 +149,7 @@ class AdaGnnFilter : public SpectralFilter {
   /// Feature-averaged response Π_k (1 - mean(γ_k) λ).
   double Response(double lambda) const override;
   bool SupportsMiniBatch() const override { return false; }
-  Status Precompute(const FilterContext& ctx, const Matrix& x,
+  [[nodiscard]] Status Precompute(const FilterContext& ctx, const Matrix& x,
                     std::vector<Matrix>* terms) override;
   void CombineTerms(const std::vector<const Matrix*>& batch_terms, Matrix* y,
                     bool cache) override;

@@ -34,7 +34,7 @@ std::vector<std::string> FilterNamesByType(FilterType type);
 
 /// Creates a filter by name. `feature_dim` is required by the channel-wise
 /// AdaGNN filter and ignored elsewhere. Returns NotFound for unknown names.
-Result<std::unique_ptr<SpectralFilter>> CreateFilter(
+[[nodiscard]] Result<std::unique_ptr<SpectralFilter>> CreateFilter(
     const std::string& name, int hops, FilterHyperParams hp = {},
     int64_t feature_dim = 0);
 

@@ -23,7 +23,7 @@ struct EigenDecomposition {
 
 /// Decomposes the dense symmetric matrix `a` (n x n) with the cyclic Jacobi
 /// method. Intended for n <= ~2000. `tol` bounds the off-diagonal norm.
-Result<EigenDecomposition> JacobiEigen(const Matrix& a, double tol = 1e-9,
+[[nodiscard]] Result<EigenDecomposition> JacobiEigen(const Matrix& a, double tol = 1e-9,
                                        int max_sweeps = 64);
 
 /// Densifies the normalized Laplacian L̃ = I - Ã of a sparse Ã.

@@ -31,12 +31,14 @@ double RocAucFromScores(const std::vector<double>& scores,
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(),
             [&](size_t a, size_t b) { return scores[a] < scores[b]; });
-  // Midranks for ties.
+  // Midranks for ties. `order` is sorted ascending, so a successor that is
+  // not strictly greater is tied with the group head — same grouping as
+  // `==` without comparing floats for equality.
   std::vector<double> rank(n);
   size_t i = 0;
   while (i < n) {
     size_t j = i;
-    while (j + 1 < n && scores[order[j + 1]] == scores[order[i]]) ++j;
+    while (j + 1 < n && !(scores[order[i]] < scores[order[j + 1]])) ++j;
     const double mid = 0.5 * static_cast<double>(i + j) + 1.0;
     for (size_t k = i; k <= j; ++k) rank[order[k]] = mid;
     i = j + 1;

@@ -37,7 +37,7 @@ struct DatasetSpec {
 const std::vector<DatasetSpec>& AllDatasets();
 
 /// Looks up a spec by name.
-Result<DatasetSpec> FindDataset(const std::string& name);
+[[nodiscard]] Result<DatasetSpec> FindDataset(const std::string& name);
 
 /// Names of datasets in the given scale category.
 std::vector<std::string> DatasetsByScale(Scale scale);
@@ -48,7 +48,7 @@ std::vector<std::string> DatasetsByScale(Scale scale);
 Graph MakeDataset(const DatasetSpec& spec, uint64_t seed);
 
 /// Convenience: FindDataset + MakeDataset.
-Result<Graph> MakeDatasetByName(const std::string& name, uint64_t seed);
+[[nodiscard]] Result<Graph> MakeDatasetByName(const std::string& name, uint64_t seed);
 
 /// Global size multiplier (default 1.0) read from SPECTRAL_SCALE env var;
 /// applied to n while keeping density. Lets benches grow toward paper scale

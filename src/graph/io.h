@@ -23,10 +23,10 @@ using IoFaultHook =
 void SetIoFaultHook(IoFaultHook hook);
 
 /// Writes the graph (adjacency, features, labels) to a binary file.
-Status SaveGraph(const Graph& g, const std::string& path);
+[[nodiscard]] Status SaveGraph(const Graph& g, const std::string& path);
 
 /// Loads a graph written by SaveGraph.
-Result<Graph> LoadGraph(const std::string& path);
+[[nodiscard]] Result<Graph> LoadGraph(const std::string& path);
 
 /// Edge homophily: fraction of non-loop edges joining same-label endpoints.
 /// Complements the node homophily of graph.h (paper Section 2.1 cites both

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "core/parallel.h"
+#include "tensor/parallel.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
 #include "nn/loss.h"

@@ -38,7 +38,7 @@ struct FaultPlan {
 
 /// Parses "accel_nth=120,accel_prob=0.01,io_nth=3,io_prob=0.1,seed=7".
 /// Unknown keys are rejected. Used by SPECTRAL_FAULT_PLAN.
-Result<FaultPlan> ParseFaultPlan(const std::string& text);
+[[nodiscard]] Result<FaultPlan> ParseFaultPlan(const std::string& text);
 
 /// Process-wide injector. Arm() installs the DeviceTracker and graph::io
 /// hooks; Disarm() removes them. Thread-safe.
@@ -69,7 +69,7 @@ class FaultInjector {
   FaultInjector() = default;
 
   bool OnAccelAlloc();
-  Status OnIo(const char* op, const std::string& path);
+  [[nodiscard]] Status OnIo(const char* op, const std::string& path);
 
   mutable std::mutex mu_;
   bool armed_ = false;

@@ -92,7 +92,7 @@ struct CellRecord {
 std::string EncodeRecord(const std::string& bench, const CellRecord& record);
 
 /// Parses a journal line; returns InvalidArgument on malformed input.
-Result<CellRecord> DecodeRecord(const std::string& line);
+[[nodiscard]] Result<CellRecord> DecodeRecord(const std::string& line);
 
 /// Append-only JSONL journal with replay-on-open.
 class Journal {

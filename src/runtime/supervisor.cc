@@ -4,7 +4,7 @@
 #include <cstdlib>
 #include <utility>
 
-#include "core/parallel.h"
+#include "tensor/parallel.h"
 #include "eval/table.h"
 #include "tensor/device.h"
 

@@ -24,7 +24,7 @@ using EdgeList = std::vector<std::pair<int32_t, int32_t>>;
 /// Builds the unweighted adjacency CSR from an edge list.
 /// Symmetrizes (adds both directions), optionally adds self loops, and
 /// removes duplicate edges. Node ids must lie in [0, n).
-Result<CsrMatrix> BuildAdjacency(int64_t n, const EdgeList& edges,
+[[nodiscard]] Result<CsrMatrix> BuildAdjacency(int64_t n, const EdgeList& edges,
                                  bool add_self_loops);
 
 /// Returns Ã = D̄^{ρ-1} Ā D̄^{-ρ} for a self-looped adjacency `adj`.
@@ -36,10 +36,10 @@ std::vector<int64_t> Degrees(const CsrMatrix& adj);
 
 /// Serializes a CSR matrix to a binary file. Layout: n, nnz, indptr,
 /// indices, values (little-endian, fixed-width).
-Status SaveCsr(const CsrMatrix& m, const std::string& path);
+[[nodiscard]] Status SaveCsr(const CsrMatrix& m, const std::string& path);
 
 /// Loads a CSR matrix written by SaveCsr.
-Result<CsrMatrix> LoadCsr(const std::string& path);
+[[nodiscard]] Result<CsrMatrix> LoadCsr(const std::string& path);
 
 }  // namespace sgnn::sparse
 

@@ -2,7 +2,7 @@
 
 #include <cstring>
 
-#include "core/parallel.h"
+#include "tensor/parallel.h"
 
 namespace sgnn::sparse {
 

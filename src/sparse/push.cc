@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/parallel.h"
+#include "tensor/parallel.h"
 #include "tensor/status.h"
 
 namespace sgnn::sparse {

@@ -18,7 +18,7 @@
 // Execution model: propagation proceeds in synchronous frontier rounds.
 // Within a round the frontier is split into per-source-range lanes whose
 // partition depends only on the frontier size; lanes accumulate into
-// thread-local delta buffers (core/parallel.h) and are merged in lane
+// thread-local delta buffers (tensor/parallel.h) and are merged in lane
 // order, so results are bit-identical at any thread count
 // (docs/PERFORMANCE.md). The matrix form parallelizes across feature
 // columns instead, with the per-column pushes running their lanes inline.

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <cstring>
 
-#include "core/parallel.h"
+#include "tensor/parallel.h"
 
 namespace sgnn::ops {
 

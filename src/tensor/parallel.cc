@@ -1,4 +1,4 @@
-#include "core/parallel.h"
+#include "tensor/parallel.h"
 
 #include <algorithm>
 #include <atomic>

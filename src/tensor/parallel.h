@@ -21,8 +21,8 @@
 // grows when the configured count rises; at 1 thread no pool is ever
 // created and every call runs inline.
 
-#ifndef SGNN_CORE_PARALLEL_H_
-#define SGNN_CORE_PARALLEL_H_
+#ifndef SGNN_TENSOR_PARALLEL_H_
+#define SGNN_TENSOR_PARALLEL_H_
 
 #include <cstdint>
 #include <functional>
@@ -69,4 +69,4 @@ int64_t NumChunks(int64_t begin, int64_t end, int64_t grain);
 
 }  // namespace sgnn::parallel
 
-#endif  // SGNN_CORE_PARALLEL_H_
+#endif  // SGNN_TENSOR_PARALLEL_H_

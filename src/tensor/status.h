@@ -30,7 +30,14 @@ enum class StatusCode {
 };
 
 /// A success-or-error value. Cheap to copy on the OK path.
-class Status {
+///
+/// The class-level [[nodiscard]] makes *every* function returning a Status
+/// by value warn (and, with -Werror=unused-result, fail to compile) when the
+/// caller drops it on the floor — a dropped OOM or fault-injection status
+/// would otherwise silently corrupt a benchmark cell. `sgnn_lint`'s
+/// discarded-status rule enforces the same contract on paths the compiler
+/// does not see (see docs/LINT.md).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -98,14 +105,15 @@ class Status {
   std::string message_;
 };
 
-/// A value-or-error union, in the spirit of arrow::Result<T>.
+/// A value-or-error union, in the spirit of arrow::Result<T>. Like Status,
+/// the class itself is [[nodiscard]]: dropping a Result drops its error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
-  /// Implicit from value (success).
-  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
-  /// Implicit from a non-OK status (error).
-  Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+  /// Implicit by design: `return value;` and `return SomeStatus();` are the
+  /// API — both conversions are the whole point of a value-or-error union.
+  Result(T value) : repr_(std::move(value)) {}
+  Result(Status status) : repr_(std::move(status)) {}
 
   bool ok() const { return std::holds_alternative<T>(repr_); }
 
@@ -165,5 +173,32 @@ class Result {
   auto result = (rexpr);                                \
   if (!result.ok()) return result.status();             \
   lhs = result.MoveValue()
+
+/// Aborts with the status message when `expr` (a Status or Result<T>
+/// expression) is not OK. For tests, benches, and tool main()s whose callers
+/// cannot propagate a Status — library code uses SGNN_RETURN_IF_ERROR
+/// instead. Evaluates `expr` exactly once.
+#define SGNN_CHECK_OK(expr)                                               \
+  do {                                                                    \
+    const auto& _sgnn_ok_ref = (expr);                                    \
+    if (!_sgnn_ok_ref.ok()) {                                             \
+      std::fprintf(stderr, "SGNN_CHECK_OK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__,                                    \
+                   ::sgnn::internal::StatusOf(_sgnn_ok_ref)               \
+                       .ToString()                                        \
+                       .c_str());                                         \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+namespace sgnn::internal {
+/// Uniform Status access for SGNN_CHECK_OK: works for both Status (which is
+/// its own status) and Result<T> (which carries one).
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+inline const Status& StatusOf(const Result<T>& r) {
+  return r.status();
+}
+}  // namespace sgnn::internal
 
 #endif  // SGNN_TENSOR_STATUS_H_

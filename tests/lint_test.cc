@@ -1,0 +1,446 @@
+// Unit tests for sgnn_lint (tools/lint/lint.h): every rule gets a positive
+// fixture (fires), a negative fixture (stays quiet), a NOLINT-suppressed
+// fixture, and a string/comment false-positive fixture. The repo-wide run
+// is a separate CTest test (`lint_repo`) — these tests pin the *rules*.
+
+#include "lint/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace {
+
+using sgnn::lint::Config;
+using sgnn::lint::Finding;
+using sgnn::lint::LintSource;
+
+/// Findings for `source` linted as `path`, with a few fixture status
+/// functions on top of the defaults.
+std::vector<Finding> Lint(const std::string& path, const std::string& source) {
+  Config config = Config::Default();
+  config.status_functions.insert("SaveGraph");
+  config.status_functions.insert("Precompute");
+  return LintSource(path, source, config);
+}
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  for (const Finding& f : findings) {
+    if (f.rule == rule) return true;
+  }
+  return false;
+}
+
+std::string Render(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) out += f.ToString() + "\n";
+  return out;
+}
+
+// --- discarded-status -------------------------------------------------------
+
+TEST(DiscardedStatusTest, FlagsBareCallStatement) {
+  const auto f = Lint("src/graph/x.cc", R"cc(
+    void Save(const Graph& g) {
+      SaveGraph(g, "/tmp/g.bin");
+    }
+  )cc");
+  EXPECT_TRUE(HasRule(f, "discarded-status")) << Render(f);
+}
+
+TEST(DiscardedStatusTest, FlagsBareMemberCall) {
+  const auto f = Lint("src/models/x.cc", R"cc(
+    void Warm(Filter* filter, const Ctx& ctx, const Matrix& x) {
+      filter->Precompute(ctx, x, &terms);
+    }
+  )cc");
+  EXPECT_TRUE(HasRule(f, "discarded-status")) << Render(f);
+}
+
+TEST(DiscardedStatusTest, FlagsCallAfterControlFlow) {
+  const auto f = Lint("src/graph/x.cc", R"cc(
+    void Save(bool dump, const Graph& g) {
+      if (dump) SaveGraph(g, "/tmp/g.bin");
+    }
+  )cc");
+  EXPECT_TRUE(HasRule(f, "discarded-status")) << Render(f);
+}
+
+TEST(DiscardedStatusTest, QuietWhenChecked) {
+  const auto f = Lint("src/graph/x.cc", R"cc(
+    Status Save(const Graph& g) {
+      SGNN_RETURN_IF_ERROR(SaveGraph(g, "/tmp/a"));
+      Status s = SaveGraph(g, "/tmp/b");
+      if (!SaveGraph(g, "/tmp/c").ok()) return s;
+      return SaveGraph(g, "/tmp/d");
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "discarded-status")) << Render(f);
+}
+
+TEST(DiscardedStatusTest, QuietOnExplicitVoidCast) {
+  // (void)-cast is the compiler-parity explicit discard; review sees it.
+  const auto f = Lint("src/graph/x.cc", R"cc(
+    void Save(const Graph& g) { (void)SaveGraph(g, "/tmp/g.bin"); }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "discarded-status")) << Render(f);
+}
+
+TEST(DiscardedStatusTest, QuietInStringsAndComments) {
+  const auto f = Lint("src/graph/x.cc", R"cc(
+    // SaveGraph(g, "/tmp/g.bin");
+    const char* doc = "SaveGraph(g, path); drops the status";
+  )cc");
+  EXPECT_FALSE(HasRule(f, "discarded-status")) << Render(f);
+}
+
+TEST(DiscardedStatusTest, SuppressedWithReason) {
+  const auto f = Lint("src/graph/x.cc", R"cc(
+    void Save(const Graph& g) {
+      // NOLINTNEXTLINE(discarded-status): best-effort debug dump
+      SaveGraph(g, "/tmp/g.bin");
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "discarded-status")) << Render(f);
+  EXPECT_FALSE(HasRule(f, "nolint-policy")) << Render(f);
+}
+
+// --- layering ---------------------------------------------------------------
+
+TEST(LayeringTest, FlagsBackEdge) {
+  const auto f = Lint("src/tensor/ops.cc", R"cc(
+    #include "core/parallel.h"
+  )cc");
+  EXPECT_TRUE(HasRule(f, "layering")) << Render(f);
+}
+
+TEST(LayeringTest, FlagsSparseToModels) {
+  const auto f = Lint("src/sparse/csr.cc", R"cc(
+    #include "models/trainer.h"
+  )cc");
+  EXPECT_TRUE(HasRule(f, "layering")) << Render(f);
+}
+
+TEST(LayeringTest, AllowsDownwardAndSameGroupEdges) {
+  const auto f = Lint("src/models/trainer.cc", R"cc(
+    #include <vector>
+    #include "core/filter.h"
+    #include "eval/metrics.h"
+    #include "models/trainer.h"
+    #include "tensor/parallel.h"
+  )cc");
+  EXPECT_FALSE(HasRule(f, "layering")) << Render(f);
+}
+
+TEST(LayeringTest, BenchAndToolsAreUnconstrained) {
+  const auto f = Lint("bench/bench_x.cpp", R"cc(
+    #include "runtime/supervisor.h"
+    #include "models/trainer.h"
+  )cc");
+  EXPECT_FALSE(HasRule(f, "layering")) << Render(f);
+}
+
+TEST(LayeringTest, IgnoresIncludesInComments) {
+  const auto f = Lint("src/tensor/x.cc", R"cc(
+    // #include "runtime/supervisor.h"
+    /* #include "models/trainer.h" */
+  )cc");
+  EXPECT_FALSE(HasRule(f, "layering")) << Render(f);
+}
+
+TEST(LayeringTest, SuppressedWithReason) {
+  const auto f = Lint("src/tensor/x.cc",
+                      "#include \"core/filter.h\"  "
+                      "// NOLINT(layering): transitional shim, tracked\n");
+  EXPECT_FALSE(HasRule(f, "layering")) << Render(f);
+}
+
+// --- parallel-safety --------------------------------------------------------
+
+TEST(ParallelSafetyTest, FlagsJournalAppendInBody) {
+  const auto f = Lint("src/models/x.cc", R"cc(
+    void Train(Journal* journal) {
+      parallel::ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+        journal->Append("bench", record);
+      });
+    }
+  )cc");
+  EXPECT_TRUE(HasRule(f, "parallel-safety")) << Render(f);
+}
+
+TEST(ParallelSafetyTest, FlagsMutableStaticLocal) {
+  const auto f = Lint("src/sparse/x.cc", R"cc(
+    void Kernel() {
+      ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+        static int64_t calls = 0;
+        ++calls;
+      });
+    }
+  )cc");
+  EXPECT_TRUE(HasRule(f, "parallel-safety")) << Render(f);
+}
+
+TEST(ParallelSafetyTest, FlagsExitInBody) {
+  const auto f = Lint("bench/bench_x.cpp", R"cc(
+    ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+      if (lo > hi) exit(1);
+    });
+  )cc");
+  EXPECT_TRUE(HasRule(f, "parallel-safety")) << Render(f);
+}
+
+TEST(ParallelSafetyTest, QuietOnStaticConstAndPlainWork) {
+  const auto f = Lint("src/sparse/x.cc", R"cc(
+    void Kernel(float* out, const float* in) {
+      ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+        static const int kWidth = 8;
+        static_assert(sizeof(float) == 4);
+        for (int64_t i = lo; i < hi; ++i) out[i] = in[i] * kWidth;
+      });
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "parallel-safety")) << Render(f);
+}
+
+TEST(ParallelSafetyTest, QuietOutsideTheLambda) {
+  // The same calls are fine on the coordinating thread.
+  const auto f = Lint("src/models/x.cc", R"cc(
+    void Train(Journal* journal) {
+      ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) { work(lo, hi); });
+      journal->Append("bench", record);
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "parallel-safety")) << Render(f);
+}
+
+TEST(ParallelSafetyTest, SuppressedWithReason) {
+  const auto f = Lint("src/sparse/x.cc", R"cc(
+    void Kernel() {
+      ParallelFor(0, n, grain, [&](int64_t lo, int64_t hi) {
+        // NOLINTNEXTLINE(parallel-safety): guarded by once_flag above
+        static int table = Build();
+      });
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "parallel-safety")) << Render(f);
+}
+
+// --- determinism ------------------------------------------------------------
+
+TEST(DeterminismTest, FlagsRandAndTime) {
+  const auto f = Lint("src/graph/x.cc", R"cc(
+    int Noise() { return rand() + static_cast<int>(time(nullptr)); }
+  )cc");
+  EXPECT_TRUE(HasRule(f, "determinism")) << Render(f);
+}
+
+TEST(DeterminismTest, FlagsRandomDevice) {
+  const auto f = Lint("bench/bench_x.cpp", R"cc(
+    std::mt19937 gen{std::random_device{}()};
+  )cc");
+  EXPECT_TRUE(HasRule(f, "determinism")) << Render(f);
+}
+
+TEST(DeterminismTest, FlagsRawClockRead) {
+  const auto f = Lint("src/models/x.cc", R"cc(
+    auto t0 = std::chrono::steady_clock::now();
+  )cc");
+  EXPECT_TRUE(HasRule(f, "determinism")) << Render(f);
+}
+
+TEST(DeterminismTest, AllowsRngModuleAndTimer) {
+  const auto rng = Lint("src/tensor/rng.cc", R"cc(
+    uint64_t Entropy() { return std::random_device{}(); }
+  )cc");
+  EXPECT_FALSE(HasRule(rng, "determinism")) << Render(rng);
+  const auto timer = Lint("src/eval/table.h", R"cc(
+    void Reset() { start_ = std::chrono::steady_clock::now(); }
+  )cc");
+  EXPECT_FALSE(HasRule(timer, "determinism")) << Render(timer);
+}
+
+TEST(DeterminismTest, QuietOnLookalikes) {
+  const auto f = Lint("src/eval/x.cc", R"cc(
+    // rand() would be wrong here
+    double wall_time = timer.ElapsedMs();   // "time" as a substring
+    const char* msg = "uses time() and rand()";
+    int rand_count = 3;  // identifier containing rand
+  )cc");
+  EXPECT_FALSE(HasRule(f, "determinism")) << Render(f);
+}
+
+TEST(DeterminismTest, SuppressedWithReason) {
+  const auto f = Lint("tools/x.cc", R"cc(
+    // NOLINTNEXTLINE(determinism): interactive tool, wall clock is the point
+    auto t0 = std::chrono::system_clock::now();
+  )cc");
+  EXPECT_FALSE(HasRule(f, "determinism")) << Render(f);
+}
+
+// --- hygiene ----------------------------------------------------------------
+
+TEST(HygieneTest, FlagsFloatEquality) {
+  const auto f = Lint("src/eval/x.cc", R"cc(
+    bool Same(double a, double b) { return a == b; }
+  )cc");
+  EXPECT_TRUE(HasRule(f, "hygiene")) << Render(f);
+}
+
+TEST(HygieneTest, FlagsFloatVectorElementEquality) {
+  const auto f = Lint("src/eval/x.cc", R"cc(
+    bool Tied(const std::vector<double>& scores, size_t i, size_t j) {
+      return scores[i] == scores[j];
+    }
+  )cc");
+  EXPECT_TRUE(HasRule(f, "hygiene")) << Render(f);
+}
+
+TEST(HygieneTest, FlagsFloatLiteralComparison) {
+  const auto f = Lint("src/nn/x.cc", R"cc(
+    bool Half(float w) { return w == 0.5f; }
+  )cc");
+  EXPECT_TRUE(HasRule(f, "hygiene")) << Render(f);
+}
+
+TEST(HygieneTest, AllowsZeroSentinelAndIntComparisons) {
+  const auto f = Lint("src/tensor/x.cc", R"cc(
+    void Kernel(const float* a, int n, int m) {
+      for (int i = 0; i < n; ++i) {
+        if (a[i] == 0.0f) continue;   // sparsity skip: exact zero is exact
+        if (i != m) work(i);
+      }
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "hygiene")) << Render(f);
+}
+
+TEST(HygieneTest, SizeCallsAreNotFloat) {
+  const auto f = Lint("src/eval/x.cc", R"cc(
+    void Check(const std::vector<double>& scores,
+               const std::vector<int>& truth) {
+      SGNN_CHECK(scores.size() == truth.size(), "size mismatch");
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "hygiene")) << Render(f);
+}
+
+TEST(HygieneTest, FloatDeclsAreScopedToTheirFunction) {
+  // `double u` in Alpha must not poison the int comparison in Beta.
+  const auto f = Lint("src/graph/x.cc", R"cc(
+    double Alpha(Rng* rng) {
+      const double u = rng->Uniform();
+      return u * 2.0;
+    }
+    bool Beta(int u, int v) { return u == v; }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "hygiene")) << Render(f);
+}
+
+TEST(HygieneTest, FlagsCoutAndExitInLibraryCode) {
+  const auto f = Lint("src/eval/x.cc", R"cc(
+    void Dump(int bad) {
+      std::cout << "table\n";
+      if (bad) exit(1);
+    }
+  )cc");
+  EXPECT_TRUE(HasRule(f, "hygiene")) << Render(f);
+}
+
+TEST(HygieneTest, LibraryRulesDoNotApplyToBenchesAndTools) {
+  const auto f = Lint("tools/x.cpp", R"cc(
+    int main() {
+      std::cout << "usage\n";
+      exit(2);
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "hygiene")) << Render(f);
+}
+
+TEST(HygieneTest, SuppressedWithReason) {
+  const auto f = Lint("src/core/x.cc", R"cc(
+    bool BitIdentical(float a, float b) {
+      // NOLINTNEXTLINE(hygiene): bit-equality is this function's contract
+      return a == b;
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "hygiene")) << Render(f);
+}
+
+// --- nolint-policy ----------------------------------------------------------
+
+TEST(NolintPolicyTest, BareNolintIsAFinding) {
+  const auto f = Lint("src/eval/x.cc", "int x = 1;  // NOLINT\n");
+  EXPECT_TRUE(HasRule(f, "nolint-policy")) << Render(f);
+}
+
+TEST(NolintPolicyTest, MissingReasonIsAFinding) {
+  const auto f = Lint("src/eval/x.cc", "int x = 1;  // NOLINT(hygiene)\n");
+  EXPECT_TRUE(HasRule(f, "nolint-policy")) << Render(f);
+}
+
+TEST(NolintPolicyTest, UnknownRuleIsAFinding) {
+  const auto f =
+      Lint("src/eval/x.cc", "int x = 1;  // NOLINT(made-up): because\n");
+  EXPECT_TRUE(HasRule(f, "nolint-policy")) << Render(f);
+}
+
+TEST(NolintPolicyTest, WellFormedSuppressionIsQuiet) {
+  const auto f = Lint(
+      "src/eval/x.cc",
+      "double a, b;\n"
+      "bool t = a == b;  // NOLINT(hygiene): tie-break must be exact\n");
+  EXPECT_FALSE(HasRule(f, "nolint-policy")) << Render(f);
+  EXPECT_FALSE(HasRule(f, "hygiene")) << Render(f);
+}
+
+TEST(NolintPolicyTest, ProseMentioningNolintIsNotASuppression) {
+  const auto f = Lint("src/eval/x.cc", R"cc(
+    // Suppressions use NOLINT(rule): reason — see docs/LINT.md.
+    int x = 1;
+  )cc");
+  EXPECT_FALSE(HasRule(f, "nolint-policy")) << Render(f);
+}
+
+TEST(NolintPolicyTest, SuppressionDoesNotLeakToOtherRules) {
+  // A hygiene suppression must not hide a determinism finding on the line.
+  const auto f = Lint(
+      "src/eval/x.cc",
+      "double r = rand();  // NOLINT(hygiene): wrong rule on purpose\n");
+  EXPECT_TRUE(HasRule(f, "determinism")) << Render(f);
+}
+
+// --- pass 1: status-function collection -------------------------------------
+
+TEST(CollectStatusFunctionsTest, FindsDeclarationsAndDefinitions) {
+  std::set<std::string> fns;
+  sgnn::lint::CollectStatusFunctions(R"cc(
+    Status SaveGraph(const Graph& g, const std::string& path);
+    Result<Graph> LoadGraph(const std::string& path);
+    [[nodiscard]] Result<std::unique_ptr<Filter>> CreateFilter(int hops);
+    Status PolyFilter::Precompute(const Ctx& ctx) { return Status::OK(); }
+    Status status;          // member declaration: not a function
+    void Use(Status s);     // parameter: not a function
+  )cc",
+                                     &fns);
+  EXPECT_EQ(fns.count("SaveGraph"), 1u);
+  EXPECT_EQ(fns.count("LoadGraph"), 1u);
+  EXPECT_EQ(fns.count("CreateFilter"), 1u);
+  EXPECT_EQ(fns.count("Precompute"), 1u);
+  EXPECT_EQ(fns.count("status"), 0u);
+  EXPECT_EQ(fns.count("s"), 0u);
+  EXPECT_EQ(fns.count("Use"), 0u);
+}
+
+// --- layer mapping ----------------------------------------------------------
+
+TEST(LayerOfTest, MapsPathsToLayers) {
+  EXPECT_EQ(sgnn::lint::LayerOf("src/tensor/ops.cc"), "tensor");
+  EXPECT_EQ(sgnn::lint::LayerOf("src/runtime/journal.h"), "runtime");
+  EXPECT_EQ(sgnn::lint::LayerOf("bench/bench_common.h"), "bench");
+  EXPECT_EQ(sgnn::lint::LayerOf("tools/lint/lint.cc"), "tools");
+  EXPECT_EQ(sgnn::lint::LayerOf("tests/lint_test.cc"), "tests");
+  EXPECT_EQ(sgnn::lint::LayerOf("README.md"), "");
+}
+
+}  // namespace

@@ -1,9 +1,9 @@
-// Unit tests for the core parallel layer (core/parallel.h): range chunking,
+// Unit tests for the core parallel layer (tensor/parallel.h): range chunking,
 // nested-call fallback, exception latching, and the bit-identity contract of
 // the parallelized kernels (serial and parallel schedules must produce the
 // same bits — docs/PERFORMANCE.md).
 
-#include "core/parallel.h"
+#include "tensor/parallel.h"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,921 @@
+#include "lint/lint.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace sgnn::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+/// A parsed #include directive.
+struct Include {
+  std::string target;  ///< path between the quotes/brackets
+  bool quoted;         ///< "..." (project include) vs <...>
+  int line;
+};
+
+/// One NOLINT / NOLINTNEXTLINE suppression, keyed by the line it covers.
+struct Suppression {
+  std::set<std::string> rules;
+};
+
+/// A malformed suppression (bare NOLINT, unknown rule, missing reason).
+struct BadNolint {
+  int line;
+  std::string message;
+};
+
+struct LexResult {
+  std::vector<Tok> toks;
+  std::vector<Include> includes;
+  std::map<int, Suppression> suppressions;
+  std::vector<BadNolint> bad_nolints;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Two-character punctuators the rules care about. Everything else is
+/// emitted one character at a time.
+bool IsTwoCharPunct(char a, char b) {
+  static const char* kOps[] = {"::", "->", "==", "!=", "<=", ">=",
+                               "&&", "||", "<<", ">>", "+=", "-=",
+                               "*=", "/=", "++", "--"};
+  for (const char* op : kOps) {
+    if (op[0] == a && op[1] == b) return true;
+  }
+  return false;
+}
+
+/// Parses NOLINT markers out of one comment's text. `comment_line` is the
+/// line the comment starts on; NOLINTNEXTLINE shifts the target one down.
+void ParseNolint(const std::string& text, int comment_line,
+                 const Config& config, LexResult* out) {
+  // Only a comment that *starts* with NOLINT is a suppression; prose that
+  // mentions NOLINT mid-sentence (like this linter's own docs) is not.
+  size_t pos = 0;
+  while (pos < text.size() &&
+         (text[pos] == '/' || text[pos] == '*' || text[pos] == ' ' ||
+          text[pos] == '\t')) {
+    ++pos;
+  }
+  if (text.compare(pos, 6, "NOLINT") != 0) return;
+  size_t cur = pos + 6;  // past "NOLINT"
+  int target = comment_line;
+  if (text.compare(cur, 8, "NEXTLINE") == 0) {
+    cur += 8;
+    target = comment_line + 1;
+  }
+  if (cur >= text.size() || text[cur] != '(') {
+    out->bad_nolints.push_back(
+        {comment_line,
+         "bare NOLINT: suppressions must name a rule and a reason, e.g. "
+         "\"NOLINT(rule): why this is safe\""});
+    return;
+  }
+  const size_t close = text.find(')', cur);
+  if (close == std::string::npos) {
+    out->bad_nolints.push_back({comment_line, "unterminated NOLINT(...)"});
+    return;
+  }
+  // Split the comma-separated rule list.
+  Suppression sup;
+  std::string rules_text = text.substr(cur + 1, close - cur - 1);
+  size_t start = 0;
+  while (start <= rules_text.size()) {
+    size_t comma = rules_text.find(',', start);
+    if (comma == std::string::npos) comma = rules_text.size();
+    std::string rule = rules_text.substr(start, comma - start);
+    // Trim spaces.
+    while (!rule.empty() && rule.front() == ' ') rule.erase(rule.begin());
+    while (!rule.empty() && rule.back() == ' ') rule.pop_back();
+    if (!rule.empty()) {
+      if (config.known_rules.count(rule) == 0) {
+        out->bad_nolints.push_back(
+            {comment_line, "NOLINT names unknown rule \"" + rule + "\""});
+        return;
+      }
+      sup.rules.insert(rule);
+    }
+    start = comma + 1;
+  }
+  if (sup.rules.empty()) {
+    out->bad_nolints.push_back({comment_line, "NOLINT() with no rule"});
+    return;
+  }
+  // Require ": reason" with a non-empty reason after the rule list.
+  size_t after = close + 1;
+  while (after < text.size() && text[after] == ' ') ++after;
+  bool has_reason = false;
+  if (after < text.size() && text[after] == ':') {
+    ++after;
+    while (after < text.size() && text[after] == ' ') ++after;
+    has_reason = after < text.size();
+  }
+  if (!has_reason) {
+    out->bad_nolints.push_back(
+        {comment_line,
+         "NOLINT without a reason: write \"NOLINT(rule): why\""});
+    return;
+  }
+  out->suppressions[target].rules.insert(sup.rules.begin(), sup.rules.end());
+}
+
+LexResult Lex(const std::string& src, const Config& config) {
+  LexResult out;
+  const size_t n = src.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto advance_over = [&](char c) {
+    if (c == '\n') {
+      ++line;
+      at_line_start = true;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    // Whitespace.
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance_over(c);
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const int start_line = line;
+      size_t j = i + 2;
+      while (j < n && src[j] != '\n') ++j;
+      ParseNolint(src.substr(i, j - i), start_line, config, &out);
+      i = j;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int start_line = line;
+      size_t j = i + 2;
+      std::string text;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
+        if (src[j] == '\n') ++line;
+        text.push_back(src[j]);
+        ++j;
+      }
+      ParseNolint(text, start_line, config, &out);
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+    // Preprocessor directive: record #include targets, skip everything else
+    // (including backslash continuations, so macro bodies are not linted).
+    if (c == '#' && at_line_start) {
+      size_t j = i + 1;
+      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
+      size_t word_end = j;
+      while (word_end < n && IsIdentChar(src[word_end])) ++word_end;
+      const std::string directive = src.substr(j, word_end - j);
+      if (directive == "include") {
+        size_t k = word_end;
+        while (k < n && (src[k] == ' ' || src[k] == '\t')) ++k;
+        if (k < n && (src[k] == '"' || src[k] == '<')) {
+          const char close_ch = src[k] == '"' ? '"' : '>';
+          size_t close = src.find(close_ch, k + 1);
+          if (close != std::string::npos) {
+            out.includes.push_back(
+                {src.substr(k + 1, close - k - 1), src[k] == '"', line});
+          }
+        }
+      }
+      // Skip to the end of the (possibly continued) directive. A trailing
+      // line comment still counts for suppression, so `#include ...
+      // NOLINT(layering): reason` works like any other line.
+      while (j < n) {
+        if (src[j] == '/' && j + 1 < n && src[j + 1] == '/') {
+          size_t eol = j;
+          while (eol < n && src[eol] != '\n') ++eol;
+          ParseNolint(src.substr(j, eol - j), line, config, &out);
+          j = eol;
+          break;
+        }
+        if (src[j] == '\n') {
+          // Continued if the last non-CR character was a backslash.
+          size_t back = j;
+          while (back > i && (src[back - 1] == '\r')) --back;
+          if (back > i && src[back - 1] == '\\') {
+            ++line;
+            ++j;
+            continue;
+          }
+          break;
+        }
+        ++j;
+      }
+      i = j;  // leave the newline for the main loop
+      continue;
+    }
+    at_line_start = false;
+    // String literal (with raw-string handling via the identifier path).
+    if (c == '"') {
+      size_t j = i + 1;
+      while (j < n && src[j] != '"') {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;
+        ++j;
+      }
+      out.toks.push_back({TokKind::kString, "", line});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Char literal.
+    if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && src[j] != '\'') {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      out.toks.push_back({TokKind::kChar, "", line});
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    // Number (digit separators allowed; a trailing ' is never consumed).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
+      size_t j = i;
+      while (j < n &&
+             (IsIdentChar(src[j]) || src[j] == '.' ||
+              (src[j] == '\'' && j + 1 < n && IsIdentChar(src[j + 1])) ||
+              ((src[j] == '+' || src[j] == '-') && j > i &&
+               (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                src[j - 1] == 'p' || src[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.toks.push_back({TokKind::kNumber, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Identifier / keyword, or a raw string literal prefix.
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < n && IsIdentChar(src[j])) ++j;
+      const std::string word = src.substr(i, j - i);
+      const bool raw_prefix = (word == "R" || word == "u8R" || word == "uR" ||
+                               word == "LR");
+      if (raw_prefix && j < n && src[j] == '"') {
+        // R"delim( ... )delim"
+        size_t paren = src.find('(', j + 1);
+        if (paren == std::string::npos) {
+          i = n;
+          continue;
+        }
+        const std::string delim = src.substr(j + 1, paren - j - 1);
+        const std::string closer = ")" + delim + "\"";
+        size_t end = src.find(closer, paren + 1);
+        const size_t stop = (end == std::string::npos) ? n
+                                                       : end + closer.size();
+        for (size_t k = j; k < stop && k < n; ++k) {
+          if (src[k] == '\n') ++line;
+        }
+        out.toks.push_back({TokKind::kString, "", line});
+        i = stop;
+        continue;
+      }
+      out.toks.push_back({TokKind::kIdent, word, line});
+      i = j;
+      continue;
+    }
+    // Punctuation.
+    if (i + 1 < n && IsTwoCharPunct(c, src[i + 1])) {
+      out.toks.push_back({TokKind::kPunct, src.substr(i, 2), line});
+      i += 2;
+      continue;
+    }
+    out.toks.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shared token helpers
+// ---------------------------------------------------------------------------
+
+bool Is(const std::vector<Tok>& t, size_t i, const char* text) {
+  return i < t.size() && t[i].text == text;
+}
+bool IsIdent(const std::vector<Tok>& t, size_t i) {
+  return i < t.size() && t[i].kind == TokKind::kIdent;
+}
+
+/// Index of the punctuator matching an opener at `i` ("(", "[", "{"), or
+/// t.size() when unbalanced. Understands nothing about templates — callers
+/// only use it for (), [], {}.
+size_t MatchForward(const std::vector<Tok>& t, size_t i) {
+  const std::string& open = t[i].text;
+  const std::string close = open == "(" ? ")" : open == "[" ? "]" : "}";
+  int depth = 0;
+  for (size_t j = i; j < t.size(); ++j) {
+    if (t[j].text == open) ++depth;
+    if (t[j].text == close) {
+      if (--depth == 0) return j;
+    }
+  }
+  return t.size();
+}
+
+/// Index of the opener matching a closer at `i` (")", "]"), or npos-like -1.
+size_t MatchBackward(const std::vector<Tok>& t, size_t i) {
+  const std::string& close = t[i].text;
+  const std::string open = close == ")" ? "(" : "[";
+  int depth = 0;
+  for (size_t j = i + 1; j-- > 0;) {
+    if (t[j].text == close) ++depth;
+    if (t[j].text == open) {
+      if (--depth == 0) return j;
+    }
+  }
+  return 0;
+}
+
+/// True when the floating literal spelling denotes a float/double (has a
+/// decimal point, exponent, or f suffix; hex ints excluded).
+bool IsFloatLiteral(const std::string& text) {
+  if (text.size() > 1 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X'))
+    return false;
+  bool has_dot = false, has_exp = false, has_f = false;
+  for (char c : text) {
+    if (c == '.') has_dot = true;
+    if (c == 'e' || c == 'E') has_exp = true;
+    if (c == 'f' || c == 'F') has_f = true;
+  }
+  return has_dot || has_exp || has_f;
+}
+
+// ---------------------------------------------------------------------------
+// Rule context
+// ---------------------------------------------------------------------------
+
+class Linter {
+ public:
+  Linter(std::string path, const LexResult& lex, const Config& config)
+      : path_(std::move(path)), lex_(lex), config_(config) {}
+
+  std::vector<Finding> Run() {
+    NolintPolicy();
+    Layering();
+    DiscardedStatus();
+    ParallelSafety();
+    Determinism();
+    if (InSrc()) Hygiene();
+    return std::move(findings_);
+  }
+
+ private:
+  bool InSrc() const { return path_.rfind("src/", 0) == 0; }
+
+  bool Suppressed(int line, const std::string& rule) const {
+    auto it = lex_.suppressions.find(line);
+    return it != lex_.suppressions.end() && it->second.rules.count(rule) > 0;
+  }
+
+  void Report(int line, const std::string& rule, std::string message) {
+    if (Suppressed(line, rule)) return;
+    findings_.push_back({path_, line, rule, std::move(message)});
+  }
+
+  // --- nolint-policy -------------------------------------------------------
+  void NolintPolicy() {
+    for (const BadNolint& bad : lex_.bad_nolints) {
+      // Malformed suppressions are never themselves suppressible.
+      findings_.push_back({path_, bad.line, "nolint-policy", bad.message});
+    }
+  }
+
+  // --- layering ------------------------------------------------------------
+  void Layering() {
+    const std::string layer = LayerOf(path_);
+    if (layer.empty()) return;
+    auto it = config_.allowed_includes.find(layer);
+    if (it == config_.allowed_includes.end()) return;  // unconstrained layer
+    const std::set<std::string>& allowed = it->second;
+    for (const Include& inc : lex_.includes) {
+      if (!inc.quoted) continue;  // system headers are not layered
+      const size_t slash = inc.target.find('/');
+      if (slash == std::string::npos) continue;  // same-directory include
+      const std::string target_layer = inc.target.substr(0, slash);
+      if (config_.allowed_includes.count(target_layer) == 0 &&
+          target_layer != "bench" && target_layer != "tools" &&
+          target_layer != "tests") {
+        continue;  // not a layered path (e.g. third-party style include)
+      }
+      if (allowed.count(target_layer) == 0) {
+        Report(inc.line, "layering",
+               "layer \"" + layer + "\" must not include \"" + inc.target +
+                   "\" (allowed: " + JoinAllowed(allowed) + ")");
+      }
+    }
+  }
+
+  static std::string JoinAllowed(const std::set<std::string>& allowed) {
+    std::string out;
+    for (const std::string& a : allowed) {
+      if (!out.empty()) out += ", ";
+      out += a;
+    }
+    return out;
+  }
+
+  // --- discarded-status ----------------------------------------------------
+  //
+  // Flags statements of the form
+  //     [obj (./->)] [ns::] callee ( ... ) ;
+  // where `callee` is known to return Status/Result<T>. Statement starts
+  // after ; { } :, after `else`, or after a closing `)` of a control-flow
+  // condition — but not after a (void) cast, which is the compiler-parity
+  // explicit-discard idiom (still visible in review, unlike a silent drop).
+  void DiscardedStatus() {
+    const std::vector<Tok>& t = lex_.toks;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (!AtStatementStart(i)) continue;
+      // Parse a postfix call chain and find its final callee.
+      size_t j = i;
+      if (Is(t, j, "::")) ++j;
+      if (!IsIdent(t, j)) continue;
+      std::string callee = t[j].text;
+      ++j;
+      while (j < t.size()) {
+        if (Is(t, j, "::") || Is(t, j, ".") || Is(t, j, "->")) {
+          if (!IsIdent(t, j + 1)) break;
+          callee = t[j + 1].text;
+          j += 2;
+          continue;
+        }
+        break;
+      }
+      if (!Is(t, j, "(")) continue;
+      const size_t close = MatchForward(t, j);
+      if (close >= t.size() || !Is(t, close + 1, ";")) continue;
+      if (config_.status_functions.count(callee) == 0) continue;
+      Report(t[i].line, "discarded-status",
+             "result of status-returning \"" + callee +
+                 "\" is discarded; check it, propagate it "
+                 "(SGNN_RETURN_IF_ERROR), or assert it (SGNN_CHECK_OK)");
+    }
+  }
+
+  bool AtStatementStart(size_t i) const {
+    const std::vector<Tok>& t = lex_.toks;
+    if (i == 0) return true;
+    const Tok& prev = t[i - 1];
+    if (prev.text == ";" || prev.text == "{" || prev.text == "}" ||
+        prev.text == "else" || prev.text == "do") {
+      return true;
+    }
+    if (prev.text == ")") {
+      // Statement position after if(...)/for(...)/while(...), but not after
+      // an explicit (void) discard cast.
+      const size_t open = MatchBackward(t, i - 1);
+      if (open + 2 == i - 1 && Is(t, open + 1, "void")) return false;
+      return true;
+    }
+    return false;
+  }
+
+  // --- parallel-safety -----------------------------------------------------
+  void ParallelSafety() {
+    const std::vector<Tok>& t = lex_.toks;
+    for (size_t i = 0; i + 1 < t.size(); ++i) {
+      if (!(t[i].kind == TokKind::kIdent && t[i].text == "ParallelFor" &&
+            Is(t, i + 1, "("))) {
+        continue;
+      }
+      const size_t call_close = MatchForward(t, i + 1);
+      // Find lambda introducers in argument position within the call.
+      for (size_t j = i + 2; j < call_close; ++j) {
+        if (!Is(t, j, "[")) continue;
+        if (!(Is(t, j - 1, "(") || Is(t, j - 1, ","))) continue;
+        const size_t intro_close = MatchForward(t, j);
+        if (intro_close >= call_close) break;
+        // Skip the parameter list / specifiers up to the body brace.
+        size_t k = intro_close + 1;
+        if (Is(t, k, "(")) k = MatchForward(t, k) + 1;
+        while (k < call_close && !Is(t, k, "{")) ++k;
+        if (k >= call_close) break;
+        const size_t body_close = MatchForward(t, k);
+        CheckParallelBody(k + 1, body_close);
+        j = body_close;
+      }
+      i = call_close;
+    }
+  }
+
+  void CheckParallelBody(size_t begin, size_t end) {
+    const std::vector<Tok>& t = lex_.toks;
+    for (size_t i = begin; i < end && i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      if (t[i].text == "static") {
+        if (!(Is(t, i + 1, "const") || Is(t, i + 1, "constexpr"))) {
+          Report(t[i].line, "parallel-safety",
+                 "mutable static local inside a ParallelFor body: chunk "
+                 "bodies run concurrently; hoist the state out or make it "
+                 "chunk-local");
+        }
+        continue;
+      }
+      if (config_.parallel_denylist.count(t[i].text) > 0 &&
+          Is(t, i + 1, "(")) {
+        Report(t[i].line, "parallel-safety",
+               "\"" + t[i].text +
+                   "\" is not reentrant and must not be called from a "
+                   "ParallelFor body (journal/supervisor/device-tracker "
+                   "state and process exit belong to the coordinating "
+                   "thread)");
+      }
+    }
+  }
+
+  // --- determinism ---------------------------------------------------------
+  void Determinism() {
+    if (config_.determinism_allowlist.count(path_) > 0) return;
+    const std::vector<Tok>& t = lex_.toks;
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdent) continue;
+      const std::string& w = t[i].text;
+      if ((w == "rand" || w == "srand" || w == "time") && Is(t, i + 1, "(")) {
+        Report(t[i].line, "determinism",
+               "\"" + w +
+                   "()\" is unseeded/wall-clock state; use tensor/rng.h "
+                   "(seeded per cell) so every table cell replays "
+                   "bit-identically");
+        continue;
+      }
+      if (w == "random_device") {
+        Report(t[i].line, "determinism",
+               "std::random_device is nondeterministic; derive streams from "
+               "the cell seed via tensor/rng.h");
+        continue;
+      }
+      if (w == "now" && Is(t, i - 1, "::") && i >= 2 &&
+          (t[i - 2].text == "steady_clock" || t[i - 2].text == "system_clock" ||
+           t[i - 2].text == "high_resolution_clock")) {
+        Report(t[i].line, "determinism",
+               "raw clock read; use eval::Timer (src/eval/table.h), the one "
+               "sanctioned wall-clock accessor, so timing never leaks into "
+               "journaled results");
+      }
+    }
+  }
+
+  // --- hygiene (src/ only) -------------------------------------------------
+  //
+  // Float equality uses a brace-scoped symbol table built during the same
+  // forward scan that checks the operators, so a `double u` in one function
+  // does not poison an `int u` in the next. Comparisons against a literal
+  // zero are exempt: `v == 0.0f` is the sparsity/sentinel idiom — exact in
+  // IEEE754 for values that were *assigned* zero — and the hot kernels rely
+  // on it (ops.cc, push.cc, the theta-skip in poly_base.cc).
+  void Hygiene() {
+    const std::vector<Tok>& t = lex_.toks;
+    // Prepass: float/double-returning functions, visible file-wide (the
+    // scan below would otherwise miss calls to functions defined later).
+    for (size_t i = 0; i + 2 < t.size(); ++i) {
+      if (t[i].kind == TokKind::kIdent &&
+          (t[i].text == "float" || t[i].text == "double") &&
+          IsIdent(t, i + 1) && Is(t, i + 2, "(")) {
+        float_fns_.insert(t[i + 1].text);
+      }
+    }
+    int depth = 0;       // brace depth
+    int paren_depth = 0; // function parameters live one scope deeper
+    // Active float declarations with the brace depth that retires them.
+    std::vector<std::pair<std::string, int>> scope;
+    auto in_scope = [&](const std::string& name) {
+      for (const auto& [n, d] : scope) {
+        if (n == name) return true;
+      }
+      return false;
+    };
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (Is(t, i, "(")) ++paren_depth;
+      if (Is(t, i, ")") && paren_depth > 0) --paren_depth;
+      if (Is(t, i, "{")) {
+        ++depth;
+        continue;
+      }
+      if (Is(t, i, "}")) {
+        --depth;
+        while (!scope.empty() && scope.back().second > depth) {
+          scope.pop_back();
+        }
+        continue;
+      }
+      const int decl_depth = depth + (paren_depth > 0 ? 1 : 0);
+      if (t[i].kind == TokKind::kIdent) {
+        const std::string& w = t[i].text;
+        if (w == "float" || w == "double") {
+          CollectFloatDecl(i, decl_depth, &scope);
+          continue;
+        }
+        // std::vector<float|double> name: element access yields a float.
+        if (w == "vector" && Is(t, i + 1, "<") &&
+            (Is(t, i + 2, "float") || Is(t, i + 2, "double")) &&
+            Is(t, i + 3, ">")) {
+          size_t j = i + 4;
+          while (Is(t, j, "&") || Is(t, j, "const")) ++j;
+          if (IsIdent(t, j)) scope.emplace_back(t[j].text, decl_depth);
+          continue;
+        }
+        if (w == "cout" && Is(t, i - 1, "::") && Is(t, i - 2, "std")) {
+          Report(t[i].line, "hygiene",
+                 "std::cout in library code; tables print via eval::Table, "
+                 "errors propagate as Status");
+        }
+        if ((w == "exit" || w == "abort" || w == "quick_exit" ||
+             w == "_Exit") &&
+            Is(t, i + 1, "(")) {
+          Report(t[i].line, "hygiene",
+                 "\"" + w +
+                     "()\" in library code; return a Status (fatal contract "
+                     "violations go through SGNN_CHECK)");
+        }
+        continue;
+      }
+      if (t[i].kind == TokKind::kPunct &&
+          (t[i].text == "==" || t[i].text == "!=")) {
+        if (Is(t, i - 1, "operator")) continue;
+        if (ZeroLiteralOperand(i)) continue;
+        if (FloatOperandLeft(i, in_scope) || FloatOperandRight(i, in_scope)) {
+          Report(t[i].line, "hygiene",
+                 "floating-point " + t[i].text +
+                     " comparison; use an explicit tolerance or a < ordering "
+                     "(exact FP equality is almost never the contract)");
+        }
+      }
+    }
+  }
+
+  /// Handles one `float`/`double` declaration head at token `i`: records
+  /// declared variable names (comma lists included) at `decl_depth`, the
+  /// brace depth whose closing `}` retires them (parameters pass depth+1).
+  /// Pointers are skipped — comparing a pointer is exact. `double F(`
+  /// (float-returning functions) is collected by the Hygiene prepass.
+  void CollectFloatDecl(size_t i, int decl_depth,
+                        std::vector<std::pair<std::string, int>>* scope) {
+    const std::vector<Tok>& t = lex_.toks;
+    size_t j = i + 1;
+    while (Is(t, j, "const") || Is(t, j, "&")) ++j;
+    if (Is(t, j, "*")) return;
+    if (!IsIdent(t, j)) return;
+    if (Is(t, j + 1, "(")) return;  // function: handled by the prepass
+    scope->emplace_back(t[j].text, decl_depth);
+    size_t k = j + 1;
+    while (Is(t, k, ",") && IsIdent(t, k + 1) && !Is(t, k + 2, "(")) {
+      scope->emplace_back(t[k + 1].text, decl_depth);
+      k += 2;
+    }
+  }
+
+  /// True when either side of the operator at `op` is a literal zero
+  /// (0, 0.0, 0.f, ...) — the exempt sentinel idiom.
+  bool ZeroLiteralOperand(size_t op) const {
+    const std::vector<Tok>& t = lex_.toks;
+    auto is_zero = [](const Tok& tok) {
+      if (tok.kind != TokKind::kNumber) return false;
+      for (char c : tok.text) {
+        if (c >= '1' && c <= '9') return false;
+        if (c == 'x' || c == 'X') return false;  // hex: not a float anyway
+      }
+      return true;  // only 0 . e f suffixes left
+    };
+    if (op > 0 && is_zero(t[op - 1])) return true;
+    size_t r = op + 1;
+    while (r < t.size() && (Is(t, r, "-") || Is(t, r, "+") || Is(t, r, "(")))
+      ++r;
+    return r < t.size() && is_zero(t[r]);
+  }
+
+  /// Resolves the postfix chain left of the operator at `op`: a float
+  /// literal, a call to a float-returning function, or a subscripted chain
+  /// whose *base* identifier is a declared float/float-vector. Any call to
+  /// a non-float function (x.size(), std::fread(...)) makes the operand
+  /// non-float — conservative by design.
+  template <typename InScopeFn>
+  bool FloatOperandLeft(size_t op, const InScopeFn& in_scope) const {
+    const std::vector<Tok>& t = lex_.toks;
+    if (op == 0) return false;
+    size_t i = op - 1;
+    if (t[i].kind == TokKind::kNumber) return IsFloatLiteral(t[i].text);
+    bool saw_call = false;
+    for (int guard = 0; guard < 64; ++guard) {
+      if (Is(t, i, "]") || Is(t, i, ")")) {
+        const bool was_call = t[i].text == ")";
+        const size_t open = MatchBackward(t, i);
+        if (open == 0) return false;
+        i = open;
+        if (i == 0) return false;
+        --i;
+        if (was_call) {
+          if (IsIdent(t, i) && float_fns_.count(t[i].text) > 0) return true;
+          saw_call = true;
+        }
+        continue;
+      }
+      if (IsIdent(t, i)) {
+        if (i >= 2 && (Is(t, i - 1, ".") || Is(t, i - 1, "->") ||
+                       Is(t, i - 1, "::"))) {
+          i -= 2;
+          continue;
+        }
+        // `i` is the base identifier of the chain.
+        return !saw_call && in_scope(t[i].text);
+      }
+      return false;
+    }
+    return false;
+  }
+
+  /// Mirror of FloatOperandLeft for the token chain right of the operator.
+  template <typename InScopeFn>
+  bool FloatOperandRight(size_t op, const InScopeFn& in_scope) const {
+    const std::vector<Tok>& t = lex_.toks;
+    size_t i = op + 1;
+    while (i < t.size() && t[i].kind == TokKind::kPunct &&
+           (t[i].text == "(" || t[i].text == "-" || t[i].text == "+" ||
+            t[i].text == "!" || t[i].text == "*" || t[i].text == "&")) {
+      ++i;
+    }
+    if (i >= t.size()) return false;
+    if (t[i].kind == TokKind::kNumber) return IsFloatLiteral(t[i].text);
+    if (!IsIdent(t, i)) return false;
+    // Walk the postfix chain forward; calls to non-float functions end the
+    // float-ness, subscripts keep the base's element type.
+    const bool base_float = in_scope(t[i].text);
+    size_t j = i + 1;
+    for (int guard = 0; guard < 64; ++guard) {
+      if (Is(t, j, "(")) {
+        const std::string& callee = t[j - 1].text;
+        return float_fns_.count(callee) > 0;
+      }
+      if (Is(t, j, "[")) {
+        j = MatchForward(t, j) + 1;
+        continue;
+      }
+      if ((Is(t, j, ".") || Is(t, j, "->") || Is(t, j, "::")) &&
+          IsIdent(t, j + 1)) {
+        j += 2;
+        continue;
+      }
+      break;
+    }
+    return base_float;
+  }
+
+  std::string path_;
+  const LexResult& lex_;
+  const Config& config_;
+  std::vector<Finding> findings_;
+  std::set<std::string> float_fns_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+std::string Finding::ToString() const {
+  return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+std::string LayerOf(const std::string& path) {
+  for (const char* top : {"bench/", "tools/", "tests/"}) {
+    if (path.rfind(top, 0) == 0) {
+      return std::string(top, std::string(top).size() - 1);
+    }
+  }
+  if (path.rfind("src/", 0) == 0) {
+    const size_t slash = path.find('/', 4);
+    if (slash != std::string::npos) return path.substr(4, slash - 4);
+  }
+  return "";
+}
+
+Config Config::Default() {
+  Config c;
+  // Status factory helpers declared in src/tensor/status.h; the tree-wide
+  // pass (CollectStatusFunctions) extends this with every Status/Result-
+  // returning function it can see.
+  c.status_functions = {"OK",           "InvalidArgument",
+                        "OutOfMemory",  "NotFound",
+                        "FailedPrecondition", "IOError",
+                        "NotImplemented",     "Internal",
+                        "NumericalError",     "DeadlineExceeded"};
+  // The include DAG of the paper reproduction:
+  //   tensor -> {sparse, graph} -> {core, nn} -> {models, eval}
+  //          -> runtime -> {bench, tools, tests}.
+  // A layer may include itself and anything at or below its feeder group;
+  // same-group edges that exist by design (graph->sparse, core->nn,
+  // models->eval) are listed explicitly — the table *is* the contract.
+  c.allowed_includes = {
+      {"tensor", {"tensor"}},
+      {"sparse", {"sparse", "tensor"}},
+      {"graph", {"graph", "sparse", "tensor"}},
+      {"nn", {"nn", "tensor"}},
+      {"core", {"core", "nn", "sparse", "graph", "tensor"}},
+      {"eval", {"eval", "core", "nn", "sparse", "graph", "tensor"}},
+      {"models",
+       {"models", "eval", "core", "nn", "sparse", "graph", "tensor"}},
+      {"runtime",
+       {"runtime", "models", "eval", "core", "nn", "sparse", "graph",
+        "tensor"}},
+      // bench/tools/tests are deliberately absent: the top of the stack may
+      // include anything.
+  };
+  // Non-reentrant surfaces: the JSONL journal (single FILE* + flush), the
+  // Supervisor cell state machine, DeviceTracker *configuration* (the
+  // OnAlloc/OnFree accounting hooks are mutex-protected and fine), fault
+  // plan arming, and process exit. All belong to the coordinating thread.
+  c.parallel_denylist = {
+      "Append",     "Run",          "RunTraining",       "Skip",
+      "exit",       "abort",        "quick_exit",        "_Exit",
+      "terminate",  "srand",        "set_accel_capacity",
+      "SetAllocFaultHook", "ResetPeak", "ClearOom", "ResetAll",
+      "ArmFromEnv", "SetNumThreads",
+  };
+  // The RNG module may touch entropy primitives; eval::Timer is the one
+  // sanctioned wall-clock accessor (benches time through it).
+  c.determinism_allowlist = {"src/tensor/rng.h", "src/tensor/rng.cc",
+                             "src/eval/table.h"};
+  c.known_rules = {"discarded-status", "layering",      "parallel-safety",
+                   "determinism",      "hygiene",       "nolint-policy"};
+  return c;
+}
+
+void CollectStatusFunctions(const std::string& source,
+                            std::set<std::string>* out) {
+  // Suppression handling and rule config are irrelevant here; lex with an
+  // empty config (rule names are only needed to validate suppressions).
+  const LexResult lex = Lex(source, Config());
+  const std::vector<Tok>& t = lex.toks;
+  for (size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != TokKind::kIdent) continue;
+    size_t name_at = 0;
+    if (t[i].text == "Status") {
+      // `Status Foo(` or `Status Class::Foo(`
+      name_at = i + 1;
+    } else if (t[i].text == "Result" && Is(t, i + 1, "<")) {
+      // `Result<...> Foo(` — skip the template argument list; ">>" closes
+      // two levels.
+      int depth = 0;
+      size_t j = i + 1;
+      for (; j < t.size(); ++j) {
+        if (t[j].text == "<") ++depth;
+        if (t[j].text == ">") --depth;
+        if (t[j].text == ">>") depth -= 2;
+        if (depth <= 0 && j > i + 1) break;
+      }
+      name_at = j + 1;
+    } else {
+      continue;
+    }
+    // Must not be a qualified-name *use* (Status::OK) or a cast/ctor.
+    if (i > 0 && (Is(t, i - 1, "::") || Is(t, i - 1, ".") ||
+                  Is(t, i - 1, "->") || Is(t, i - 1, "return") ||
+                  Is(t, i - 1, "<") || Is(t, i - 1, "("))) {
+      continue;
+    }
+    if (name_at == 0 || !IsIdent(t, name_at)) continue;
+    std::string name = t[name_at].text;
+    size_t j = name_at + 1;
+    while (Is(t, j, "::") && IsIdent(t, j + 1)) {
+      name = t[j + 1].text;  // qualified definition: keep the last component
+      j += 2;
+    }
+    if (Is(t, j, "(")) out->insert(name);
+  }
+}
+
+std::vector<Finding> LintSource(const std::string& path,
+                                const std::string& source,
+                                const Config& config) {
+  const LexResult lex = Lex(source, config);
+  Linter linter(path, lex, config);
+  return linter.Run();
+}
+
+}  // namespace sgnn::lint
