@@ -5,7 +5,64 @@
 #include "core/product_filters.h"
 #include "core/variable_filters.h"
 
+#include <cmath>
+
 namespace sgnn::filters {
+
+namespace {
+
+bool FiniteHyperParams(const FilterHyperParams& hp) {
+  return std::isfinite(hp.alpha) && std::isfinite(hp.alpha2) &&
+         std::isfinite(hp.beta) && std::isfinite(hp.beta2) &&
+         std::isfinite(hp.jacobi_a) && std::isfinite(hp.jacobi_b);
+}
+
+// Range validation for the searched hyperparameters (Table 1 "HP" column).
+// Out-of-range values do not crash the filters — they silently produce an
+// all-zero operator (ppr α = 0), NaN coefficients (negative hk/gaussian
+// temperature under k!-normalization), or an undefined basis (jacobi
+// a, b ≤ -1, where the three-term recurrence divides by zero) — so the
+// factory is the single place that rejects them.
+Status ValidateHyperParams(const std::string& name,
+                           const FilterHyperParams& hp) {
+  if (!FiniteHyperParams(hp)) {
+    return Status::InvalidArgument("CreateFilter(" + name +
+                                   "): non-finite hyperparameter");
+  }
+  auto unit_interval = [&name](const char* field, double v) {
+    if (v > 0.0 && v <= 1.0) return Status::OK();
+    return Status::InvalidArgument("CreateFilter(" + name + "): " + field +
+                                   " must lie in (0, 1], got " +
+                                   std::to_string(v));
+  };
+  auto non_negative = [&name](const char* field, double v) {
+    if (v >= 0.0) return Status::OK();
+    return Status::InvalidArgument("CreateFilter(" + name + "): " + field +
+                                   " must be >= 0, got " + std::to_string(v));
+  };
+  if (name == "ppr") return unit_interval("alpha", hp.alpha);
+  if (name == "gnn_lf_hf") {
+    SGNN_RETURN_IF_ERROR(unit_interval("alpha", hp.alpha));
+    return unit_interval("alpha2", hp.alpha2);
+  }
+  if (name == "hk" || name == "gaussian") {
+    return non_negative("alpha", hp.alpha);
+  }
+  if (name == "g2cn") {
+    SGNN_RETURN_IF_ERROR(non_negative("alpha", hp.alpha));
+    return non_negative("alpha2", hp.alpha2);
+  }
+  if (name == "jacobi") {
+    if (hp.jacobi_a <= -1.0 || hp.jacobi_b <= -1.0) {
+      return Status::InvalidArgument(
+          "CreateFilter(jacobi): basis requires a > -1 and b > -1, got a=" +
+          std::to_string(hp.jacobi_a) + " b=" + std::to_string(hp.jacobi_b));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 const std::vector<FilterInfo>& FilterTaxonomy() {
   static const std::vector<FilterInfo> rows = {
@@ -92,6 +149,17 @@ Result<std::unique_ptr<SpectralFilter>> CreateFilter(const std::string& name,
                                                      int hops,
                                                      FilterHyperParams hp,
                                                      int64_t feature_dim) {
+  if (hops < 0) {
+    return Status::InvalidArgument("CreateFilter(" + name +
+                                   "): hops must be >= 0, got " +
+                                   std::to_string(hops));
+  }
+  if (feature_dim < 0) {
+    return Status::InvalidArgument("CreateFilter(" + name +
+                                   "): feature_dim must be >= 0, got " +
+                                   std::to_string(feature_dim));
+  }
+  SGNN_RETURN_IF_ERROR(ValidateHyperParams(name, hp));
   std::unique_ptr<SpectralFilter> f;
   if (name == "identity") {
     f = std::make_unique<IdentityFilter>(hops, hp);
@@ -130,6 +198,13 @@ Result<std::unique_ptr<SpectralFilter>> CreateFilter(const std::string& name,
   } else if (name == "optbasis") {
     f = std::make_unique<OptBasisFilter>(hops, hp);
   } else if (name == "adagnn") {
+    // The channel-wise product needs at least one factor and a known width;
+    // the constructor itself aborts on these, so reject them here.
+    if (hops < 1) {
+      return Status::InvalidArgument(
+          "CreateFilter(adagnn): hops must be >= 1, got " +
+          std::to_string(hops));
+    }
     if (feature_dim <= 0) {
       return Status::InvalidArgument("adagnn requires feature_dim");
     }

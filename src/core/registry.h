@@ -33,7 +33,11 @@ std::vector<std::string> AllFilterNames();
 std::vector<std::string> FilterNamesByType(FilterType type);
 
 /// Creates a filter by name. `feature_dim` is required by the channel-wise
-/// AdaGNN filter and ignored elsewhere. Returns NotFound for unknown names.
+/// AdaGNN filter and ignored elsewhere. Returns NotFound for unknown names
+/// and InvalidArgument for out-of-range `hops` / `feature_dim` /
+/// hyperparameters (non-finite values; ppr and gnn_lf_hf α outside (0, 1];
+/// negative hk/gaussian/g2cn temperature; jacobi a, b ≤ -1; adagnn with
+/// hops < 1) — these otherwise yield silently-zero or NaN operators.
 [[nodiscard]] Result<std::unique_ptr<SpectralFilter>> CreateFilter(
     const std::string& name, int hops, FilterHyperParams hp = {},
     int64_t feature_dim = 0);

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "core/registry.h"
 
@@ -291,6 +292,83 @@ TEST(Registry, UnknownNameFails) {
 TEST(Registry, AdaGnnRequiresFeatureDim) {
   EXPECT_FALSE(CreateFilter("adagnn", 4).ok());
   EXPECT_TRUE(CreateFilter("adagnn", 4, {}, 8).ok());
+}
+
+TEST(Registry, NegativeHopsIsInvalidArgument) {
+  for (const auto& name : AllFilterNames()) {
+    auto r = CreateFilter(name, -1, {}, 8);
+    EXPECT_FALSE(r.ok()) << name;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << name;
+  }
+}
+
+TEST(Registry, NegativeFeatureDimIsInvalidArgument) {
+  auto r = CreateFilter("adagnn", 4, {}, -3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Registry, AdaGnnRejectsZeroHops) {
+  auto r = CreateFilter("adagnn", 0, {}, 8);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Registry, OutOfRangeHyperParamsAreInvalidArgument) {
+  FilterHyperParams hp;
+  // ppr / gnn_lf_hf need alpha in (0, 1]: the geometric series otherwise
+  // diverges or collapses to zero.
+  hp.alpha = 0.0;
+  EXPECT_EQ(CreateFilter("ppr", 4, hp).status().code(),
+            StatusCode::kInvalidArgument);
+  hp.alpha = 1.5;
+  EXPECT_EQ(CreateFilter("ppr", 4, hp).status().code(),
+            StatusCode::kInvalidArgument);
+  hp.alpha = -0.1;
+  EXPECT_EQ(CreateFilter("gnn_lf_hf", 4, hp).status().code(),
+            StatusCode::kInvalidArgument);
+  // hk / gaussian temperatures must be non-negative.
+  hp = {};
+  hp.alpha = -1.0;
+  EXPECT_EQ(CreateFilter("hk", 4, hp).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(CreateFilter("gaussian", 4, hp).status().code(),
+            StatusCode::kInvalidArgument);
+  // jacobi a, b must stay > -1 (recurrence divides by a+b terms).
+  hp = {};
+  hp.jacobi_a = -1.0;
+  EXPECT_EQ(CreateFilter("jacobi", 4, hp).status().code(),
+            StatusCode::kInvalidArgument);
+  hp.jacobi_a = 1.0;
+  hp.jacobi_b = -2.0;
+  EXPECT_EQ(CreateFilter("jacobi", 4, hp).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(Registry, NonFiniteHyperParamsAreInvalidArgument) {
+  FilterHyperParams hp;
+  hp.alpha = std::numeric_limits<double>::quiet_NaN();
+  auto r = CreateFilter("ppr", 4, hp);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  hp.alpha = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(CreateFilter("hk", 4, hp).ok());
+}
+
+TEST(Registry, DocumentedBoundaryValuesStayLegal) {
+  // Values existing tests and the paper's sweeps rely on must keep working:
+  // ppr at alpha = 1 (scaled identity), hk at alpha = 0 (identity), jacobi
+  // at a = b = -0.5 (Chebyshev case), and hops = 0.
+  FilterHyperParams hp;
+  hp.alpha = 1.0;
+  EXPECT_TRUE(CreateFilter("ppr", 4, hp).ok());
+  hp.alpha = 0.0;
+  EXPECT_TRUE(CreateFilter("hk", 4, hp).ok());
+  hp = {};
+  hp.jacobi_a = -0.5;
+  hp.jacobi_b = -0.5;
+  EXPECT_TRUE(CreateFilter("jacobi", 4, hp).ok());
+  EXPECT_TRUE(CreateFilter("chebyshev", 0).ok());
 }
 
 TEST(IdentityFilter, ResponseIsOne) {

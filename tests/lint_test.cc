@@ -141,6 +141,22 @@ TEST(LayeringTest, BenchAndToolsAreUnconstrained) {
   EXPECT_FALSE(HasRule(f, "layering")) << Render(f);
 }
 
+TEST(LayeringTest, ConformanceMayIncludeRuntimeButNotViceVersa) {
+  // conformance sits above runtime in the DAG: it journals fuzz trials
+  // through the Supervisor, while nothing below may depend on it.
+  const auto ok = Lint("src/conformance/fuzz.cc", R"cc(
+    #include "runtime/supervisor.h"
+    #include "eval/eigen.h"
+    #include "core/registry.h"
+    #include "tensor/rng.h"
+  )cc");
+  EXPECT_FALSE(HasRule(ok, "layering")) << Render(ok);
+  const auto bad = Lint("src/runtime/supervisor.cc", R"cc(
+    #include "conformance/oracle.h"
+  )cc");
+  EXPECT_TRUE(HasRule(bad, "layering")) << Render(bad);
+}
+
 TEST(LayeringTest, IgnoresIncludesInComments) {
   const auto f = Lint("src/tensor/x.cc", R"cc(
     // #include "runtime/supervisor.h"

@@ -15,6 +15,9 @@
 #include <utility>
 #include <vector>
 
+#include "conformance/oracle.h"
+#include "core/registry.h"
+#include "eval/eigen.h"
 #include "runtime/fault_injection.h"
 #include "sparse/adjacency.h"
 #include "sparse/csr.h"
@@ -275,6 +278,58 @@ TEST(BitIdentity, HoldsUnderInjectedAllocFaults) {
   EXPECT_TRUE(DeviceTracker::Global().accel_oom());
   runtime::FaultInjector::Global().Disarm();
   DeviceTracker::Global().ClearOom();
+}
+
+// Thread-count conformance matrix: the spectral oracle must hold — and
+// filter propagation must stay bit-identical — at SGNN_NUM_THREADS ∈
+// {1, 4, hardware}. A kernel whose reduction order (and hence rounding)
+// shifted with the worker count would fail the bit-identity leg even while
+// staying inside the oracle tolerance.
+TEST(ThreadMatrix, OracleHoldsAtEveryThreadCount) {
+  auto fixture = RandomGraph(24, 4, 17);
+  const sparse::CsrMatrix norm = sparse::NormalizeAdjacency(fixture, 0.5);
+  auto eig = eval::JacobiEigen(eval::DenseLaplacian(norm));
+  ASSERT_TRUE(eig.ok()) << eig.status().ToString();
+  Rng xrng(23);
+  Matrix x(norm.n(), 3, Device::kHost);
+  x.FillNormal(&xrng);
+  // 0 = restore the env/hardware default — the "hardware" column.
+  for (const int threads : {1, 4, 0}) {
+    ThreadOverride scope(threads);
+    auto reports = conformance::CheckAllFilters(norm, eig.value(), x);
+    ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+    for (const auto& r : reports.value()) {
+      EXPECT_TRUE(r.pass) << "threads=" << parallel::NumThreads() << " "
+                          << r.filter << ": rel=" << r.rel_error << " "
+                          << r.detail;
+    }
+  }
+}
+
+TEST(ThreadMatrix, FilterForwardBitIdenticalAcrossThreadCounts) {
+  auto fixture = RandomGraph(48, 5, 29);
+  const sparse::CsrMatrix norm = sparse::NormalizeAdjacency(fixture, 0.5);
+  Rng xrng(31);
+  Matrix x(norm.n(), 8, Device::kHost);
+  x.FillNormal(&xrng);
+  filters::FilterContext ctx{&norm, Device::kHost};
+  for (const char* name : {"ppr", "chebyshev", "bernstein", "optbasis"}) {
+    std::vector<Matrix> outputs;
+    for (const int threads : {1, 4, 0}) {
+      ThreadOverride scope(threads);
+      auto filter = filters::CreateFilter(name, 6);
+      ASSERT_TRUE(filter.ok()) << name;
+      Rng prng(7);
+      filter.value()->ResetParameters(&prng);
+      Matrix y;
+      filter.value()->Forward(ctx, x, &y, /*cache=*/false);
+      outputs.push_back(std::move(y));
+    }
+    EXPECT_TRUE(BitIdentical(outputs[0], outputs[1]))
+        << name << ": 1 vs 4 threads";
+    EXPECT_TRUE(BitIdentical(outputs[0], outputs[2]))
+        << name << ": 1 thread vs hardware default";
+  }
 }
 
 }  // namespace

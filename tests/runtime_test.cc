@@ -363,5 +363,89 @@ TEST(Supervisor, DeadlineProducesTimeoutCell) {
   EXPECT_EQ(r.status, CellStatus::kTimeout);
 }
 
+// Kill-and-resume round trip: a grid interrupted mid-run (process death
+// emulated by destroying the supervisor after two of four cells) and resumed
+// on the same journal must rebuild exactly the table an uninterrupted run
+// produces — including a fault-injected OOM-fallback cell. "Bit-identical"
+// is literal: metrics compare with EXPECT_DOUBLE_EQ.
+TEST(Supervisor, KillAndResumeRoundTripIsBitIdentical) {
+  auto& tracker = DeviceTracker::Global();
+  auto& inj = FaultInjector::Global();
+  graph::Graph g = SmallGraph();
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+  const std::vector<CellKey> grid = {
+      {"small", "ppr", "fb", 1, ""},
+      {"small", "chebyshev", "fb", 1, ""},
+      {"small", "ppr", "fb", 2, ""},
+      {"small", "chebyshev", "fb", 2, ""},
+  };
+  // Per-cell fault schedule, armed fresh before each cell so the injector's
+  // operation counters do not depend on how many cells ran before it: the
+  // (ppr, seed 2) cell always hits an early accelerator-allocation fault
+  // (FB OOM -> MB fallback), every other cell runs clean.
+  auto run_cell = [&](Supervisor* sup, const CellKey& key) {
+    tracker.ResetAll();
+    if (key.filter == "ppr" && key.seed == 2) {
+      FaultPlan plan;
+      plan.accel_alloc_fail_nth = 10;
+      inj.Arm(plan);
+    } else {
+      inj.Disarm();
+    }
+    const CellRecord rec =
+        sup->RunTraining(key, g, s, graph::Metric::kAccuracy, FastConfig());
+    inj.Disarm();
+    return rec;
+  };
+
+  // Reference: uninterrupted run on its own journal.
+  const std::string ref_path = TempPath("roundtrip_ref.jsonl");
+  std::remove(ref_path.c_str());
+  std::vector<CellRecord> reference;
+  {
+    Supervisor sup("roundtrip", ref_path);
+    for (const auto& key : grid) reference.push_back(run_cell(&sup, key));
+  }
+
+  // Interrupted: run two cells, then "die" without any cleanup.
+  const std::string path = TempPath("roundtrip_killed.jsonl");
+  std::remove(path.c_str());
+  {
+    Supervisor sup("roundtrip", path);
+    run_cell(&sup, grid[0]);
+    run_cell(&sup, grid[1]);
+  }
+
+  // Resume: a fresh supervisor on the same journal replays the first two
+  // cells and runs the remaining two live.
+  {
+    Supervisor sup("roundtrip", path);
+    std::vector<CellRecord> resumed;
+    for (const auto& key : grid) resumed.push_back(run_cell(&sup, key));
+    EXPECT_EQ(sup.resumed_cells(), 2u);
+
+    ASSERT_EQ(resumed.size(), reference.size());
+    for (size_t i = 0; i < grid.size(); ++i) {
+      const CellRecord& a = reference[i];
+      const CellRecord& b = resumed[i];
+      EXPECT_EQ(b.key.Id(), a.key.Id());
+      EXPECT_EQ(b.status, a.status) << b.key.Id();
+      EXPECT_EQ(b.final_scheme, a.final_scheme) << b.key.Id();
+      EXPECT_EQ(b.fell_back, a.fell_back) << b.key.Id();
+      EXPECT_EQ(b.attempts, a.attempts) << b.key.Id();
+      EXPECT_DOUBLE_EQ(b.val_metric, a.val_metric) << b.key.Id();
+      EXPECT_DOUBLE_EQ(b.test_metric, a.test_metric) << b.key.Id();
+      EXPECT_DOUBLE_EQ(b.train_loss, a.train_loss) << b.key.Id();
+    }
+    // The faulted cell really exercised the degradation path in both runs.
+    EXPECT_TRUE(reference[2].fell_back);
+    EXPECT_EQ(reference[2].final_scheme, "mb");
+    EXPECT_TRUE(resumed[2].fell_back);
+  }
+  tracker.ResetAll();
+  std::remove(ref_path.c_str());
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace sgnn::runtime

@@ -843,6 +843,11 @@ Config Config::Default() {
       {"runtime",
        {"runtime", "models", "eval", "core", "nn", "sparse", "graph",
         "tensor"}},
+      // conformance sits above runtime (it journals fuzz trials through the
+      // Supervisor) but below bench/tools/tests.
+      {"conformance",
+       {"conformance", "runtime", "models", "eval", "core", "nn", "sparse",
+        "graph", "tensor"}},
       // bench/tools/tests are deliberately absent: the top of the stack may
       // include anything.
   };
