@@ -161,9 +161,9 @@ TrainResult TrainFullBatch(const graph::Graph& g, const graph::Splits& splits,
     if (!config.timing_only &&
         ((epoch + 1) % config.eval_every == 0 || last)) {
       Matrix eh0, ehf, elogits;
-      phi0.Forward(x, &eh0, /*train=*/false, nullptr);
+      phi0.ForwardInference(x, &eh0);
       filter->Forward(ctx, eh0, &ehf, /*cache=*/false);
-      phi1.Forward(ehf, &elogits, /*train=*/false, nullptr);
+      phi1.ForwardInference(ehf, &elogits);
       const double val = EvaluateMetric(metric, elogits, g.labels, splits.val);
       if (val > best_val) {
         best_val = val;
@@ -186,9 +186,9 @@ TrainResult TrainFullBatch(const graph::Graph& g, const graph::Splits& splits,
   if (!guard.aborted()) {
     Stopwatch sw;
     Matrix eh0, ehf, elogits;
-    phi0.Forward(x, &eh0, /*train=*/false, nullptr);
+    phi0.ForwardInference(x, &eh0);
     filter->Forward(ctx, eh0, &ehf, /*cache=*/false);
-    phi1.Forward(ehf, &elogits, /*train=*/false, nullptr);
+    phi1.ForwardInference(ehf, &elogits);
     result.stats.infer_ms = sw.ElapsedMs();
     if (capture_embeddings && result.embeddings.size() == 0) {
       result.embeddings = ehf.CloneTo(Device::kHost);
@@ -271,7 +271,11 @@ TrainResult TrainMiniBatch(const graph::Graph& g, const graph::Splits& splits,
     gather_batch(rows, &hold, &ptrs);
     Matrix h;
     filter->CombineTerms(ptrs, &h, /*cache=*/train);
-    phi1.Forward(h, out, train, train ? &rng : nullptr);
+    if (train) {
+      phi1.Forward(h, out, /*train=*/true, &rng);
+    } else {
+      phi1.ForwardInference(h, out);
+    }
   };
 
   // Full-graph eval helper: fills logits rows for the listed nodes.
@@ -382,6 +386,16 @@ TrainResult TrainMiniBatch(const graph::Graph& g, const graph::Splits& splits,
       }
     }
     result.embeddings = std::move(emb);
+  }
+  if (config.export_model && !guard.aborted()) {
+    // Serving artifact: the terms are moved out (training is over), φ1 and
+    // θ are copied at their final values. A guard-tripped run exports
+    // nothing — a checkpoint must never capture a diverged model.
+    auto exported = std::make_shared<ExportedModel>();
+    exported->phi1 = phi1;
+    exported->terms = std::move(terms);
+    exported->theta = filter->params().values();
+    result.exported = std::move(exported);
   }
   result.stats.train_ms_per_epoch =
       train_ms_total / std::max(1, config.epochs);

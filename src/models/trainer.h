@@ -9,6 +9,7 @@
 #define SGNN_MODELS_TRAINER_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -42,6 +43,11 @@ struct TrainConfig {
   double deadline_ms = 0.0;
   /// NaN/Inf divergence detection on the training loss and loss gradient.
   bool divergence_check = true;
+  /// Capture the trained φ1, filter θ snapshot, and (MB) the precomputed
+  /// terms in TrainResult::exported, the artifact the serving checkpoint
+  /// (serve/checkpoint.h) persists. MB-only: serving needs the decoupled
+  /// per-hop terms, which full-batch training never materializes.
+  bool export_model = false;
 };
 
 /// Per-stage efficiency measurements (paper Tables 9/11, Figure 2).
@@ -55,6 +61,16 @@ struct StageStats {
   /// at run start); journaled so efficiency rows are comparable across
   /// machines and SGNN_NUM_THREADS settings.
   int threads = 1;
+};
+
+/// Trained-model artifact captured by TrainMiniBatch when
+/// TrainConfig::export_model is set: everything the serving layer needs to
+/// answer node queries without the graph — Precompute once, then cheap
+/// per-node CombineTerms + φ1 at request time (paper Section 2.2).
+struct ExportedModel {
+  nn::Mlp phi1;                ///< trained transformation, weights on accel
+  std::vector<Matrix> terms;   ///< host-resident per-hop representations
+  std::vector<double> theta;   ///< filter θ/γ snapshot at export time
 };
 
 /// Outcome of one training run.
@@ -75,6 +91,9 @@ struct TrainResult {
   /// Filter output embeddings at the final epoch (Figure 8 analysis); only
   /// captured when `capture_embeddings` was set in the call.
   Matrix embeddings;
+  /// Serving artifact; null unless TrainConfig::export_model was set and
+  /// the run completed without tripping a guard.
+  std::shared_ptr<ExportedModel> exported;
 };
 
 /// Runs full-batch training of the decoupled model with the given filter.

@@ -103,6 +103,21 @@ void Mlp::Forward(const Matrix& x, Matrix* out, bool train, Rng* rng) {
   *out = std::move(cur);
 }
 
+void Mlp::ForwardInference(const Matrix& x, Matrix* out) const {
+  if (layers_.empty()) {
+    *out = x;
+    return;
+  }
+  Matrix cur = x;
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    Matrix y(cur.rows(), layers_[l].out_dim(), device_);
+    layers_[l].Forward(cur, &y);
+    if (l + 1 != layers_.size()) ops::ReluInPlace(&y);
+    cur = std::move(y);
+  }
+  *out = std::move(cur);
+}
+
 void Mlp::Backward(const Matrix& grad_out, Matrix* grad_in) {
   if (layers_.empty()) {
     if (grad_in != nullptr) ops::Copy(grad_out, grad_in);

@@ -38,6 +38,8 @@ class Linear {
 
   Parameter& weight() { return w_; }
   Parameter& bias() { return b_; }
+  const Parameter& weight() const { return w_; }
+  const Parameter& bias() const { return b_; }
 
  private:
   Parameter w_;
@@ -68,6 +70,14 @@ class Mlp {
   /// Writes dL/dx into grad_in when non-null (pre-shaped like the input).
   void Backward(const Matrix& grad_out, Matrix* grad_in);
 
+  /// No-grad serving forward: no dropout, no activation caching, and const —
+  /// it can never invalidate training state. Peak memory is the two live
+  /// layer activations instead of the per-layer input/pre-activation/mask
+  /// caches a training Forward retains (asserted in tests/serve_test.cc);
+  /// this is the pass the inference engine (serve/engine.h) runs per batch.
+  /// Numerically identical to Forward(x, out, /*train=*/false, nullptr).
+  void ForwardInference(const Matrix& x, Matrix* out) const;
+
   void ZeroGrad();
   void AdamStep(const AdamConfig& config, int64_t t);
 
@@ -75,6 +85,8 @@ class Mlp {
   int64_t NumParams() const;
 
   std::vector<Linear>& layers() { return layers_; }
+  const std::vector<Linear>& layers() const { return layers_; }
+  double dropout() const { return dropout_; }
 
  private:
   std::vector<Linear> layers_;

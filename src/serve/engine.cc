@@ -1,0 +1,197 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+namespace sgnn::serve {
+
+Engine::Engine(ServableModel model, EngineConfig config)
+    : model_(std::move(model)), config_(config), cache_(config.cache) {
+  config_.max_batch = std::max(1, config_.max_batch);
+  config_.max_wait_ms = std::max(0.0, config_.max_wait_ms);
+}
+
+Engine::~Engine() { Stop(); }
+
+Status Engine::ServeBatch(const std::vector<int64_t>& nodes, Matrix* logits) {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  return ServeBatchLocked(nodes, logits);
+}
+
+Status Engine::ServeBatchLocked(const std::vector<int64_t>& nodes,
+                                Matrix* logits) {
+  for (const int64_t node : nodes) {
+    if (node < 0 || node >= model_.meta.n) {
+      return Status::InvalidArgument("node id " + std::to_string(node) +
+                                     " outside [0, " +
+                                     std::to_string(model_.meta.n) + ")");
+    }
+  }
+  if (nodes.empty()) {
+    *logits = Matrix();
+    return Status::OK();
+  }
+  const auto b = static_cast<int64_t>(nodes.size());
+  const size_t num_terms = model_.terms.size();
+  const int64_t f = model_.terms[0].cols();
+  const size_t row_bytes = static_cast<size_t>(f) * sizeof(float);
+
+  // Re-shape the per-node bundles (rows = terms) into the per-term batch
+  // matrices CombineTerms consumes (rows = queries), resolving each node
+  // through the tiered cache.
+  std::vector<Matrix> batch_terms(num_terms);
+  for (size_t k = 0; k < num_terms; ++k) {
+    batch_terms[k] = Matrix(b, f, Device::kAccel);
+  }
+  for (int64_t i = 0; i < b; ++i) {
+    const int64_t node = nodes[static_cast<size_t>(i)];
+    const Matrix* bundle = cache_.Get(node);
+    if (bundle != nullptr) {
+      for (size_t k = 0; k < num_terms; ++k) {
+        std::memcpy(batch_terms[k].row(i),
+                    bundle->row(static_cast<int64_t>(k)), row_bytes);
+      }
+      continue;
+    }
+    Matrix fresh(static_cast<int64_t>(num_terms), f, Device::kHost);
+    for (size_t k = 0; k < num_terms; ++k) {
+      std::memcpy(fresh.row(static_cast<int64_t>(k)),
+                  model_.terms[k].row(node), row_bytes);
+      std::memcpy(batch_terms[k].row(i), model_.terms[k].row(node), row_bytes);
+    }
+    cache_.Put(node, std::move(fresh));
+  }
+
+  std::vector<const Matrix*> ptrs;
+  ptrs.reserve(num_terms);
+  for (const Matrix& m : batch_terms) ptrs.push_back(&m);
+  Matrix h;
+  model_.filter->CombineTerms(ptrs, &h, /*cache=*/false);
+  model_.phi1.ForwardInference(h, logits);
+  ++batches_;
+  queries_ += static_cast<uint64_t>(b);
+  return Status::OK();
+}
+
+void Engine::Start() {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  if (running_) return;
+  running_ = true;
+  stopping_ = false;
+  dispatcher_ = std::thread(&Engine::DispatchLoop, this);
+}
+
+void Engine::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!running_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  dispatcher_.join();
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  running_ = false;
+}
+
+std::future<QueryResult> Engine::Submit(int64_t node) {
+  Pending pending;
+  pending.node = node;
+  std::future<QueryResult> fut = pending.promise.get_future();
+  if (node < 0 || node >= model_.meta.n) {
+    QueryResult r;
+    r.status = Status::InvalidArgument("node id " + std::to_string(node) +
+                                       " outside [0, " +
+                                       std::to_string(model_.meta.n) + ")");
+    pending.promise.set_value(std::move(r));
+    return fut;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (!running_ || stopping_) {
+      QueryResult r;
+      r.status = Status::FailedPrecondition("engine is not running");
+      pending.promise.set_value(std::move(r));
+      return fut;
+    }
+    queue_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_one();
+  return fut;
+}
+
+void Engine::DispatchLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stopping and fully drained
+      // Hold the batch open for stragglers: up to max_wait_ms measured from
+      // the *oldest* enqueued query, ended early by a full batch or Stop.
+      const auto target = static_cast<size_t>(config_.max_batch);
+      while (queue_.size() < target && !stopping_) {
+        const double left =
+            config_.max_wait_ms - queue_.front().watch.ElapsedMs();
+        if (left <= 0.0) break;
+        queue_cv_.wait_for(
+            lock, std::chrono::duration<double, std::milli>(left));
+      }
+      const size_t take = std::min(queue_.size(), target);
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    ServeAndFulfill(&batch);
+  }
+}
+
+void Engine::ServeAndFulfill(std::vector<Pending>* batch) {
+  std::vector<int64_t> nodes;
+  nodes.reserve(batch->size());
+  for (const Pending& p : *batch) nodes.push_back(p.node);
+
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  Matrix logits;
+  const Status status = ServeBatchLocked(nodes, &logits);
+  const int64_t c = logits.cols();
+  for (size_t i = 0; i < batch->size(); ++i) {
+    Pending& p = (*batch)[i];
+    QueryResult r;
+    r.batch = static_cast<int64_t>(batch->size());
+    if (status.ok()) {
+      const float* row = logits.row(static_cast<int64_t>(i));
+      r.logits.assign(row, row + c);
+    } else {
+      r.status = status;
+    }
+    r.latency_ms = p.watch.ElapsedMs();
+    latency_.Record(r.latency_ms);
+    p.promise.set_value(std::move(r));
+  }
+}
+
+CacheStats Engine::GetCacheStats() const {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  return cache_.stats();
+}
+
+LatencyHistogram Engine::GetLatency() const {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  return latency_;
+}
+
+uint64_t Engine::queries_served() const {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  return queries_;
+}
+
+uint64_t Engine::batches_dispatched() const {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  return batches_;
+}
+
+}  // namespace sgnn::serve

@@ -1,0 +1,124 @@
+// Batched inference engine over a restored decoupled model.
+//
+// Serving one node is a term-bundle gather + CombineTerms + φ1 forward
+// (paper Section 2.2: under the decoupled scheme the graph work happened
+// once, at precompute). Both CombineTerms (per-term Axpy) and the φ1 GEMM
+// are row-independent, so serving queries in a batch is *bit-identical* to
+// serving them one by one — the engine exploits that: Submit() enqueues a
+// query, and a dispatcher thread coalesces whatever is waiting into batches
+// of up to `max_batch`, holding an almost-empty batch open at most
+// `max_wait_ms` (measured from the oldest enqueued query). Batching
+// amortizes the per-call kernel dispatch overhead; the determinism contract
+// (docs/SERVING.md) means the batch boundaries chosen under load never
+// change the logits, which tests/serve_test.cc asserts at 1 and hw threads.
+//
+// All serving is serialized under one engine mutex: the filter's
+// CombineTerms mutates internal cache state and the tiered bundle cache
+// (serve/cache.h) rearranges tiers on every lookup. Parallelism lives
+// *inside* the kernels (tensor/parallel.h), where it is deterministic.
+
+#ifndef SGNN_SERVE_ENGINE_H_
+#define SGNN_SERVE_ENGINE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "eval/table.h"
+#include "serve/cache.h"
+#include "serve/checkpoint.h"
+#include "serve/metrics.h"
+#include "tensor/status.h"
+
+namespace sgnn::serve {
+
+/// Engine knobs (the bench_serving sweep axes).
+struct EngineConfig {
+  int max_batch = 64;        ///< dispatcher coalescing ceiling (≥ 1)
+  double max_wait_ms = 1.0;  ///< max hold on a partial batch
+  CacheConfig cache;         ///< bundle-cache tier budgets
+};
+
+/// Outcome of one Submit()ed query.
+struct QueryResult {
+  Status status = Status::OK();
+  std::vector<float> logits;  ///< num_classes entries when status is OK
+  double latency_ms = 0.0;    ///< submit → fulfillment wall time
+  int64_t batch = 0;          ///< size of the batch that served this query
+};
+
+/// Serves node-classification queries against one restored model.
+class Engine {
+ public:
+  Engine(ServableModel model, EngineConfig config);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  int64_t num_nodes() const { return model_.meta.n; }
+  int64_t num_classes() const { return model_.meta.num_classes; }
+  const CheckpointMeta& meta() const { return model_.meta; }
+
+  /// Synchronous batched serving: fills `logits` with one row per node (on
+  /// the accelerator, shape |nodes| x num_classes). InvalidArgument when any
+  /// node id is out of [0, num_nodes). This is also the singleton baseline:
+  /// calling it once per node gives bit-identical rows to one big batch.
+  [[nodiscard]] Status ServeBatch(const std::vector<int64_t>& nodes,
+                                  Matrix* logits);
+
+  /// Starts the dispatcher thread (idempotent). Submit before Start fails
+  /// with FailedPrecondition.
+  void Start();
+
+  /// Drains the queue, serves what remains, and joins the dispatcher
+  /// (idempotent; also run by the destructor).
+  void Stop();
+
+  /// Enqueues one query for batched dispatch. The future is fulfilled by
+  /// the dispatcher; an out-of-range node fails immediately without
+  /// polluting the batch it would have joined.
+  std::future<QueryResult> Submit(int64_t node);
+
+  /// Snapshots (copies) taken under the serving lock — safe while running.
+  CacheStats GetCacheStats() const;
+  LatencyHistogram GetLatency() const;
+  uint64_t queries_served() const;
+  uint64_t batches_dispatched() const;
+
+ private:
+  struct Pending {
+    int64_t node = 0;
+    std::promise<QueryResult> promise;
+    eval::Stopwatch watch;  ///< started at Submit
+  };
+
+  void DispatchLoop();
+  void ServeAndFulfill(std::vector<Pending>* batch);
+  [[nodiscard]] Status ServeBatchLocked(const std::vector<int64_t>& nodes,
+                                        Matrix* logits);
+
+  ServableModel model_;
+  EngineConfig config_;
+
+  mutable std::mutex serve_mu_;  ///< model, cache, metrics
+  TieredCache cache_;
+  LatencyHistogram latency_;
+  uint64_t queries_ = 0;
+  uint64_t batches_ = 0;
+
+  std::mutex queue_mu_;  ///< queue + lifecycle; never held across serving
+  std::condition_variable queue_cv_;
+  std::deque<Pending> queue_;
+  bool running_ = false;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+};
+
+}  // namespace sgnn::serve
+
+#endif  // SGNN_SERVE_ENGINE_H_

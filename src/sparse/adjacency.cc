@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "sparse/serialize.h"
+
 namespace sgnn::sparse {
 
 Result<CsrMatrix> BuildAdjacency(int64_t n, const EdgeList& edges,
@@ -76,18 +78,12 @@ std::vector<int64_t> Degrees(const CsrMatrix& adj) {
 }
 
 Status SaveCsr(const CsrMatrix& m, const std::string& path) {
+  serialize::Writer w;
+  AppendCsr(m, &w);
   std::FILE* f = std::fopen(path.c_str(), "wb");
   if (f == nullptr) return Status::IOError("cannot open " + path);
-  const int64_t n = m.n();
-  const int64_t nnz = m.nnz();
-  bool ok = std::fwrite(&n, sizeof(n), 1, f) == 1 &&
-            std::fwrite(&nnz, sizeof(nnz), 1, f) == 1;
-  ok = ok && std::fwrite(m.indptr().data(), sizeof(int64_t),
-                         m.indptr().size(), f) == m.indptr().size();
-  ok = ok && std::fwrite(m.indices().data(), sizeof(int32_t),
-                         m.indices().size(), f) == m.indices().size();
-  ok = ok && std::fwrite(m.values().data(), sizeof(float), m.values().size(),
-                         f) == m.values().size();
+  const bool ok =
+      std::fwrite(w.buffer().data(), 1, w.size(), f) == w.size();
   std::fclose(f);
   if (!ok) return Status::IOError("short write to " + path);
   return Status::OK();
@@ -96,25 +92,23 @@ Status SaveCsr(const CsrMatrix& m, const std::string& path) {
 Result<CsrMatrix> LoadCsr(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) return Status::IOError("cannot open " + path);
-  int64_t n = 0, nnz = 0;
-  if (std::fread(&n, sizeof(n), 1, f) != 1 ||
-      std::fread(&nnz, sizeof(nnz), 1, f) != 1 || n < 0 || nnz < 0) {
-    std::fclose(f);
-    return Status::IOError("corrupt header in " + path);
+  std::string bytes;
+  char chunk[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.append(chunk, got);
   }
-  std::vector<int64_t> indptr(static_cast<size_t>(n) + 1);
-  std::vector<int32_t> indices(static_cast<size_t>(nnz));
-  std::vector<float> values(static_cast<size_t>(nnz));
-  bool ok = std::fread(indptr.data(), sizeof(int64_t), indptr.size(), f) ==
-            indptr.size();
-  ok = ok && std::fread(indices.data(), sizeof(int32_t), indices.size(), f) ==
-                 indices.size();
-  ok = ok && std::fread(values.data(), sizeof(float), values.size(), f) ==
-                 values.size();
+  const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
-  if (!ok) return Status::IOError("short read from " + path);
-  if (indptr.back() != nnz) return Status::IOError("inconsistent CSR in " + path);
-  return CsrMatrix(n, std::move(indptr), std::move(indices), std::move(values));
+  if (read_error) return Status::IOError("short read from " + path);
+  serialize::Reader r(bytes.data(), bytes.size());
+  CsrMatrix m;
+  const Status st = ReadCsr(&r, Device::kHost, &m);
+  if (!st.ok()) {
+    return Status::IOError("corrupt CSR snapshot " + path + ": " +
+                           st.message());
+  }
+  return m;
 }
 
 }  // namespace sgnn::sparse

@@ -1,0 +1,95 @@
+// Endianness-safe binary serialization primitives.
+//
+// The serving checkpoint (src/serve/checkpoint.h) and the CSR snapshot
+// format (sparse/serialize.h) share these codecs: every multi-byte value is
+// written as explicit little-endian bytes, so an artifact trained on one
+// machine restores bit-identically on any other regardless of host byte
+// order. Readers are bounds-checked and return typed Status instead of
+// reading past the end, which is what turns a truncated or bit-flipped
+// checkpoint into a clean IOError instead of undefined behavior.
+
+#ifndef SGNN_TENSOR_SERIALIZE_H_
+#define SGNN_TENSOR_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/matrix.h"
+#include "tensor/status.h"
+
+namespace sgnn::serialize {
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) of `size` bytes. Pass the
+/// previous return value as `seed` to checksum a stream incrementally;
+/// the default seed starts a fresh checksum.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// Appends little-endian fixed-width values to a growable byte buffer.
+/// Writer methods are named Put* (vs the Reader's bare U32/Str/...) so the
+/// void-returning append calls can never be confused with — or flagged by
+/// sgnn_lint's discarded-status pass as — their Status-returning Reader
+/// counterparts.
+class Writer {
+ public:
+  void PutU8(uint8_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutI32(int32_t v);
+  void PutI64(int64_t v);
+  /// Float codecs write the IEEE-754 bit pattern as little-endian bytes.
+  void PutF32(float v);
+  void PutF64(double v);
+  /// Length-prefixed (u32) byte string.
+  void PutStr(const std::string& s);
+  /// Raw bytes, no length prefix.
+  void PutBytes(const void* data, size_t size);
+
+  const std::string& buffer() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+  std::string&& MoveBuffer() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked little-endian reader over a byte span. Every accessor
+/// returns IOError once the span is exhausted; the cursor never moves past
+/// the end, so a short file fails loudly at the first missing field.
+class Reader {
+ public:
+  Reader(const void* data, size_t size)
+      : data_(static_cast<const uint8_t*>(data)), size_(size) {}
+
+  [[nodiscard]] Status U8(uint8_t* v);
+  [[nodiscard]] Status U32(uint32_t* v);
+  [[nodiscard]] Status U64(uint64_t* v);
+  [[nodiscard]] Status I32(int32_t* v);
+  [[nodiscard]] Status I64(int64_t* v);
+  [[nodiscard]] Status F32(float* v);
+  [[nodiscard]] Status F64(double* v);
+  /// Reads a u32 length prefix then that many bytes. `max_len` bounds the
+  /// allocation so a corrupt length field cannot OOM the process.
+  [[nodiscard]] Status Str(std::string* s, uint32_t max_len = 1u << 20);
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t position() const { return pos_; }
+
+ private:
+  [[nodiscard]] Status Take(size_t n, const uint8_t** out);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Appends a Matrix as (i64 rows, i64 cols, f32 row-major data).
+void AppendMatrix(const Matrix& m, Writer* w);
+
+/// Reads a Matrix written by AppendMatrix onto `device`. Rejects negative
+/// or implausibly large shapes (> `max_elems` elements) with IOError.
+[[nodiscard]] Status ReadMatrix(Reader* r, Device device, Matrix* out,
+                                int64_t max_elems = int64_t{1} << 32);
+
+}  // namespace sgnn::serialize
+
+#endif  // SGNN_TENSOR_SERIALIZE_H_

@@ -157,6 +157,34 @@ TEST(LayeringTest, ConformanceMayIncludeRuntimeButNotViceVersa) {
   EXPECT_TRUE(HasRule(bad, "layering")) << Render(bad);
 }
 
+TEST(LayeringTest, ServeMayIncludeRuntimeAndModelsButNotViceVersa) {
+  // serve is a top-of-stack src/ layer: checkpoints wrap trainer exports and
+  // serving benches journal through runtime, but no training/runtime code
+  // may grow a dependency on the serving stack (only bench/tools/tests may
+  // include serve headers).
+  const auto ok = Lint("src/serve/engine.cc", R"cc(
+    #include "serve/engine.h"
+    #include "runtime/supervisor.h"
+    #include "models/trainer.h"
+    #include "core/registry.h"
+    #include "tensor/matrix.h"
+  )cc");
+  EXPECT_FALSE(HasRule(ok, "layering")) << Render(ok);
+  const auto bad_models = Lint("src/models/trainer.cc", R"cc(
+    #include "serve/checkpoint.h"
+  )cc");
+  EXPECT_TRUE(HasRule(bad_models, "layering")) << Render(bad_models);
+  const auto bad_runtime = Lint("src/runtime/supervisor.cc", R"cc(
+    #include "serve/engine.h"
+  )cc");
+  EXPECT_TRUE(HasRule(bad_runtime, "layering")) << Render(bad_runtime);
+  const auto tools_ok = Lint("tools/sgnn_serve.cpp", R"cc(
+    #include "serve/engine.h"
+    #include "serve/checkpoint.h"
+  )cc");
+  EXPECT_FALSE(HasRule(tools_ok, "layering")) << Render(tools_ok);
+}
+
 TEST(LayeringTest, IgnoresIncludesInComments) {
   const auto f = Lint("src/tensor/x.cc", R"cc(
     // #include "runtime/supervisor.h"

@@ -848,6 +848,14 @@ Config Config::Default() {
       {"conformance",
        {"conformance", "runtime", "models", "eval", "core", "nn", "sparse",
         "graph", "tensor"}},
+      // serve (checkpoints, bundle cache, inference engine) also sits above
+      // runtime: checkpoints capture trainer exports and serving benches
+      // journal through the Supervisor. No other src/ layer lists "serve",
+      // so only bench/tools/tests may include it — training code must never
+      // grow a dependency on the serving stack.
+      {"serve",
+       {"serve", "runtime", "models", "eval", "core", "nn", "sparse",
+        "graph", "tensor"}},
       // bench/tools/tests are deliberately absent: the top of the stack may
       // include anything.
   };
