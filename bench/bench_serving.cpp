@@ -12,16 +12,28 @@
 //     per-query logit row stays bit-identical to its singleton result (the
 //     determinism contract; violations abort the bench).
 //
-// Each grid point journals one supervised cell with p50/p95/p99 latency,
-// open/closed QPS, and cache hit rate as extras, so an interrupted sweep
-// resumes and the table reprints from the journal.
+// A second grid then measures *overload*: seeded arrival processes
+// (Poisson, ON/OFF burst, diurnal replay — serve/loadgen.h) are paced
+// against an engine with admission control and SLO-aware adaptive batching,
+// at a steady rate and at a 5x burst past measured capacity. Each scenario
+// journals goodput, shed rate, and p99/p99.9 of the admitted queries; the
+// contract under the burst is typed shedding (kUnavailable) with the
+// admitted logits still bit-identical to singleton serving — unbounded p99
+// growth and silent drops are the failure modes this grid exists to catch.
+//
+// Each grid point journals one supervised cell with its latency/goodput
+// extras, so an interrupted sweep resumes and the tables reprint from the
+// journal.
 
 #include <cstring>
+#include <map>
+#include <utility>
 
 #include "bench/bench_common.h"
 #include "eval/table.h"
 #include "serve/checkpoint.h"
 #include "serve/engine.h"
+#include "serve/loadgen.h"
 #include "tensor/parallel.h"
 
 namespace {
@@ -110,6 +122,82 @@ Result<PointResult> RunPoint(const serve::Checkpoint& ckpt,
   const serve::CacheStats cache = engine.GetCacheStats();
   out.hit_rate = cache.HitRate();
   out.batches = static_cast<double>(engine.batches_dispatched());
+  return out;
+}
+
+/// One overload scenario's outcome (replay aggregates + the engine-side
+/// view), journaled as cell extras.
+struct ScenarioResult {
+  serve::ReplayStats stats;
+  double p99 = 0.0;       ///< admitted queries, submit -> fulfillment
+  double p999 = 0.0;
+  double wait_ms = 0.0;   ///< SLO controller's hold time at run end
+  double hit_rate = 0.0;
+  bool identical = false; ///< every admitted logit row == singleton serving
+};
+
+/// Paces one arrival schedule against a fresh admission-controlled engine,
+/// then re-serves every admitted node as a singleton and compares bit for
+/// bit — the determinism contract must survive overload, not just the happy
+/// path.
+Result<ScenarioResult> RunScenario(const serve::Checkpoint& ckpt,
+                                   const serve::LoadGenConfig& load,
+                                   bool retry, size_t cache_budget) {
+  SGNN_ASSIGN_OR_RETURN(serve::ServableModel model,
+                        serve::RestoreModel(ckpt));
+  serve::EngineConfig ecfg;
+  ecfg.max_batch = 64;
+  ecfg.max_wait_ms = 1.0;
+  ecfg.cache.accel_budget_bytes = cache_budget;
+  ecfg.cache.host_budget_bytes = cache_budget;
+  ecfg.max_queue = 4 * ecfg.max_batch;   // bounds queue wait, forces sheds
+  ecfg.slo.target_p99_ms = 5.0;          // adaptive hold vs this p99 SLO
+  serve::Engine engine(std::move(model), ecfg);
+  engine.Start();
+
+  std::vector<std::pair<int64_t, std::vector<float>>> admitted;
+  serve::ReplayConfig rcfg;
+  rcfg.retry = retry;
+  rcfg.on_result = [&](const serve::Arrival& a,
+                       const serve::QueryResult& r) {
+    if (r.status.ok()) admitted.emplace_back(a.node, r.logits);
+  };
+  const std::vector<serve::Arrival> schedule =
+      serve::MakeSchedule(load, engine.num_nodes());
+  Rng retry_rng(load.seed * 0x9E3779B97F4A7C15ULL + 7);
+  ScenarioResult out;
+  out.stats = serve::Replay(
+      schedule,
+      [&](int64_t node, double deadline_ms) {
+        return engine.Submit(node, deadline_ms);
+      },
+      rcfg, &retry_rng);
+  engine.Stop();
+
+  out.identical = true;
+  const auto c = static_cast<size_t>(engine.num_classes());
+  std::map<int64_t, std::vector<float>> reference;  // singleton, memoized
+  for (const auto& [node, logits] : admitted) {
+    auto it = reference.find(node);
+    if (it == reference.end()) {
+      Matrix one;
+      SGNN_RETURN_IF_ERROR(engine.ServeBatch({node}, &one));
+      it = reference
+               .emplace(node,
+                        std::vector<float>(one.data(), one.data() + c))
+               .first;
+    }
+    if (logits.size() != c ||
+        std::memcmp(logits.data(), it->second.data(),
+                    c * sizeof(float)) != 0) {
+      out.identical = false;
+    }
+  }
+
+  out.p99 = out.stats.latency.PercentileMs(99);
+  out.p999 = out.stats.latency.PercentileMs(99.9);
+  out.wait_ms = engine.GetOverloadStats().current_wait_ms;
+  out.hit_rate = engine.GetCacheStats().HitRate();
   return out;
 }
 
@@ -254,10 +342,10 @@ int main() {
     }
   }
   parallel::SetNumThreads(hw);
-  std::remove(ckpt_path.c_str());
   std::printf("\n");
   table.Print();
   if (!all_identical) {
+    std::remove(ckpt_path.c_str());
     std::fprintf(stderr,
                  "\nDETERMINISM VIOLATION: batched logits diverged from "
                  "singleton serving\n");
@@ -265,5 +353,165 @@ int main() {
   }
   std::printf("\nbatched > singleton throughput at some sweep point: %s\n",
               any_speedup ? "yes" : "no");
+
+  // ---- overload grid -----------------------------------------------------
+  // Capacity probe: the engine's flat-out open-loop rate (all queries in
+  // flight at once, unbounded queue). Scenario rates are multiples of this,
+  // so "5x burst" means 5x past what *this* machine sustains, not a magic
+  // constant.
+  const size_t full_cache = bundle_bytes * static_cast<size_t>(g.n);
+  double capacity_qps = 0.0;
+  {
+    auto model_or = serve::RestoreModel(ckpt);
+    if (!model_or.ok()) {
+      std::fprintf(stderr, "%s\n", model_or.status().ToString().c_str());
+      return 1;
+    }
+    serve::EngineConfig pcfg;
+    pcfg.max_batch = 64;
+    pcfg.max_wait_ms = 0.2;
+    pcfg.cache.accel_budget_bytes = full_cache;
+    pcfg.cache.host_budget_bytes = full_cache;
+    serve::Engine probe(model_or.MoveValue(), pcfg);
+    probe.Start();
+    eval::Stopwatch sw;
+    std::vector<std::future<serve::QueryResult>> futs;
+    futs.reserve(queries.size());
+    for (const int64_t node : queries) futs.push_back(probe.Submit(node));
+    for (auto& fut : futs) (void)fut.get();
+    const double probe_ms = sw.ElapsedMs();
+    probe.Stop();
+    capacity_qps = probe_ms > 0.0 ? static_cast<double>(queries.size()) /
+                                        (probe_ms / 1e3)
+                                  : 1e5;
+  }
+  std::printf("\n[overload] capacity probe: %.0f qps open-loop\n",
+              capacity_qps);
+
+  // The scenario grid: one cell per (arrival process, client policy). The
+  // ON/OFF mean sits *at* capacity so its ON windows offer 5x capacity —
+  // the acceptance burst. Typed sheds are the success mode there; the
+  // retry twin shows the well-behaved client recovering them.
+  struct Scenario {
+    const char* name;
+    serve::ArrivalProcess process;
+    double rate_frac;  ///< mean_qps as a fraction of measured capacity
+    bool retry;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"poisson-steady", serve::ArrivalProcess::kPoisson, 0.7, false},
+      {"diurnal-ramp", serve::ArrivalProcess::kDiurnal, 0.8, false},
+      {"onoff-burst-x5", serve::ArrivalProcess::kOnOff, 1.0, false},
+      {"onoff-burst-x5-retry", serve::ArrivalProcess::kOnOff, 1.0, true},
+  };
+
+  eval::Table otable({"Scenario", "Offered", "Goodput", "Shed %", "DL shed",
+                      "Retried", "Recov", "p99 ms", "p99.9 ms", "Hold ms",
+                      "Identical"});
+  bool overload_identical = true;
+  bool burst_shed = false;
+  bool accounting_ok = true;
+  uint64_t failed_total = 0;
+  for (const Scenario& sc : scenarios) {
+    serve::LoadGenConfig load;
+    load.process = sc.process;
+    load.mean_qps = capacity_qps * sc.rate_frac;
+    load.duration_ms = bench::FullMode() ? 1000.0 : 250.0;
+    load.deadline_ms = 50.0;
+    load.seed = 1;
+
+    const std::string variant = std::string("overload/") + sc.name;
+    runtime::CellKey key{dataset, filter_name, "serve", 1, variant};
+    ScenarioResult sr;
+    const auto rec = sup.Run(
+        key,
+        [&]() -> models::TrainResult {
+          models::TrainResult body;
+          auto sr_or = RunScenario(ckpt, load, sc.retry, full_cache);
+          if (!sr_or.ok()) {
+            body.status = sr_or.status();
+            return body;
+          }
+          sr = sr_or.MoveValue();
+          body.stats.infer_ms = sr.p99;
+          return body;
+        },
+        [&](const models::TrainResult&, runtime::CellRecord* r) {
+          r->extras = {
+              {"capacity_qps", capacity_qps},
+              {"mean_qps", load.mean_qps},
+              {"offered", static_cast<double>(sr.stats.offered)},
+              {"ok", static_cast<double>(sr.stats.ok)},
+              {"shed", static_cast<double>(sr.stats.shed)},
+              {"deadline_shed",
+               static_cast<double>(sr.stats.deadline_shed)},
+              {"failed", static_cast<double>(sr.stats.failed)},
+              {"retried", static_cast<double>(sr.stats.retried)},
+              {"recovered", static_cast<double>(sr.stats.recovered)},
+              {"goodput_qps", sr.stats.GoodputQps()},
+              {"shed_rate", sr.stats.ShedRate()},
+              {"p99_ms", sr.p99},
+              {"p999_ms", sr.p999},
+              {"wait_ms", sr.wait_ms},
+              {"hit_rate", sr.hit_rate},
+              {"identical", sr.identical ? 1.0 : 0.0},
+          };
+        });
+    if (!rec.ok()) {
+      otable.AddRow({sc.name, bench::StatusCell(rec), "-", "-", "-", "-",
+                     "-", "-", "-", "-", "-"});
+      overload_identical = false;
+      continue;
+    }
+    const auto offered = static_cast<uint64_t>(rec.Extra("offered"));
+    const auto ok = static_cast<uint64_t>(rec.Extra("ok"));
+    const auto shed = static_cast<uint64_t>(rec.Extra("shed"));
+    const auto dl_shed = static_cast<uint64_t>(rec.Extra("deadline_shed"));
+    const auto failed = static_cast<uint64_t>(rec.Extra("failed"));
+    const auto retried = static_cast<uint64_t>(rec.Extra("retried"));
+    const bool identical = rec.Extra("identical") >= 1.0;
+    overload_identical = overload_identical && identical;
+    failed_total += failed;
+    accounting_ok =
+        accounting_ok && (offered == ok + shed + dl_shed + failed);
+    if (sc.process == serve::ArrivalProcess::kOnOff) {
+      // Sheds that a retrying client later recovered still count: the
+      // engine *did* bound its queue under the burst.
+      burst_shed = burst_shed || shed > 0 || dl_shed > 0 || retried > 0;
+    }
+    otable.AddRow({sc.name, std::to_string(offered),
+                   eval::Fmt(rec.Extra("goodput_qps"), 0),
+                   eval::Fmt(100.0 * rec.Extra("shed_rate"), 1),
+                   std::to_string(dl_shed), std::to_string(retried),
+                   std::to_string(
+                       static_cast<uint64_t>(rec.Extra("recovered"))),
+                   eval::Fmt(rec.Extra("p99_ms"), 3),
+                   eval::Fmt(rec.Extra("p999_ms"), 3),
+                   eval::Fmt(rec.Extra("wait_ms"), 3),
+                   identical ? "yes" : "NO"});
+  }
+  std::remove(ckpt_path.c_str());
+  std::printf("\n");
+  otable.Print();
+  if (!overload_identical) {
+    std::fprintf(stderr,
+                 "\nDETERMINISM VIOLATION: admitted logits diverged from "
+                 "singleton serving under overload\n");
+    return 1;
+  }
+  if (!accounting_ok || failed_total > 0) {
+    std::fprintf(stderr,
+                 "\nOVERLOAD ACCOUNTING VIOLATION: untyped failures or "
+                 "offered != ok + shed + deadline_shed + failed\n");
+    return 1;
+  }
+  if (!burst_shed) {
+    std::fprintf(stderr,
+                 "\nADMISSION CONTROL INERT: 5x ON/OFF burst produced no "
+                 "typed sheds — queue (and p99) was unbounded\n");
+    return 1;
+  }
+  std::printf("\n5x burst shed typed (kUnavailable), admitted logits "
+              "bit-identical: yes\n");
   return 0;
 }

@@ -164,6 +164,7 @@ const char* CellStatusName(CellStatus status) {
     case CellStatus::kDiverged: return "DIVERGED";
     case CellStatus::kSkipped: return "SKIPPED";
     case CellStatus::kFailed: return "FAILED";
+    case CellStatus::kShed: return "SHED";
   }
   return "FAILED";
 }
@@ -174,6 +175,7 @@ CellStatus CellStatusFromName(const std::string& name) {
   if (name == "TIMEOUT") return CellStatus::kTimeout;
   if (name == "DIVERGED") return CellStatus::kDiverged;
   if (name == "SKIPPED") return CellStatus::kSkipped;
+  if (name == "SHED") return CellStatus::kShed;
   return CellStatus::kFailed;
 }
 

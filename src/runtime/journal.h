@@ -30,9 +30,11 @@ enum class CellStatus {
   kDiverged,  ///< NaN/Inf loss or gradient
   kSkipped,   ///< cell not runnable (bad filter name, FB-only filter, ...)
   kFailed,    ///< any other non-OK status (IO error, precompute failure)
+  kShed,      ///< serving admission control rejected the whole cell's load
+              ///< (kUnavailable) — the overload analogue of an OOM row
 };
 
-/// "OK" / "OOM" / "TIMEOUT" / "DIVERGED" / "SKIPPED" / "FAILED".
+/// "OK" / "OOM" / "TIMEOUT" / "DIVERGED" / "SKIPPED" / "FAILED" / "SHED".
 const char* CellStatusName(CellStatus status);
 
 /// Parses a CellStatusName string; defaults to kFailed for unknown input.

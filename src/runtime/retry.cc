@@ -1,0 +1,53 @@
+#include "runtime/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "eval/table.h"
+
+namespace sgnn::runtime {
+
+double BackoffDelayMs(const BackoffConfig& config, int retry, Rng* rng) {
+  double delay = config.initial_delay_ms;
+  for (int i = 1; i < retry; ++i) {
+    delay *= std::max(1.0, config.multiplier);
+    if (delay >= config.max_delay_ms) break;
+  }
+  delay = std::min(delay, config.max_delay_ms);
+  if (config.jitter > 0.0 && rng != nullptr) {
+    delay *= rng->Uniform(1.0 - config.jitter, 1.0 + config.jitter);
+  }
+  return std::max(0.0, delay);
+}
+
+Status RetryWithBackoff(const std::function<Status()>& op,
+                        const BackoffConfig& config, Rng* rng,
+                        RetryStats* stats) {
+  const int max_attempts = std::max(1, config.max_attempts);
+  eval::Stopwatch budget;
+  RetryStats local;
+  Status last = Status::OK();
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    ++local.attempts;
+    last = op();
+    if (last.code() != StatusCode::kUnavailable) break;
+    if (attempt == max_attempts) break;
+    const double delay = BackoffDelayMs(config, attempt, rng);
+    // Honor the overall deadline: never start a sleep that would overrun
+    // it, and give up when the budget is already spent.
+    if (config.deadline_ms > 0.0 &&
+        budget.ElapsedMs() + delay > config.deadline_ms) {
+      break;
+    }
+    local.slept_ms += delay;
+    if (delay > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay));
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return last;
+}
+
+}  // namespace sgnn::runtime

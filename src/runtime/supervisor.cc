@@ -59,9 +59,16 @@ void Supervisor::FillFromResult(const models::TrainResult& result,
   } else if (result.diverged) {
     record->status = CellStatus::kDiverged;
   } else if (!result.status.ok()) {
-    record->status = result.status.code() == StatusCode::kInvalidArgument
-                         ? CellStatus::kSkipped
-                         : CellStatus::kFailed;
+    if (result.status.code() == StatusCode::kInvalidArgument) {
+      record->status = CellStatus::kSkipped;
+    } else if (result.status.code() == StatusCode::kUnavailable) {
+      // A serving cell whose load was entirely shed by admission control:
+      // journaled as SHED so overload sweeps keep the row (and its shed
+      // counters in extras) the way efficiency tables keep "(OOM)" rows.
+      record->status = CellStatus::kShed;
+    } else {
+      record->status = CellStatus::kFailed;
+    }
   } else {
     record->status = CellStatus::kOk;
   }

@@ -3,14 +3,53 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <string>
 #include <utility>
 
 namespace sgnn::serve {
 
+double OverloadStats::ShedRate() const {
+  const uint64_t denom = submitted + rejected_on_stop;
+  if (denom == 0) return 0.0;
+  return static_cast<double>(shed_total()) / static_cast<double>(denom);
+}
+
+SloController::SloController(SloConfig config, double initial_wait_ms)
+    : config_(config),
+      max_wait_ms_(std::max(0.0, initial_wait_ms)),
+      wait_ms_(max_wait_ms_) {
+  config_.min_wait_ms = std::max(0.0, config_.min_wait_ms);
+  config_.grow = std::max(1.0, config_.grow);
+  config_.shrink = std::min(1.0, std::max(0.01, config_.shrink));
+  config_.window = std::max(1, config_.window);
+  if (config_.min_wait_ms > max_wait_ms_) config_.min_wait_ms = max_wait_ms_;
+}
+
+double SloController::Update(double window_p99_ms, double mean_batch_fill) {
+  if (!enabled()) return wait_ms_;
+  if (window_p99_ms > config_.target_p99_ms) {
+    wait_ms_ = std::max(config_.min_wait_ms, wait_ms_ * config_.shrink);
+  } else if (mean_batch_fill >= config_.fill_threshold) {
+    wait_ms_ = std::min(max_wait_ms_, wait_ms_ * config_.grow);
+  } else {
+    wait_ms_ = std::max(config_.min_wait_ms, wait_ms_ * config_.shrink);
+  }
+  return wait_ms_;
+}
+
 Engine::Engine(ServableModel model, EngineConfig config)
-    : model_(std::move(model)), config_(config), cache_(config.cache) {
+    : model_(std::move(model)),
+      config_(config),
+      cache_(config.cache),
+      slo_(config.slo, std::max(0.0, config.max_wait_ms)),
+      current_wait_ms_(std::max(0.0, config.max_wait_ms)) {
   config_.max_batch = std::max(1, config_.max_batch);
   config_.max_wait_ms = std::max(0.0, config_.max_wait_ms);
+  config_.max_queue = std::max(0, config_.max_queue);
+  if (!model_.terms.empty()) {
+    query_bytes_ = model_.terms.size() *
+                   static_cast<size_t>(model_.terms[0].cols()) * sizeof(float);
+  }
 }
 
 Engine::~Engine() { Stop(); }
@@ -95,9 +134,11 @@ void Engine::Stop() {
   running_ = false;
 }
 
-std::future<QueryResult> Engine::Submit(int64_t node) {
+std::future<QueryResult> Engine::Submit(int64_t node, double deadline_ms) {
   Pending pending;
   pending.node = node;
+  pending.deadline_ms =
+      deadline_ms > 0.0 ? deadline_ms : config_.default_deadline_ms;
   std::future<QueryResult> fut = pending.promise.get_future();
   if (node < 0 || node >= model_.meta.n) {
     QueryResult r;
@@ -115,6 +156,32 @@ std::future<QueryResult> Engine::Submit(int64_t node) {
       pending.promise.set_value(std::move(r));
       return fut;
     }
+    ++overload_.submitted;
+    // Admission control: bounded queue depth and bounded staging bytes.
+    // Shedding here, with a retryable code, is what keeps p99 finite under
+    // a burst — the queue never grows past what the budgets allow.
+    if (config_.max_queue > 0 &&
+        queue_.size() >= static_cast<size_t>(config_.max_queue)) {
+      ++overload_.shed_queue_full;
+      QueryResult r;
+      r.status = Status::Unavailable(
+          "queue depth budget exhausted (" +
+          std::to_string(config_.max_queue) + " queued)");
+      pending.promise.set_value(std::move(r));
+      return fut;
+    }
+    if (config_.max_queued_bytes > 0 &&
+        (queue_.size() + 1) * query_bytes_ > config_.max_queued_bytes) {
+      ++overload_.shed_queue_bytes;
+      QueryResult r;
+      r.status = Status::Unavailable(
+          "queued-bytes budget exhausted (" +
+          std::to_string(queue_.size() * query_bytes_) + " of " +
+          std::to_string(config_.max_queued_bytes) + " bytes queued)");
+      pending.promise.set_value(std::move(r));
+      return fut;
+    }
+    ++overload_.admitted;
     queue_.push_back(std::move(pending));
   }
   queue_cv_.notify_one();
@@ -124,28 +191,83 @@ std::future<QueryResult> Engine::Submit(int64_t node) {
 void Engine::DispatchLoop() {
   for (;;) {
     std::vector<Pending> batch;
+    bool reject_batch = false;
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
       queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) break;  // stopping and fully drained
-      // Hold the batch open for stragglers: up to max_wait_ms measured from
-      // the *oldest* enqueued query, ended early by a full batch or Stop.
-      const auto target = static_cast<size_t>(config_.max_batch);
-      while (queue_.size() < target && !stopping_) {
-        const double left =
-            config_.max_wait_ms - queue_.front().watch.ElapsedMs();
-        if (left <= 0.0) break;
-        queue_cv_.wait_for(
-            lock, std::chrono::duration<double, std::milli>(left));
+      if (!stopping_) {
+        // Hold the batch open for stragglers: up to the controller's
+        // current hold time, measured from the *oldest* enqueued query,
+        // ended early by a full batch or Stop.
+        const auto target = static_cast<size_t>(config_.max_batch);
+        while (queue_.size() < target && !stopping_) {
+          const double left = current_wait_ms_.load(std::memory_order_relaxed) -
+                              queue_.front().watch.ElapsedMs();
+          if (left <= 0.0) break;
+          queue_cv_.wait_for(
+              lock, std::chrono::duration<double, std::milli>(left));
+        }
       }
-      const size_t take = std::min(queue_.size(), target);
-      batch.reserve(take);
-      for (size_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+      if (stopping_ && !config_.drain_on_stop) {
+        // Non-drain shutdown: satisfy every queued future with a typed
+        // rejection instead of serving it. Re-checked *after* the hold —
+        // a Stop() that lands mid-hold must not promote still-queued
+        // queries into a served batch.
+        batch.reserve(queue_.size());
+        while (!queue_.empty()) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+        overload_.rejected_on_stop += batch.size();
+        reject_batch = true;
+      } else {
+        const size_t take =
+            std::min(queue_.size(), static_cast<size_t>(config_.max_batch));
+        batch.reserve(take);
+        for (size_t i = 0; i < take; ++i) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
       }
     }
-    ServeAndFulfill(&batch);
+    if (reject_batch) {
+      RejectPending(&batch,
+                    Status::Unavailable("engine stopped before dispatch"));
+      continue;
+    }
+    // Deadline shed at dequeue: an expired query gets a typed rejection
+    // now instead of kernel time — its client has already moved on, and
+    // the batch it would have joined serves the still-live queries.
+    std::vector<Pending> live;
+    std::vector<Pending> expired;
+    live.reserve(batch.size());
+    for (Pending& p : batch) {
+      if (p.deadline_ms > 0.0 && p.watch.ElapsedMs() >= p.deadline_ms) {
+        expired.push_back(std::move(p));
+      } else {
+        live.push_back(std::move(p));
+      }
+    }
+    if (!expired.empty()) {
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        overload_.shed_deadline += expired.size();
+      }
+      RejectPending(&expired, Status::DeadlineExceeded(
+                                  "deadline expired before dispatch"));
+    }
+    if (!live.empty()) ServeAndFulfill(&live);
+  }
+}
+
+void Engine::RejectPending(std::vector<Pending>* batch,
+                           const Status& status) {
+  for (Pending& p : *batch) {
+    QueryResult r;
+    r.status = status;
+    r.latency_ms = p.watch.ElapsedMs();
+    p.promise.set_value(std::move(r));
   }
 }
 
@@ -154,24 +276,57 @@ void Engine::ServeAndFulfill(std::vector<Pending>* batch) {
   nodes.reserve(batch->size());
   for (const Pending& p : *batch) nodes.push_back(p.node);
 
-  std::lock_guard<std::mutex> lock(serve_mu_);
-  Matrix logits;
-  const Status status = ServeBatchLocked(nodes, &logits);
-  const int64_t c = logits.cols();
-  for (size_t i = 0; i < batch->size(); ++i) {
-    Pending& p = (*batch)[i];
-    QueryResult r;
-    r.batch = static_cast<int64_t>(batch->size());
-    if (status.ok()) {
-      const float* row = logits.row(static_cast<int64_t>(i));
-      r.logits.assign(row, row + c);
-    } else {
-      r.status = status;
+  uint64_t served_ok = 0;
+  uint64_t served_late = 0;
+  {
+    std::lock_guard<std::mutex> lock(serve_mu_);
+    Matrix logits;
+    const Status status = ServeBatchLocked(nodes, &logits);
+    const int64_t c = logits.cols();
+    for (size_t i = 0; i < batch->size(); ++i) {
+      Pending& p = (*batch)[i];
+      QueryResult r;
+      r.batch = static_cast<int64_t>(batch->size());
+      if (status.ok()) {
+        const float* row = logits.row(static_cast<int64_t>(i));
+        r.logits.assign(row, row + c);
+      } else {
+        r.status = status;
+      }
+      r.latency_ms = p.watch.ElapsedMs();
+      latency_.Record(r.latency_ms);
+      if (status.ok()) {
+        ++served_ok;
+        if (p.deadline_ms > 0.0 && r.latency_ms > p.deadline_ms) {
+          ++served_late;
+        }
+      }
+      p.promise.set_value(std::move(r));
     }
-    r.latency_ms = p.watch.ElapsedMs();
-    latency_.Record(r.latency_ms);
-    p.promise.set_value(std::move(r));
+
+    // SLO controller step: one per `window` served queries, fed the
+    // interval p99 (cumulative histogram diffed against the last step's
+    // snapshot) and the window's mean batch occupancy.
+    if (slo_.enabled()) {
+      window_queries_ += batch->size();
+      window_batches_ += 1;
+      if (window_queries_ >=
+          static_cast<uint64_t>(slo_.config().window)) {
+        const LatencyHistogram interval = latency_.DiffFrom(window_snapshot_);
+        const double fill =
+            static_cast<double>(window_queries_) /
+            (static_cast<double>(window_batches_) * config_.max_batch);
+        const double wait = slo_.Update(interval.PercentileMs(99), fill);
+        current_wait_ms_.store(wait, std::memory_order_relaxed);
+        window_snapshot_ = latency_;
+        window_queries_ = 0;
+        window_batches_ = 0;
+      }
+    }
   }
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  overload_.served_ok += served_ok;
+  overload_.served_late += served_late;
 }
 
 CacheStats Engine::GetCacheStats() const {
@@ -182,6 +337,13 @@ CacheStats Engine::GetCacheStats() const {
 LatencyHistogram Engine::GetLatency() const {
   std::lock_guard<std::mutex> lock(serve_mu_);
   return latency_;
+}
+
+OverloadStats Engine::GetOverloadStats() const {
+  std::lock_guard<std::mutex> lock(queue_mu_);
+  OverloadStats out = overload_;
+  out.current_wait_ms = current_wait_ms_.load(std::memory_order_relaxed);
+  return out;
 }
 
 uint64_t Engine::queries_served() const {

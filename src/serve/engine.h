@@ -6,11 +6,29 @@
 // are row-independent, so serving queries in a batch is *bit-identical* to
 // serving them one by one — the engine exploits that: Submit() enqueues a
 // query, and a dispatcher thread coalesces whatever is waiting into batches
-// of up to `max_batch`, holding an almost-empty batch open at most
-// `max_wait_ms` (measured from the oldest enqueued query). Batching
+// of up to `max_batch`, holding an almost-empty batch open at most the
+// current hold time (measured from the oldest enqueued query). Batching
 // amortizes the per-call kernel dispatch overhead; the determinism contract
 // (docs/SERVING.md) means the batch boundaries chosen under load never
 // change the logits, which tests/serve_test.cc asserts at 1 and hw threads.
+//
+// Overload safety (docs/SERVING.md, "Overload semantics"): the engine has
+// defined behavior when offered load exceeds capacity —
+//
+//   * admission control — Submit() sheds with a typed kUnavailable when the
+//     queue depth or the queued staging bytes exceed their budgets, so the
+//     queue (and therefore p99) is bounded instead of growing without limit;
+//   * deadline propagation — a query may carry a deadline; the dispatcher
+//     sheds expired queries at *dequeue* (kDeadlineExceeded) instead of
+//     spending kernel time computing logits the client already abandoned;
+//   * SLO-aware adaptive batching — when a target p99 is configured, the
+//     partial-batch hold time is a control variable: it shrinks when the
+//     recent p99 violates the SLO or load is light, and grows toward
+//     `max_wait_ms` while batches are filling and the SLO has headroom
+//     (SloController below);
+//   * shutdown — Stop() never leaves a future unsatisfied: it drains the
+//     queue (default) or typed-rejects it (`drain_on_stop = false`,
+//     kUnavailable), and the destructor does the same.
 //
 // All serving is serialized under one engine mutex: the filter's
 // CombineTerms mutates internal cache state and the tiered bundle cache
@@ -20,6 +38,7 @@
 #ifndef SGNN_SERVE_ENGINE_H_
 #define SGNN_SERVE_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -36,11 +55,73 @@
 
 namespace sgnn::serve {
 
+/// Knobs of the SLO-aware hold-time controller. Disabled (fixed hold =
+/// `EngineConfig::max_wait_ms`) unless `target_p99_ms > 0`.
+struct SloConfig {
+  double target_p99_ms = 0.0;  ///< p99 latency SLO; 0 disables adaptation
+  double min_wait_ms = 0.02;   ///< hold-time floor (never fully busy-poll)
+  double grow = 1.5;           ///< hold growth per in-SLO, high-fill window
+  double shrink = 0.5;         ///< hold decay per violating or light window
+  int window = 64;             ///< served queries per controller step
+  /// Mean batch occupancy (batch size / max_batch) at or above which a
+  /// window counts as "pressure" — batches are filling, so a longer hold
+  /// buys bigger batches rather than idle waiting.
+  double fill_threshold = 0.5;
+};
+
+/// AIMD-style hold-time controller: one Update per served window, fed from
+/// the engine's own latency histogram (interval p99 via DiffFrom) and the
+/// window's mean batch occupancy. The law, in SLO terms:
+///
+///   p99 > target          -> shrink (multiplicative): under overload the
+///                            queue wait dominates latency; shorter holds
+///                            shed latency fastest.
+///   p99 ok, fill high     -> grow toward max_wait: batches fill before the
+///                            hold expires, so holding longer converts SLO
+///                            headroom into bigger (cheaper) batches.
+///   p99 ok, fill low      -> shrink toward min_wait: light load; waiting
+///                            cannot fill batches, it only adds latency.
+///
+/// Deliberately a plain deterministic function of its inputs so the
+/// convergence tests (serve_overload_test.cc) drive it with synthetic
+/// windows, no timing involved.
+class SloController {
+ public:
+  /// `initial_wait_ms` is also the upper bound the hold may grow back to.
+  SloController(SloConfig config, double initial_wait_ms);
+
+  bool enabled() const { return config_.target_p99_ms > 0.0; }
+  double wait_ms() const { return wait_ms_; }
+  const SloConfig& config() const { return config_; }
+
+  /// One control step over a served window; returns the new hold time.
+  double Update(double window_p99_ms, double mean_batch_fill);
+
+ private:
+  SloConfig config_;
+  double max_wait_ms_;
+  double wait_ms_;
+};
+
 /// Engine knobs (the bench_serving sweep axes).
 struct EngineConfig {
   int max_batch = 64;        ///< dispatcher coalescing ceiling (≥ 1)
   double max_wait_ms = 1.0;  ///< max hold on a partial batch
   CacheConfig cache;         ///< bundle-cache tier budgets
+
+  // --- admission control (0 = unbounded, the pre-overload behavior) ---
+  int max_queue = 0;             ///< queue-depth budget, in queries
+  size_t max_queued_bytes = 0;   ///< budget on queued staging bytes
+                                 ///< (queries x per-query gather bytes)
+  /// Deadline stamped on queries submitted without one; 0 = none.
+  double default_deadline_ms = 0.0;
+
+  /// Stop()/destructor policy for still-queued queries: serve them (true)
+  /// or typed-reject them with kUnavailable (false). Either way every
+  /// future is satisfied.
+  bool drain_on_stop = true;
+
+  SloConfig slo;  ///< adaptive hold-time controller (off by default)
 };
 
 /// Outcome of one Submit()ed query.
@@ -49,6 +130,30 @@ struct QueryResult {
   std::vector<float> logits;  ///< num_classes entries when status is OK
   double latency_ms = 0.0;    ///< submit → fulfillment wall time
   int64_t batch = 0;          ///< size of the batch that served this query
+};
+
+/// Admission/shed counters plus the controller's live hold time. Snapshot
+/// via Engine::GetOverloadStats; monotonic so benches diff across phases.
+struct OverloadStats {
+  uint64_t submitted = 0;         ///< Submit() calls that reached admission
+  uint64_t admitted = 0;          ///< enqueued for dispatch
+  uint64_t shed_queue_full = 0;   ///< kUnavailable: queue-depth budget
+  uint64_t shed_queue_bytes = 0;  ///< kUnavailable: queued-bytes budget
+  uint64_t shed_deadline = 0;     ///< kDeadlineExceeded at dequeue
+  uint64_t rejected_on_stop = 0;  ///< kUnavailable: queued at a non-drain
+                                  ///< Stop
+  uint64_t served_ok = 0;         ///< fulfilled with logits
+  uint64_t served_late = 0;       ///< of served_ok: finished past deadline
+  double current_wait_ms = 0.0;   ///< live partial-batch hold time
+
+  uint64_t shed_total() const {
+    return shed_queue_full + shed_queue_bytes + shed_deadline +
+           rejected_on_stop;
+  }
+  /// Fraction of admission-checked queries shed (any cause; 0 when idle).
+  double ShedRate() const;
+  /// Queries that produced in-deadline logits, the numerator of goodput.
+  uint64_t goodput_queries() const { return served_ok - served_late; }
 };
 
 /// Serves node-classification queries against one restored model.
@@ -63,11 +168,15 @@ class Engine {
   int64_t num_nodes() const { return model_.meta.n; }
   int64_t num_classes() const { return model_.meta.num_classes; }
   const CheckpointMeta& meta() const { return model_.meta; }
+  /// Staging bytes one queued query will gather (the max_queued_bytes
+  /// unit): num_terms x feature-width floats.
+  size_t query_bytes() const { return query_bytes_; }
 
   /// Synchronous batched serving: fills `logits` with one row per node (on
   /// the accelerator, shape |nodes| x num_classes). InvalidArgument when any
   /// node id is out of [0, num_nodes). This is also the singleton baseline:
   /// calling it once per node gives bit-identical rows to one big batch.
+  /// Bypasses admission control — it holds the serving lock itself.
   [[nodiscard]] Status ServeBatch(const std::vector<int64_t>& nodes,
                                   Matrix* logits);
 
@@ -75,35 +184,44 @@ class Engine {
   /// with FailedPrecondition.
   void Start();
 
-  /// Drains the queue, serves what remains, and joins the dispatcher
-  /// (idempotent; also run by the destructor).
+  /// Joins the dispatcher after satisfying every queued future — served
+  /// when `drain_on_stop`, rejected with kUnavailable otherwise (idempotent;
+  /// also run by the destructor).
   void Stop();
 
   /// Enqueues one query for batched dispatch. The future is fulfilled by
   /// the dispatcher; an out-of-range node fails immediately without
-  /// polluting the batch it would have joined.
-  std::future<QueryResult> Submit(int64_t node);
+  /// polluting the batch it would have joined. Admission control may shed
+  /// immediately with kUnavailable. `deadline_ms` (> 0) bounds the query's
+  /// useful lifetime from this call; an expired query is shed at dequeue
+  /// with kDeadlineExceeded instead of being computed. 0 applies
+  /// `EngineConfig::default_deadline_ms`.
+  std::future<QueryResult> Submit(int64_t node, double deadline_ms = 0.0);
 
   /// Snapshots (copies) taken under the serving lock — safe while running.
   CacheStats GetCacheStats() const;
   LatencyHistogram GetLatency() const;
+  OverloadStats GetOverloadStats() const;
   uint64_t queries_served() const;
   uint64_t batches_dispatched() const;
 
  private:
   struct Pending {
     int64_t node = 0;
+    double deadline_ms = 0.0;  ///< 0 = none
     std::promise<QueryResult> promise;
     eval::Stopwatch watch;  ///< started at Submit
   };
 
   void DispatchLoop();
   void ServeAndFulfill(std::vector<Pending>* batch);
+  void RejectPending(std::vector<Pending>* batch, const Status& status);
   [[nodiscard]] Status ServeBatchLocked(const std::vector<int64_t>& nodes,
                                         Matrix* logits);
 
   ServableModel model_;
   EngineConfig config_;
+  size_t query_bytes_ = 0;
 
   mutable std::mutex serve_mu_;  ///< model, cache, metrics
   TieredCache cache_;
@@ -111,9 +229,20 @@ class Engine {
   uint64_t queries_ = 0;
   uint64_t batches_ = 0;
 
-  std::mutex queue_mu_;  ///< queue + lifecycle; never held across serving
+  // SLO controller: owned by the dispatcher thread (single writer); the
+  // live hold time is published through an atomic so Submit's wait loop and
+  // stats snapshots read it without the serving lock.
+  SloController slo_;
+  std::atomic<double> current_wait_ms_;
+  LatencyHistogram window_snapshot_;  ///< latency_ at the last SLO step
+  uint64_t window_queries_ = 0;
+  uint64_t window_batches_ = 0;
+
+  mutable std::mutex queue_mu_;  ///< queue + lifecycle + overload counters;
+                                 ///< never held across serving
   std::condition_variable queue_cv_;
   std::deque<Pending> queue_;
+  OverloadStats overload_;
   bool running_ = false;
   bool stopping_ = false;
   std::thread dispatcher_;

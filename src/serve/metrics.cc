@@ -44,6 +44,24 @@ double LatencyHistogram::PercentileMs(double p) const {
   return max_ms_;
 }
 
+LatencyHistogram LatencyHistogram::DiffFrom(
+    const LatencyHistogram& earlier) const {
+  LatencyHistogram out;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    const auto k = static_cast<size_t>(i);
+    out.counts_[k] = counts_[k] >= earlier.counts_[k]
+                         ? counts_[k] - earlier.counts_[k]
+                         : 0;
+    out.count_ += out.counts_[k];
+  }
+  out.total_ms_ = std::max(0.0, total_ms_ - earlier.total_ms_);
+  // The interval's true max is unknown (only the running max is kept); the
+  // running max is a safe over-estimate with the same SLO-friendly bias as
+  // the bucket bounds.
+  out.max_ms_ = max_ms_;
+  return out;
+}
+
 void LatencyHistogram::Reset() {
   counts_.fill(0);
   count_ = 0;

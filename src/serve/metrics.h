@@ -39,6 +39,13 @@ class LatencyHistogram {
   /// the overflow bucket). 0 when empty.
   double PercentileMs(double p) const;
 
+  /// The histogram of samples recorded since `earlier` was snapshotted from
+  /// this histogram (per-bucket count subtraction; `earlier` must be a past
+  /// copy of *this*). This is how the engine's SLO controller reads a
+  /// *recent* p99 out of the cumulative histogram without a second recording
+  /// path: snapshot, serve a window, diff, read PercentileMs.
+  LatencyHistogram DiffFrom(const LatencyHistogram& earlier) const;
+
   void Reset();
 
  private:

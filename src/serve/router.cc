@@ -1,0 +1,125 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace sgnn::serve {
+
+Router::Router(RouterConfig config) : config_(config) {
+  config_.max_resident = std::max(1, config_.max_resident);
+  active_.store(nullptr);
+}
+
+Router::~Router() {
+  // Engines stop in their destructors; clear the active pointer first so a
+  // racing Submit resolves FailedPrecondition instead of touching a
+  // stopping engine's queue (Submit-after-Stop is typed-rejected anyway).
+  active_.store(nullptr);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [version, engine] : roster_) engine->Stop();
+  roster_.clear();
+}
+
+Status Router::Load(uint32_t version, ServableModel model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (roster_.count(version) > 0) {
+    return Status::FailedPrecondition("version " + std::to_string(version) +
+                                      " is already resident");
+  }
+  if (roster_.size() >= static_cast<size_t>(config_.max_resident)) {
+    return Status::Unavailable(
+        "roster full (" + std::to_string(roster_.size()) + " of " +
+        std::to_string(config_.max_resident) +
+        " versions resident); Retire one first");
+  }
+  // Every resident version gets an equal share of the shared cache budget:
+  // the hot-swap overlap (N versions resident) can never use more cache
+  // than the budget granted to the roster as a whole.
+  EngineConfig cfg = config_.engine;
+  const auto share = static_cast<size_t>(config_.max_resident);
+  cfg.cache.accel_budget_bytes = config_.total_accel_budget_bytes / share;
+  cfg.cache.host_budget_bytes = config_.total_host_budget_bytes / share;
+  auto engine = std::make_shared<Engine>(std::move(model), cfg);
+  engine->Start();
+  roster_.emplace(version, std::move(engine));
+  return Status::OK();
+}
+
+Status Router::Activate(uint32_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = roster_.find(version);
+  if (it == roster_.end()) {
+    return Status::NotFound("version " + std::to_string(version) +
+                            " is not resident");
+  }
+  auto next = std::make_unique<Active>();
+  next->version = version;
+  next->engine = it->second;
+  // The swap: one release store of a pointer the router retains forever,
+  // paired with the acquire load in Submit / active_version.
+  retained_.push_back(std::move(next));
+  active_.store(retained_.back().get(), std::memory_order_release);
+  return Status::OK();
+}
+
+Status Router::Retire(uint32_t version) {
+  std::shared_ptr<Engine> engine;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Active* act = active_.load(std::memory_order_acquire);
+    if (act != nullptr && act->version == version) {
+      return Status::FailedPrecondition(
+          "version " + std::to_string(version) +
+          " is active; Activate a replacement first");
+    }
+    const auto it = roster_.find(version);
+    if (it == roster_.end()) {
+      return Status::NotFound("version " + std::to_string(version) +
+                              " is not resident");
+    }
+    engine = std::move(it->second);
+    roster_.erase(it);
+  }
+  // Stop outside the roster lock: draining may serve whole batches, and
+  // Load/Activate on other versions must not wait for it.
+  engine->Stop();
+  return Status::OK();
+}
+
+std::future<QueryResult> Router::Submit(int64_t node, double deadline_ms) {
+  const Active* act = active_.load(std::memory_order_acquire);
+  if (act == nullptr) {
+    std::promise<QueryResult> promise;
+    QueryResult r;
+    r.status = Status::FailedPrecondition("no active version");
+    std::future<QueryResult> fut = promise.get_future();
+    promise.set_value(std::move(r));
+    return fut;
+  }
+  // The retained shell keeps the engine object alive even if a concurrent
+  // Retire drops it from the roster; a retired engine is stopped, so a
+  // straggler Submit resolves FailedPrecondition instead of dangling.
+  return act->engine->Submit(node, deadline_ms);
+}
+
+uint32_t Router::active_version() const {
+  const Active* act = active_.load(std::memory_order_acquire);
+  return act == nullptr ? 0 : act->version;
+}
+
+std::shared_ptr<Engine> Router::engine(uint32_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = roster_.find(version);
+  return it == roster_.end() ? nullptr : it->second;
+}
+
+std::vector<uint32_t> Router::resident() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint32_t> out;
+  out.reserve(roster_.size());
+  for (const auto& [version, engine] : roster_) out.push_back(version);
+  return out;
+}
+
+}  // namespace sgnn::serve

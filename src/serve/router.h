@@ -1,0 +1,117 @@
+// Versioned multi-checkpoint router with atomic hot-swap.
+//
+// Production serving replaces models without draining traffic: the next
+// checkpoint is loaded *beside* the live one, warmed, and then made active
+// in one atomic step. The Router holds several versioned Engines resident
+// at once — each with its own dispatcher, queue, and bundle cache carved
+// out of one shared cache budget — and routes every Submit through an
+// atomically-swapped active pointer:
+//
+//   * readers (Submit / active_version) never take the roster mutex: the
+//     active entry is a plain std::atomic<const Active*>, so a swap is one
+//     release store and a reader pays one acquire load. Each Activate
+//     allocates a small Active shell (version + engine ref) that the
+//     router retains until destruction, so a reader's pointer can never
+//     dangle — no shared_ptr atomics, no reader-side locking at all;
+//   * in-flight queries complete against the engine that admitted them —
+//     a query routed to version N is unaffected by Activate(N+1) because
+//     each version owns its queue and dispatcher, and the roster (plus the
+//     reader's shared_ptr) keeps the engine alive until it drains;
+//   * Retire(version) stops the engine, which satisfies every queued
+//     future (drain or typed-reject per its EngineConfig) — a swap plus
+//     retire loses zero queries (asserted in serve_overload_test.cc).
+//
+// The checkpoint format already carries the version lineage (PR 6); the
+// router adds the serving-side contract: which version answers *now*, and
+// what happens to queries caught mid-swap (nothing — they finish where
+// they started).
+
+#ifndef SGNN_SERVE_ROUTER_H_
+#define SGNN_SERVE_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/engine.h"
+#include "tensor/status.h"
+
+namespace sgnn::serve {
+
+/// Roster-level knobs. Per-engine behavior (batching, admission, SLO) comes
+/// from `engine`; the cache budgets in `engine.cache` are ignored and
+/// replaced by an equal share of the totals below, so N resident versions
+/// never exceed the budget one version used to have.
+struct RouterConfig {
+  EngineConfig engine;
+  size_t total_accel_budget_bytes = 0;  ///< shared accel-tier budget
+  size_t total_host_budget_bytes = 0;   ///< shared host-tier budget
+  int max_resident = 2;                 ///< roster ceiling (>= 1)
+};
+
+/// Routes queries to the active version of a multi-version engine roster.
+/// Thread-safe: roster mutations serialize on a mutex; the submit path is
+/// mutex-free (atomic shared_ptr load).
+class Router {
+ public:
+  explicit Router(RouterConfig config);
+  ~Router();  ///< stops every resident engine (futures all satisfied)
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Installs `model` as `version` and starts its dispatcher; it receives
+  /// no traffic until Activate. FailedPrecondition on a duplicate version;
+  /// kUnavailable when the roster is full (Retire something first — the
+  /// typed code lets an operator loop retry after a drain).
+  [[nodiscard]] Status Load(uint32_t version, ServableModel model);
+
+  /// Atomically routes subsequent Submits to `version` (NotFound when not
+  /// resident). Queries already queued on other versions are unaffected.
+  [[nodiscard]] Status Activate(uint32_t version);
+
+  /// Stops and removes a resident version. Its queued futures are all
+  /// satisfied (drain or reject per the engine config). FailedPrecondition
+  /// for the active version; NotFound when absent.
+  [[nodiscard]] Status Retire(uint32_t version);
+
+  /// Submits to the active version. With no active version the future
+  /// resolves immediately with FailedPrecondition.
+  std::future<QueryResult> Submit(int64_t node, double deadline_ms = 0.0);
+
+  /// 0 when no version has been activated yet.
+  uint32_t active_version() const;
+
+  /// The engine serving `version`, or nullptr — for stats and the
+  /// bit-identity checks (ServeBatch on a specific version).
+  std::shared_ptr<Engine> engine(uint32_t version) const;
+
+  /// Resident versions, ascending.
+  std::vector<uint32_t> resident() const;
+
+  const RouterConfig& config() const { return config_; }
+
+ private:
+  struct Active {
+    uint32_t version = 0;
+    std::shared_ptr<Engine> engine;
+  };
+
+  RouterConfig config_;
+  mutable std::mutex mu_;  ///< roster_ / retained_ mutations and reads
+  std::map<uint32_t, std::shared_ptr<Engine>> roster_;
+  // One shell per Activate call, kept until ~Router so a lock-free reader's
+  // `active_` pointer can never dangle. A shell's engine ref also keeps a
+  // retired engine *object* alive (stopped, typed-rejecting) for readers
+  // that loaded the pointer just before the swap. Growth is one small
+  // struct per swap — negligible against the engines themselves.
+  std::vector<std::unique_ptr<const Active>> retained_;
+  std::atomic<const Active*> active_;
+};
+
+}  // namespace sgnn::serve
+
+#endif  // SGNN_SERVE_ROUTER_H_

@@ -27,6 +27,9 @@ enum class StatusCode {
   kInternal,
   kNumericalError,     ///< NaN/Inf divergence detected by a run guard.
   kDeadlineExceeded,   ///< Per-run wall-clock deadline hit (cell TIMEOUT).
+  kUnavailable,        ///< Overloaded: admission control shed the request.
+                       ///< Retryable (runtime::RetryWithBackoff backs off on
+                       ///< exactly this code); every other code is terminal.
 };
 
 /// A success-or-error value. Cheap to copy on the OK path.
@@ -70,6 +73,9 @@ class [[nodiscard]] Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -97,6 +103,7 @@ class [[nodiscard]] Status {
       case StatusCode::kInternal: return "Internal";
       case StatusCode::kNumericalError: return "NumericalError";
       case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+      case StatusCode::kUnavailable: return "Unavailable";
     }
     return "Unknown";
   }

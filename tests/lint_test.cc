@@ -67,6 +67,17 @@ TEST(DiscardedStatusTest, FlagsCallAfterControlFlow) {
   EXPECT_TRUE(HasRule(f, "discarded-status")) << Render(f);
 }
 
+TEST(DiscardedStatusTest, FlagsDiscardedUnavailableFactory) {
+  // "Unavailable" ships in Config::Default's status_functions: a dropped
+  // admission-control rejection is a silently-shed query.
+  const auto f = Lint("src/serve/x.cc", R"cc(
+    void Shed() {
+      Status::Unavailable("queue full");
+    }
+  )cc");
+  EXPECT_TRUE(HasRule(f, "discarded-status")) << Render(f);
+}
+
 TEST(DiscardedStatusTest, QuietWhenChecked) {
   const auto f = Lint("src/graph/x.cc", R"cc(
     Status Save(const Graph& g) {

@@ -1,6 +1,7 @@
 // Tests for the fault-tolerant run harness: journal encode/decode and
-// resume, fault-plan parsing and deterministic injection, and the
-// supervisor's status mapping and FB->MB OOM degradation.
+// resume, fault-plan parsing and deterministic injection, the supervisor's
+// status mapping (including kUnavailable -> SHED) and FB->MB OOM
+// degradation, and the jittered-backoff retry helper.
 
 #include <gtest/gtest.h>
 
@@ -17,8 +18,10 @@
 #include "models/trainer.h"
 #include "runtime/fault_injection.h"
 #include "runtime/journal.h"
+#include "runtime/retry.h"
 #include "runtime/supervisor.h"
 #include "tensor/device.h"
+#include "tensor/rng.h"
 
 namespace sgnn::runtime {
 namespace {
@@ -445,6 +448,133 @@ TEST(Supervisor, KillAndResumeRoundTripIsBitIdentical) {
   tracker.ResetAll();
   std::remove(ref_path.c_str());
   std::remove(path.c_str());
+}
+
+// --- kShed journal status ----------------------------------------------------
+
+TEST(Journal, ShedStatusRoundTrips) {
+  EXPECT_STREQ(CellStatusName(CellStatus::kShed), "SHED");
+  EXPECT_EQ(CellStatusFromName("SHED"), CellStatus::kShed);
+
+  CellRecord rec;
+  rec.key = {"ds", "filter", "mb", 1, "overload/onoff"};
+  rec.status = CellStatus::kShed;
+  const std::string line = EncodeRecord("serving", rec);
+  auto back_or = DecodeRecord(line);
+  ASSERT_TRUE(back_or.ok()) << back_or.status().ToString();
+  EXPECT_EQ(back_or.value().status, CellStatus::kShed);
+}
+
+// --- RetryWithBackoff --------------------------------------------------------
+
+/// Zero-delay backoff so retry-logic tests never actually sleep.
+BackoffConfig InstantBackoff(int max_attempts) {
+  BackoffConfig config;
+  config.max_attempts = max_attempts;
+  config.initial_delay_ms = 0.0;
+  config.max_delay_ms = 0.0;
+  return config;
+}
+
+TEST(RetryWithBackoff, RetriesUnavailableUntilSuccess) {
+  Rng rng(1);
+  int calls = 0;
+  RetryStats stats;
+  const Status s = RetryWithBackoff(
+      [&]() {
+        ++calls;
+        return calls < 3 ? Status::Unavailable("overloaded") : Status::OK();
+      },
+      InstantBackoff(5), &rng, &stats);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+}
+
+TEST(RetryWithBackoff, OnlyUnavailableIsRetryable) {
+  // Every other code is terminal: one attempt, status returned unchanged.
+  for (const Status& terminal :
+       {Status::InvalidArgument("bad"), Status::DeadlineExceeded("late"),
+        Status::IOError("disk"), Status::Internal("bug")}) {
+    Rng rng(1);
+    int calls = 0;
+    const Status s = RetryWithBackoff(
+        [&]() {
+          ++calls;
+          return terminal;
+        },
+        InstantBackoff(5), &rng);
+    EXPECT_EQ(s.code(), terminal.code());
+    EXPECT_EQ(calls, 1) << terminal.ToString();
+  }
+}
+
+TEST(RetryWithBackoff, ExhaustedAttemptsReturnLastUnavailable) {
+  Rng rng(1);
+  int calls = 0;
+  RetryStats stats;
+  const Status s = RetryWithBackoff(
+      [&]() {
+        ++calls;
+        return Status::Unavailable("still overloaded");
+      },
+      InstantBackoff(3), &rng, &stats);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.attempts, 3);
+}
+
+TEST(RetryWithBackoff, HonorsOverallDeadline) {
+  // The first retry delay (50ms) would overrun the 1ms budget, so the
+  // helper gives up after one attempt instead of sleeping past it.
+  BackoffConfig config;
+  config.max_attempts = 10;
+  config.initial_delay_ms = 50.0;
+  config.max_delay_ms = 50.0;
+  config.jitter = 0.0;
+  config.deadline_ms = 1.0;
+  Rng rng(1);
+  int calls = 0;
+  RetryStats stats;
+  const Status s = RetryWithBackoff(
+      [&]() {
+        ++calls;
+        return Status::Unavailable("overloaded");
+      },
+      config, &rng, &stats);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.slept_ms, 0.0);
+}
+
+TEST(BackoffDelay, GrowsGeometricallyAndCaps) {
+  BackoffConfig config;
+  config.initial_delay_ms = 1.0;
+  config.multiplier = 2.0;
+  config.max_delay_ms = 8.0;
+  config.jitter = 0.0;
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(config, 1, nullptr), 1.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(config, 2, nullptr), 2.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(config, 3, nullptr), 4.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(config, 4, nullptr), 8.0);
+  EXPECT_DOUBLE_EQ(BackoffDelayMs(config, 9, nullptr), 8.0);  // capped
+}
+
+TEST(BackoffDelay, JitterIsSeedDeterministicAndBounded) {
+  BackoffConfig config;
+  config.initial_delay_ms = 10.0;
+  config.multiplier = 1.0;
+  config.max_delay_ms = 10.0;
+  config.jitter = 0.25;
+  Rng a(7);
+  Rng b(7);
+  for (int retry = 1; retry <= 16; ++retry) {
+    const double da = BackoffDelayMs(config, retry, &a);
+    const double db = BackoffDelayMs(config, retry, &b);
+    EXPECT_DOUBLE_EQ(da, db);  // same seed, same jitter sequence
+    EXPECT_GE(da, 10.0 * 0.75);
+    EXPECT_LE(da, 10.0 * 1.25);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,573 @@
+// Tests for serving overload semantics: typed admission-control sheds
+// (queue depth and queued bytes), deadline shed-at-dequeue, drain vs
+// typed-reject shutdown with a full queue, the SLO hold-time controller
+// (synthetic windows and in-engine convergence), LatencyHistogram interval
+// diffs, and Router hot-swap bit-identity with in-flight queries — the
+// engine-level paths at 1 and hw kernel threads.
+//
+// Determinism recipe used throughout: with `max_batch` larger than the
+// queue budget and a hold (`max_wait_ms`) that outlives the test step, the
+// dispatcher parks mid-hold with every admitted query still *in the queue*
+// — so admission decisions, shutdown behavior, and deadline expiry are
+// exercised without racing the dispatcher.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <vector>
+
+#include "core/registry.h"
+#include "graph/generator.h"
+#include "graph/graph.h"
+#include "models/trainer.h"
+#include "serve/checkpoint.h"
+#include "serve/engine.h"
+#include "serve/loadgen.h"
+#include "serve/metrics.h"
+#include "serve/router.h"
+#include "tensor/parallel.h"
+
+namespace sgnn::serve {
+namespace {
+
+graph::Graph SmallGraph() {
+  graph::GeneratorConfig c;
+  c.n = 200;
+  c.avg_degree = 6.0;
+  c.num_classes = 4;
+  c.homophily = 0.8;
+  c.feature_dim = 12;
+  c.noise = 2.0;
+  c.seed = 5;
+  return graph::GenerateSbm(c);
+}
+
+/// Trains a small mini-batch model and builds its checkpoint; `epochs`
+/// varies the weights so two checkpoints of the same graph disagree (the
+/// hot-swap tests need distinguishable versions).
+Checkpoint TrainCheckpoint(int epochs = 6) {
+  graph::Graph g = SmallGraph();
+  graph::Splits splits = graph::RandomSplits(g.n, 1);
+  filters::FilterHyperParams hp;
+  auto filter_or =
+      filters::CreateFilter("chebyshev", 6, hp, g.features.cols());
+  EXPECT_TRUE(filter_or.ok()) << filter_or.status().ToString();
+  auto filter = filter_or.MoveValue();
+
+  models::TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.eval_every = 2;
+  cfg.hidden = 16;
+  cfg.phi0_layers = 0;
+  cfg.phi1_layers = 2;
+  cfg.batch_size = 64;
+  cfg.export_model = true;
+  models::TrainResult tr = models::TrainMiniBatch(
+      g, splits, graph::Metric::kAccuracy, filter.get(), cfg);
+  EXPECT_TRUE(tr.status.ok()) << tr.status.ToString();
+  EXPECT_NE(tr.exported, nullptr);
+
+  CheckpointMeta meta{"sbm_test", g.n, g.num_classes, cfg.rho, cfg.seed};
+  auto ckpt_or = BuildCheckpoint("chebyshev", 6, hp, g.features.cols(),
+                                 *tr.exported, meta);
+  EXPECT_TRUE(ckpt_or.ok()) << ckpt_or.status().ToString();
+  return ckpt_or.MoveValue();
+}
+
+/// The shared checkpoints — training once keeps the suite fast.
+const Checkpoint& CkptV1() {
+  static const Checkpoint* ckpt = new Checkpoint(TrainCheckpoint(4));
+  return *ckpt;
+}
+
+const Checkpoint& CkptV2() {
+  static const Checkpoint* ckpt = new Checkpoint(TrainCheckpoint(8));
+  return *ckpt;
+}
+
+ServableModel Restore(const Checkpoint& ckpt) {
+  auto model_or = RestoreModel(ckpt);
+  EXPECT_TRUE(model_or.ok()) << model_or.status().ToString();
+  return model_or.MoveValue();
+}
+
+std::vector<float> SingletonRow(Engine* engine, int64_t node) {
+  Matrix one;
+  const Status s = engine->ServeBatch({node}, &one);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return std::vector<float>(one.data(), one.data() + one.cols());
+}
+
+bool SameRow(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() && !a.empty() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Engine pinned mid-hold: admitted queries stay queued for the test's
+/// lifetime (hold far longer than any test step, batch can never fill).
+EngineConfig PinnedConfig() {
+  EngineConfig cfg;
+  cfg.max_batch = 64;
+  cfg.max_wait_ms = 10000.0;
+  return cfg;
+}
+
+/// The engine-path tests run at 1 and hw kernel threads: overload behavior
+/// must not depend on intra-kernel parallelism.
+std::vector<int> ThreadCounts() {
+  std::vector<int> counts = {1};
+  if (parallel::NumThreads() > 1) counts.push_back(parallel::NumThreads());
+  return counts;
+}
+
+class ThreadRestorer {
+ public:
+  ThreadRestorer() : saved_(parallel::NumThreads()) {}
+  ~ThreadRestorer() { parallel::SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+// --- admission control -------------------------------------------------------
+
+TEST(Admission, QueueDepthBudgetShedsTyped) {
+  ThreadRestorer restore_threads;
+  for (const int threads : ThreadCounts()) {
+    parallel::SetNumThreads(threads);
+    EngineConfig cfg = PinnedConfig();
+    cfg.max_queue = 4;
+    Engine engine(Restore(CkptV1()), cfg);
+    engine.Start();
+
+    std::vector<std::future<QueryResult>> admitted;
+    for (int i = 0; i < 4; ++i) admitted.push_back(engine.Submit(i));
+    for (int i = 0; i < 3; ++i) {
+      QueryResult shed = engine.Submit(10 + i).get();
+      EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable)
+          << shed.status.ToString();
+    }
+
+    OverloadStats stats = engine.GetOverloadStats();
+    EXPECT_EQ(stats.submitted, 7u);
+    EXPECT_EQ(stats.admitted, 4u);
+    EXPECT_EQ(stats.shed_queue_full, 3u);
+    EXPECT_EQ(stats.shed_total(), 3u);
+    EXPECT_NEAR(stats.ShedRate(), 3.0 / 7.0, 1e-12);
+
+    engine.Stop();  // drains: every admitted future must carry logits
+    for (auto& fut : admitted) {
+      QueryResult r = fut.get();
+      EXPECT_TRUE(r.status.ok()) << r.status.ToString();
+      EXPECT_FALSE(r.logits.empty());
+    }
+    stats = engine.GetOverloadStats();
+    EXPECT_EQ(stats.served_ok, 4u);
+    EXPECT_EQ(stats.goodput_queries(), 4u);
+  }
+}
+
+TEST(Admission, QueuedBytesBudgetShedsTyped) {
+  EngineConfig cfg = PinnedConfig();
+  Engine probe(Restore(CkptV1()), cfg);
+  ASSERT_GT(probe.query_bytes(), 0u);
+
+  cfg.max_queued_bytes = 2 * probe.query_bytes();
+  Engine engine(Restore(CkptV1()), cfg);
+  engine.Start();
+  std::vector<std::future<QueryResult>> admitted;
+  admitted.push_back(engine.Submit(0));
+  admitted.push_back(engine.Submit(1));
+  QueryResult shed = engine.Submit(2).get();
+  EXPECT_EQ(shed.status.code(), StatusCode::kUnavailable)
+      << shed.status.ToString();
+
+  const OverloadStats stats = engine.GetOverloadStats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.shed_queue_bytes, 1u);
+  EXPECT_EQ(stats.shed_queue_full, 0u);
+
+  engine.Stop();
+  for (auto& fut : admitted) EXPECT_TRUE(fut.get().status.ok());
+}
+
+TEST(Admission, OutOfRangeNodeFailsWithoutTouchingAdmission) {
+  Engine engine(Restore(CkptV1()), PinnedConfig());
+  engine.Start();
+  QueryResult r = engine.Submit(engine.num_nodes()).get();
+  EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.GetOverloadStats().submitted, 0u);
+  engine.Stop();
+}
+
+// --- deadline propagation ----------------------------------------------------
+
+TEST(Deadline, ExpiredQueriesShedAtDequeueWithoutKernelTime) {
+  ThreadRestorer restore_threads;
+  for (const int threads : ThreadCounts()) {
+    parallel::SetNumThreads(threads);
+    EngineConfig cfg;
+    cfg.max_batch = 64;
+    cfg.max_wait_ms = 120.0;  // hold comfortably outlives the 15ms deadline
+    Engine engine(Restore(CkptV1()), cfg);
+    engine.Start();
+
+    std::vector<std::future<QueryResult>> doomed;
+    for (int i = 0; i < 3; ++i) doomed.push_back(engine.Submit(i, 15.0));
+    for (auto& fut : doomed) {
+      QueryResult r = fut.get();
+      EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded)
+          << r.status.ToString();
+      EXPECT_GE(r.latency_ms, 15.0);
+    }
+    engine.Stop();
+
+    const OverloadStats stats = engine.GetOverloadStats();
+    EXPECT_EQ(stats.shed_deadline, 3u);
+    EXPECT_EQ(stats.served_ok, 0u);
+    // Shed at *dequeue*: no batch was ever computed for them.
+    EXPECT_EQ(engine.queries_served(), 0u);
+    EXPECT_EQ(engine.batches_dispatched(), 0u);
+  }
+}
+
+TEST(Deadline, DefaultDeadlineAppliesToBareSubmits) {
+  EngineConfig cfg;
+  cfg.max_batch = 64;
+  cfg.max_wait_ms = 120.0;
+  cfg.default_deadline_ms = 15.0;
+  Engine engine(Restore(CkptV1()), cfg);
+  engine.Start();
+  QueryResult r = engine.Submit(0).get();  // no explicit deadline
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  engine.Stop();
+}
+
+TEST(Deadline, PartitionServesLiveQueriesFromTheSameBatch) {
+  // Two expired and two live queries dequeue together: the expired pair is
+  // typed-shed, the live pair is served — and bit-identical to singleton.
+  EngineConfig cfg;
+  cfg.max_batch = 64;
+  cfg.max_wait_ms = 120.0;
+  Engine engine(Restore(CkptV1()), cfg);
+  engine.Start();
+  auto doomed_a = engine.Submit(3, 15.0);
+  auto doomed_b = engine.Submit(4, 15.0);
+  auto live_a = engine.Submit(5, 0.0);
+  auto live_b = engine.Submit(6, 0.0);
+
+  EXPECT_EQ(doomed_a.get().status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(doomed_b.get().status.code(), StatusCode::kDeadlineExceeded);
+  QueryResult ra = live_a.get();
+  QueryResult rb = live_b.get();
+  ASSERT_TRUE(ra.status.ok()) << ra.status.ToString();
+  ASSERT_TRUE(rb.status.ok()) << rb.status.ToString();
+  engine.Stop();
+
+  EXPECT_TRUE(SameRow(ra.logits, SingletonRow(&engine, 5)));
+  EXPECT_TRUE(SameRow(rb.logits, SingletonRow(&engine, 6)));
+  const OverloadStats stats = engine.GetOverloadStats();
+  EXPECT_EQ(stats.shed_deadline, 2u);
+  EXPECT_EQ(stats.served_ok, 2u);
+}
+
+// --- shutdown semantics ------------------------------------------------------
+
+TEST(Shutdown, StopDrainsFullQueue) {
+  Engine engine(Restore(CkptV1()), PinnedConfig());
+  engine.Start();
+  std::vector<std::future<QueryResult>> queued;
+  for (int i = 0; i < 16; ++i) queued.push_back(engine.Submit(i));
+  engine.Stop();
+  for (size_t i = 0; i < queued.size(); ++i) {
+    QueryResult r = queued[i].get();
+    ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    EXPECT_TRUE(
+        SameRow(r.logits, SingletonRow(&engine, static_cast<int64_t>(i))));
+  }
+  EXPECT_EQ(engine.GetOverloadStats().served_ok, 16u);
+}
+
+TEST(Shutdown, NonDrainStopTypedRejectsFullQueue) {
+  // Regression: a full queue at Stop must never leave a future unsatisfied
+  // — with drain_on_stop=false every queued query resolves kUnavailable.
+  EngineConfig cfg = PinnedConfig();
+  cfg.drain_on_stop = false;
+  Engine engine(Restore(CkptV1()), cfg);
+  engine.Start();
+  std::vector<std::future<QueryResult>> queued;
+  for (int i = 0; i < 16; ++i) queued.push_back(engine.Submit(i));
+  engine.Stop();
+  for (auto& fut : queued) {
+    QueryResult r = fut.get();
+    EXPECT_EQ(r.status.code(), StatusCode::kUnavailable)
+        << r.status.ToString();
+  }
+  const OverloadStats stats = engine.GetOverloadStats();
+  EXPECT_EQ(stats.rejected_on_stop, 16u);
+  EXPECT_EQ(stats.served_ok, 0u);
+}
+
+TEST(Shutdown, DestructorSatisfiesQueuedFutures) {
+  std::vector<std::future<QueryResult>> queued;
+  {
+    EngineConfig cfg = PinnedConfig();
+    cfg.drain_on_stop = false;
+    Engine engine(Restore(CkptV1()), cfg);
+    engine.Start();
+    for (int i = 0; i < 8; ++i) queued.push_back(engine.Submit(i));
+  }  // destructor runs Stop
+  for (auto& fut : queued) {
+    EXPECT_EQ(fut.get().status.code(), StatusCode::kUnavailable);
+  }
+}
+
+TEST(Shutdown, SubmitAfterStopIsTypedNotHung) {
+  Engine engine(Restore(CkptV1()), PinnedConfig());
+  engine.Start();
+  engine.Stop();
+  QueryResult r = engine.Submit(0).get();
+  EXPECT_EQ(r.status.code(), StatusCode::kFailedPrecondition);
+}
+
+// --- SLO controller ----------------------------------------------------------
+
+TEST(SloController, DisabledKeepsFixedHold) {
+  SloController ctl(SloConfig{}, 1.0);
+  EXPECT_FALSE(ctl.enabled());
+  EXPECT_DOUBLE_EQ(ctl.Update(1000.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ctl.Update(0.0, 0.0), 1.0);
+}
+
+TEST(SloController, ViolationShrinksToFloor) {
+  SloConfig slo;
+  slo.target_p99_ms = 5.0;
+  slo.min_wait_ms = 0.02;
+  SloController ctl(slo, 1.0);
+  double prev = ctl.wait_ms();
+  for (int i = 0; i < 10; ++i) {
+    const double next = ctl.Update(/*window_p99_ms=*/50.0, /*fill=*/1.0);
+    EXPECT_LE(next, prev);  // violation always shrinks, even at full fill
+    prev = next;
+  }
+  EXPECT_DOUBLE_EQ(ctl.wait_ms(), 0.02);
+}
+
+TEST(SloController, PressureGrowsBackToCeiling) {
+  SloConfig slo;
+  slo.target_p99_ms = 5.0;
+  slo.min_wait_ms = 0.02;
+  SloController ctl(slo, 1.0);
+  while (ctl.wait_ms() > slo.min_wait_ms) ctl.Update(50.0, 1.0);
+  // In-SLO windows with batches filling: hold grows, clamped at the
+  // configured ceiling (the original max_wait_ms).
+  double prev = ctl.wait_ms();
+  for (int i = 0; i < 32; ++i) {
+    const double next = ctl.Update(/*window_p99_ms=*/1.0, /*fill=*/0.9);
+    EXPECT_GE(next, prev);
+    EXPECT_LE(next, 1.0);
+    prev = next;
+  }
+  EXPECT_DOUBLE_EQ(ctl.wait_ms(), 1.0);
+}
+
+TEST(SloController, LightLoadShrinksTowardFloor) {
+  SloConfig slo;
+  slo.target_p99_ms = 5.0;
+  slo.min_wait_ms = 0.02;
+  SloController ctl(slo, 1.0);
+  // In-SLO but empty batches: waiting cannot fill them, so the hold decays.
+  for (int i = 0; i < 10; ++i) ctl.Update(1.0, 0.05);
+  EXPECT_DOUBLE_EQ(ctl.wait_ms(), 0.02);
+}
+
+TEST(SloController, EngineConvergesHoldToFloorUnderLightSerialLoad) {
+  // End-to-end convergence: serial singleton submits keep batch fill at
+  // 1/max_batch with p99 far inside the SLO, so each controller window
+  // shrinks the live hold until it sits exactly on the floor.
+  ThreadRestorer restore_threads;
+  for (const int threads : ThreadCounts()) {
+    parallel::SetNumThreads(threads);
+    EngineConfig cfg;
+    cfg.max_batch = 64;
+    cfg.max_wait_ms = 1.0;
+    cfg.slo.target_p99_ms = 1000.0;  // never violated
+    cfg.slo.min_wait_ms = 0.02;
+    cfg.slo.window = 8;
+    Engine engine(Restore(CkptV1()), cfg);
+    engine.Start();
+    EXPECT_DOUBLE_EQ(engine.GetOverloadStats().current_wait_ms, 1.0);
+    for (int i = 0; i < 80; ++i) {
+      QueryResult r = engine.Submit(i % engine.num_nodes()).get();
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+    }
+    engine.Stop();
+    // 10 windows of shrink x0.5 from 1.0 clamps at the 0.02 floor.
+    EXPECT_DOUBLE_EQ(engine.GetOverloadStats().current_wait_ms, 0.02);
+  }
+}
+
+// --- latency histogram intervals --------------------------------------------
+
+TEST(LatencyHistogramDiff, DiffIsolatesTheNewWindow) {
+  LatencyHistogram hist;
+  for (int i = 0; i < 100; ++i) hist.Record(1.0);
+  const LatencyHistogram snapshot = hist;
+  for (int i = 0; i < 50; ++i) hist.Record(100.0);
+
+  const LatencyHistogram interval = hist.DiffFrom(snapshot);
+  EXPECT_EQ(interval.count(), 50u);
+  EXPECT_DOUBLE_EQ(interval.total_ms(), 50 * 100.0);
+  // The cumulative p50 still sits in the 1ms era; the interval's p50 must
+  // see only the new 100ms samples.
+  EXPECT_LT(hist.PercentileMs(50), 2.0);
+  EXPECT_GE(interval.PercentileMs(50), 100.0);
+}
+
+TEST(LatencyHistogramDiff, EmptyWindowIsEmpty) {
+  LatencyHistogram hist;
+  hist.Record(1.0);
+  const LatencyHistogram interval = hist.DiffFrom(hist);
+  EXPECT_EQ(interval.count(), 0u);
+  EXPECT_DOUBLE_EQ(interval.PercentileMs(99), 0.0);
+}
+
+// --- load generator ----------------------------------------------------------
+
+TEST(LoadGen, SchedulesAreSeedDeterministic) {
+  LoadGenConfig load;
+  load.process = ArrivalProcess::kOnOff;
+  load.mean_qps = 5000.0;
+  load.duration_ms = 100.0;
+  load.seed = 9;
+  const std::vector<Arrival> a = MakeSchedule(load, 200);
+  const std::vector<Arrival> b = MakeSchedule(load, 200);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].at_ms, b[i].at_ms);
+    EXPECT_EQ(a[i].node, b[i].node);
+  }
+  load.seed = 10;
+  const std::vector<Arrival> c = MakeSchedule(load, 200);
+  bool differs = a.size() != c.size();
+  for (size_t i = 0; !differs && i < std::min(a.size(), c.size()); ++i) {
+    differs = a[i].at_ms != c[i].at_ms || a[i].node != c[i].node;
+  }
+  EXPECT_TRUE(differs);  // different seed, different process draw
+}
+
+TEST(LoadGen, OnOffRateAlternatesAndPreservesTheMean) {
+  LoadGenConfig load;
+  load.process = ArrivalProcess::kOnOff;
+  load.mean_qps = 1000.0;
+  load.burst_multiplier = 5.0;
+  load.on_fraction = 0.4;
+  load.period_ms = 50.0;
+  load.duration_ms = 200.0;
+  EXPECT_DOUBLE_EQ(RateAtMs(load, 1.0), 5000.0);  // ON window
+  EXPECT_DOUBLE_EQ(RateAtMs(load, 30.0), 0.0);    // 0.4*5 >= 1: OFF is dry
+
+  // With a burst that fits inside the mean budget (duty*mult < 1), the
+  // duty-cycle compensation keeps the long-run mean at mean_qps exactly.
+  load.burst_multiplier = 2.0;
+  EXPECT_DOUBLE_EQ(RateAtMs(load, 1.0), 2000.0);
+  double sum = 0.0;
+  const int steps = 1000;
+  for (int i = 0; i < steps; ++i) {
+    sum += RateAtMs(load, 50.0 * i / steps);
+  }
+  EXPECT_NEAR(sum / steps, 1000.0, 30.0);
+}
+
+// --- router / hot-swap -------------------------------------------------------
+
+RouterConfig SmallRouterConfig() {
+  RouterConfig cfg;
+  cfg.engine.max_batch = 8;
+  cfg.engine.max_wait_ms = 0.2;
+  cfg.total_accel_budget_bytes = 1 << 22;
+  cfg.total_host_budget_bytes = 1 << 22;
+  cfg.max_resident = 2;
+  return cfg;
+}
+
+TEST(Router, LifecycleErrorsAreTyped) {
+  Router router(SmallRouterConfig());
+  EXPECT_EQ(router.active_version(), 0u);
+  QueryResult idle = router.Submit(0, 0.0).get();
+  EXPECT_EQ(idle.status.code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(router.Load(1, Restore(CkptV1())).ok());
+  EXPECT_EQ(router.Load(1, Restore(CkptV1())).code(),
+            StatusCode::kFailedPrecondition);  // duplicate version
+  ASSERT_TRUE(router.Load(2, Restore(CkptV2())).ok());
+  EXPECT_EQ(router.Load(3, Restore(CkptV1())).code(),
+            StatusCode::kUnavailable);  // roster full: max_resident = 2
+
+  EXPECT_EQ(router.Activate(9).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(router.Activate(1).ok());
+  EXPECT_EQ(router.Retire(1).code(),
+            StatusCode::kFailedPrecondition);  // active version
+  EXPECT_EQ(router.Retire(9).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(router.Retire(2).ok());
+  EXPECT_EQ(router.resident().size(), 1u);
+}
+
+TEST(Router, HotSwapServesInFlightAgainstOriginalModel) {
+  // In-flight queries submitted before the swap complete against v1 while
+  // queries after the swap hit v2 — bit-identical to each version's
+  // singleton serving, zero dropped, zero misrouted. The v1 queue is still
+  // non-empty at swap time by construction: the dispatcher can't outrun a
+  // flat-out submit loop of this size, and Retire *drains* the remainder.
+  ThreadRestorer restore_threads;
+  for (const int threads : ThreadCounts()) {
+    parallel::SetNumThreads(threads);
+    Router router(SmallRouterConfig());
+    ASSERT_TRUE(router.Load(1, Restore(CkptV1())).ok());
+    ASSERT_TRUE(router.Activate(1).ok());
+
+    constexpr int kPerPhase = 200;
+    const int64_t n = CkptV1().meta.n;
+    std::vector<std::future<QueryResult>> before;
+    for (int i = 0; i < kPerPhase; ++i) {
+      before.push_back(router.Submit(i % n, 0.0));
+    }
+    ASSERT_TRUE(router.Load(2, Restore(CkptV2())).ok());
+    ASSERT_TRUE(router.Activate(2).ok());
+    ASSERT_TRUE(router.Retire(1).ok());  // drains v1's in-flight queries
+    std::vector<std::future<QueryResult>> after;
+    for (int i = 0; i < kPerPhase; ++i) {
+      after.push_back(router.Submit(i % n, 0.0));
+    }
+
+    Engine ref1(Restore(CkptV1()), SmallRouterConfig().engine);
+    Engine ref2(Restore(CkptV2()), SmallRouterConfig().engine);
+    for (int i = 0; i < kPerPhase; ++i) {
+      QueryResult r = before[static_cast<size_t>(i)].get();
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      EXPECT_TRUE(SameRow(r.logits, SingletonRow(&ref1, i % n)))
+          << "pre-swap query " << i << " not served by v1";
+    }
+    for (int i = 0; i < kPerPhase; ++i) {
+      QueryResult r = after[static_cast<size_t>(i)].get();
+      ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+      EXPECT_TRUE(SameRow(r.logits, SingletonRow(&ref2, i % n)))
+          << "post-swap query " << i << " not served by v2";
+    }
+    EXPECT_EQ(router.active_version(), 2u);
+    EXPECT_EQ(router.resident().size(), 1u);
+  }
+}
+
+TEST(Router, VersionsActuallyDiffer) {
+  // The hot-swap assertions above are vacuous if v1 and v2 agree — pin the
+  // precondition that different epoch counts give different logits.
+  Engine ref1(Restore(CkptV1()), SmallRouterConfig().engine);
+  Engine ref2(Restore(CkptV2()), SmallRouterConfig().engine);
+  EXPECT_FALSE(SameRow(SingletonRow(&ref1, 0), SingletonRow(&ref2, 0)));
+}
+
+}  // namespace
+}  // namespace sgnn::serve

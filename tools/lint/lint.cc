@@ -824,7 +824,8 @@ Config Config::Default() {
                         "OutOfMemory",  "NotFound",
                         "FailedPrecondition", "IOError",
                         "NotImplemented",     "Internal",
-                        "NumericalError",     "DeadlineExceeded"};
+                        "NumericalError",     "DeadlineExceeded",
+                        "Unavailable"};
   // The include DAG of the paper reproduction:
   //   tensor -> {sparse, graph} -> {core, nn} -> {models, eval}
   //          -> runtime -> {bench, tools, tests}.

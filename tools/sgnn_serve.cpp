@@ -19,6 +19,11 @@
 //   # graph, save, load, serve, and verify batched == singleton
 //   sgnn_serve --smoke 1
 //
+//   # overload smoke (the `serving_overload` CTest): admission control
+//   # sheds typed under a forced burst, RetryWithBackoff recovers the
+//   # sheds, and a Router hot-swap under live load drops nothing
+//   sgnn_serve --overload-smoke 1
+//
 // Serving verifies determinism on demand (--verify 1, default in smoke):
 // every async batched result must be bit-identical to a singleton
 // ServeBatch of the same node.
@@ -26,9 +31,11 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <future>
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "conformance/fuzz.h"
@@ -36,8 +43,11 @@
 #include "eval/table.h"
 #include "graph/datasets.h"
 #include "models/trainer.h"
+#include "runtime/retry.h"
 #include "serve/checkpoint.h"
 #include "serve/engine.h"
+#include "serve/loadgen.h"
+#include "serve/router.h"
 #include "sparse/adjacency.h"
 
 namespace {
@@ -84,7 +94,8 @@ void Usage() {
       "                  [--max-batch B] [--max-wait-ms W]\n"
       "                  [--cache-accel-kb A] [--cache-host-kb H]\n"
       "                  [--verify 0|1] [--seed S]\n"
-      "       sgnn_serve --smoke 1\n");
+      "       sgnn_serve --smoke 1\n"
+      "       sgnn_serve --overload-smoke 1   # admission/retry/hot-swap\n");
 }
 
 /// Deterministic attributed graph from a conformance fuzz seed: topology
@@ -453,11 +464,335 @@ int RunSmoke(const Flags& flags) {
   return 0;
 }
 
+/// Trains a checkpoint on the seed-7 fuzz graph with `epochs` epochs —
+/// the overload smoke needs two versions of the *same* graph's model, so
+/// everything but the epoch count is held fixed.
+int TrainFuzzCheckpoint(const std::string& path, const char* epochs) {
+  const char* argv[] = {"sgnn_serve", "--fuzz-seed", "7",
+                        "--out",      path.c_str(),  "--epochs", epochs};
+  Flags f(7, const_cast<char**>(argv));
+  return RunTrain(f);
+}
+
+/// Memoized singleton reference: bit-exact logits for `node` under `engine`.
+const std::vector<float>& SingletonRow(
+    serve::Engine* engine, int64_t node,
+    std::map<int64_t, std::vector<float>>* memo, bool* failed) {
+  auto it = memo->find(node);
+  if (it == memo->end()) {
+    Matrix one;
+    const Status s = engine->ServeBatch({node}, &one);
+    std::vector<float> row;
+    if (s.ok()) {
+      row.assign(one.data(), one.data() + one.cols());
+    } else {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      *failed = true;
+    }
+    it = memo->emplace(node, std::move(row)).first;
+  }
+  return it->second;
+}
+
+bool SameRow(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() && !a.empty() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Overload smoke for CTest (`serving_overload`): four phases against two
+/// checkpoints trained on the same fuzz graph.
+///
+///   1. admission — a long partial-batch hold pins 8 admitted queries in
+///      the queue (depth budget 8), so every further Submit *must* shed
+///      with kUnavailable; Stop drains the admitted 8. Deterministic: no
+///      race against the dispatcher, which is mid-hold by construction.
+///   2. recovery — the same forced sheds re-submitted through
+///      runtime::RetryWithBackoff all recover once the hold expires.
+///   3. hot-swap — a client thread streams queries through a Router while
+///      v2 is Activated and v1 Retired mid-stream; every result must be
+///      bit-identical to v1 or v2 singleton serving (zero dropped, zero
+///      misrouted), and both versions must have actually served.
+///   4. verified replay — a 5x ON/OFF burst schedule from the load
+///      generator plays against a budgeted engine with retry; accounting
+///      must close (offered = ok + shed + deadline_shed) with zero
+///      untyped failures and admitted logits bit-identical.
+int RunOverloadSmoke(const Flags& flags) {
+  const std::string dir = flags.Get("tmpdir", ".");
+  const std::string v1_path = dir + "/sgnn_serve_overload_v1.ckpt";
+  const std::string v2_path = dir + "/sgnn_serve_overload_v2.ckpt";
+  if (TrainFuzzCheckpoint(v1_path, "8") != 0) return 1;
+  if (TrainFuzzCheckpoint(v2_path, "12") != 0) return 1;
+  auto v1_or = serve::LoadCheckpoint(v1_path);
+  auto v2_or = serve::LoadCheckpoint(v2_path);
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+  if (!v1_or.ok() || !v2_or.ok()) {
+    std::fprintf(stderr, "checkpoint reload failed\n");
+    return 1;
+  }
+  const serve::Checkpoint v1 = v1_or.MoveValue();
+  const serve::Checkpoint v2 = v2_or.MoveValue();
+  const int64_t n = v1.meta.n;
+
+  auto restore = [](const serve::Checkpoint& c) {
+    auto m = serve::RestoreModel(c);
+    if (!m.ok()) std::fprintf(stderr, "%s\n", m.status().ToString().c_str());
+    return m;
+  };
+
+  // Phase 1: forced burst against the queue-depth budget.
+  constexpr int kBudget = 8;
+  constexpr int kShedCount = 24;
+  {
+    auto model = restore(v1);
+    if (!model.ok()) return 1;
+    serve::EngineConfig cfg;
+    cfg.max_batch = 64;          // > budget: the batch can never fill...
+    cfg.max_wait_ms = 10000.0;   // ...and the hold outlives the phase,
+    cfg.max_queue = kBudget;     // so admitted queries stay queued.
+    serve::Engine engine(model.MoveValue(), cfg);
+    engine.Start();
+    std::vector<std::future<serve::QueryResult>> admitted;
+    for (int i = 0; i < kBudget; ++i) {
+      admitted.push_back(engine.Submit(i % n));
+    }
+    int sheds = 0;
+    for (int i = 0; i < kShedCount; ++i) {
+      serve::QueryResult r = engine.Submit(i % n).get();
+      if (r.status.code() == StatusCode::kUnavailable) ++sheds;
+    }
+    engine.Stop();  // drain_on_stop: the admitted 8 must all be served
+    int drained = 0;
+    for (auto& fut : admitted) {
+      if (fut.get().status.ok()) ++drained;
+    }
+    const serve::OverloadStats stats = engine.GetOverloadStats();
+    std::printf(
+        "[1/4] admission: %d/%d burst queries shed typed, %d/%d admitted "
+        "drained on Stop (shed_queue_full=%llu served_ok=%llu)\n",
+        sheds, kShedCount, drained, kBudget,
+        static_cast<unsigned long long>(stats.shed_queue_full),
+        static_cast<unsigned long long>(stats.served_ok));
+    if (sheds != kShedCount || drained != kBudget ||
+        stats.shed_queue_full != kShedCount ||
+        stats.served_ok != kBudget) {
+      std::fprintf(stderr, "admission control did not shed/drain as typed\n");
+      return 1;
+    }
+  }
+
+  // Phase 2: the same forced sheds, recovered through RetryWithBackoff.
+  {
+    auto model = restore(v1);
+    if (!model.ok()) return 1;
+    serve::EngineConfig cfg;
+    cfg.max_batch = 64;
+    cfg.max_wait_ms = 20.0;  // hold pins the queue across the burst...
+    cfg.max_queue = kBudget;
+    serve::Engine engine(model.MoveValue(), cfg);
+    engine.Start();
+    std::vector<std::future<serve::QueryResult>> admitted;
+    for (int i = 0; i < kBudget; ++i) {
+      admitted.push_back(engine.Submit(i % n));
+    }
+    // The whole burst sheds: the queue is full and mid-hold, and shed
+    // futures resolve immediately, so collecting them keeps the burst
+    // inside the hold window.
+    std::vector<int64_t> shed_nodes;
+    for (int i = 0; i < kShedCount; ++i) {
+      const int64_t node = i % n;
+      if (engine.Submit(node).get().status.code() ==
+          StatusCode::kUnavailable) {
+        shed_nodes.push_back(node);
+      }
+    }
+    runtime::BackoffConfig backoff;
+    backoff.max_attempts = 8;
+    backoff.initial_delay_ms = 10.0;  // ...but backoff outlasts the hold
+    backoff.max_delay_ms = 200.0;
+    Rng rng(11);
+    int recovered = 0;
+    for (const int64_t node : shed_nodes) {
+      const Status final_status = runtime::RetryWithBackoff(
+          [&]() { return engine.Submit(node).get().status; }, backoff, &rng);
+      if (final_status.ok()) ++recovered;
+    }
+    for (auto& fut : admitted) (void)fut.get();
+    engine.Stop();
+    std::printf("[2/4] recovery: %zu/%d shed in the burst, %d recovered "
+                "via RetryWithBackoff\n",
+                shed_nodes.size(), kShedCount, recovered);
+    if (shed_nodes.size() != static_cast<size_t>(kShedCount) ||
+        recovered != kShedCount) {
+      std::fprintf(stderr, "retry-with-backoff did not recover the sheds\n");
+      return 1;
+    }
+  }
+
+  // Phase 3: Router hot-swap under live load.
+  {
+    auto m1 = restore(v1);
+    auto m2 = restore(v2);
+    auto r1 = restore(v1);  // singleton references, outside the router
+    auto r2 = restore(v2);
+    if (!m1.ok() || !m2.ok() || !r1.ok() || !r2.ok()) return 1;
+    const size_t budget = v1.terms.size() *
+                          static_cast<size_t>(v1.phi1_in) * sizeof(float) *
+                          static_cast<size_t>(n);
+    serve::RouterConfig rcfg;
+    rcfg.engine.max_batch = 16;
+    rcfg.engine.max_wait_ms = 0.2;
+    rcfg.total_accel_budget_bytes = budget;
+    rcfg.total_host_budget_bytes = budget;
+    rcfg.max_resident = 2;
+    serve::Router router(rcfg);
+    if (const Status s = router.Load(1, m1.MoveValue()); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    if (const Status s = router.Activate(1); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+
+    constexpr int kStream = 3000;
+    std::vector<int64_t> stream_nodes(kStream);
+    std::vector<std::future<serve::QueryResult>> stream;
+    stream.reserve(kStream);
+    std::thread client([&] {
+      Rng rng(13);
+      for (int i = 0; i < kStream; ++i) {
+        stream_nodes[static_cast<size_t>(i)] =
+            static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(n)));
+        stream.push_back(
+            router.Submit(stream_nodes[static_cast<size_t>(i)], 0.0));
+        std::this_thread::sleep_for(std::chrono::microseconds(30));
+      }
+    });
+    // Swap mid-stream: load + activate v2, then retire v1 while its last
+    // batches are still in flight (Retire drains them).
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    Status swap = router.Load(2, m2.MoveValue());
+    if (swap.ok()) swap = router.Activate(2);
+    if (swap.ok()) swap = router.Retire(1);
+    client.join();
+    if (!swap.ok()) {
+      std::fprintf(stderr, "hot-swap failed: %s\n", swap.ToString().c_str());
+      return 1;
+    }
+
+    serve::Engine ref1(r1.MoveValue(), rcfg.engine);
+    serve::Engine ref2(r2.MoveValue(), rcfg.engine);
+    std::map<int64_t, std::vector<float>> memo1, memo2;
+    bool ref_failed = false;
+    int served_v1 = 0;
+    int served_v2 = 0;
+    int dropped = 0;
+    int misrouted = 0;
+    for (int i = 0; i < kStream; ++i) {
+      serve::QueryResult r = stream[static_cast<size_t>(i)].get();
+      if (!r.status.ok()) {
+        ++dropped;
+        continue;
+      }
+      const int64_t node = stream_nodes[static_cast<size_t>(i)];
+      const std::vector<float>& want1 =
+          SingletonRow(&ref1, node, &memo1, &ref_failed);
+      const std::vector<float>& want2 =
+          SingletonRow(&ref2, node, &memo2, &ref_failed);
+      if (SameRow(r.logits, want1)) {
+        ++served_v1;
+      } else if (SameRow(r.logits, want2)) {
+        ++served_v2;
+      } else {
+        ++misrouted;
+      }
+    }
+    std::printf("[3/4] hot-swap: %d queries in flight across the swap — "
+                "%d by v1, %d by v2, %d dropped, %d misrouted (active=%u)\n",
+                kStream, served_v1, served_v2, dropped, misrouted,
+                router.active_version());
+    if (ref_failed || dropped != 0 || misrouted != 0 || served_v1 == 0 ||
+        served_v2 == 0 || router.active_version() != 2 ||
+        router.resident().size() != 1) {
+      std::fprintf(stderr,
+                   "hot-swap dropped or misrouted in-flight queries\n");
+      return 1;
+    }
+  }
+
+  // Phase 4: verified replay of a 5x ON/OFF burst with a retrying client.
+  {
+    auto model = restore(v2);
+    auto ref_model = restore(v2);
+    if (!model.ok() || !ref_model.ok()) return 1;
+    serve::EngineConfig cfg;
+    cfg.max_batch = 16;
+    cfg.max_wait_ms = 0.5;
+    cfg.max_queue = 64;
+    cfg.slo.target_p99_ms = 10.0;
+    serve::Engine engine(model.MoveValue(), cfg);
+    serve::Engine ref(ref_model.MoveValue(), cfg);
+    engine.Start();
+
+    serve::LoadGenConfig load;
+    load.process = serve::ArrivalProcess::kOnOff;
+    load.mean_qps = 4000.0;
+    load.burst_multiplier = 5.0;
+    load.duration_ms = 150.0;
+    load.deadline_ms = 50.0;
+    load.seed = 3;
+    std::map<int64_t, std::vector<float>> memo;
+    bool identical = true;
+    bool ref_failed = false;
+    serve::ReplayConfig rcfg;
+    rcfg.retry = true;
+    rcfg.on_result = [&](const serve::Arrival& a,
+                         const serve::QueryResult& r) {
+      if (!r.status.ok()) return;
+      if (!SameRow(r.logits, SingletonRow(&ref, a.node, &memo, &ref_failed))) {
+        identical = false;
+      }
+    };
+    Rng rng(17);
+    const serve::ReplayStats stats =
+        serve::Replay(serve::MakeSchedule(load, n),
+                      [&](int64_t node, double deadline_ms) {
+                        return engine.Submit(node, deadline_ms);
+                      },
+                      rcfg, &rng);
+    engine.Stop();
+    const bool accounted =
+        stats.offered ==
+        stats.ok + stats.shed + stats.deadline_shed + stats.failed;
+    std::printf(
+        "[4/4] replay: offered %llu, ok %llu, shed %llu, deadline %llu, "
+        "failed %llu, retried %llu, recovered %llu — identical %s\n",
+        static_cast<unsigned long long>(stats.offered),
+        static_cast<unsigned long long>(stats.ok),
+        static_cast<unsigned long long>(stats.shed),
+        static_cast<unsigned long long>(stats.deadline_shed),
+        static_cast<unsigned long long>(stats.failed),
+        static_cast<unsigned long long>(stats.retried),
+        static_cast<unsigned long long>(stats.recovered),
+        identical ? "yes" : "NO");
+    if (!accounted || stats.failed != 0 || !identical || ref_failed ||
+        stats.ok == 0) {
+      std::fprintf(stderr, "verified replay violated overload accounting\n");
+      return 1;
+    }
+  }
+
+  std::printf("serving overload smoke: PASS\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
   if (flags.GetInt("smoke", 0) != 0) return RunSmoke(flags);
+  if (flags.GetInt("overload-smoke", 0) != 0) return RunOverloadSmoke(flags);
   const std::string mode = flags.Get(
       "mode", flags.Get("checkpoint", "").empty() ? "train" : "serve");
   if (mode == "train") return RunTrain(flags);
