@@ -8,24 +8,6 @@
 namespace sgnn::conformance {
 namespace {
 
-// ‖a - b‖_F / max(1, ‖b‖_F), accumulated in double. The unit floor keeps
-// near-zero references (e.g. high-pass filters on smooth signals) from
-// turning float noise into huge relative errors.
-double RelError(const Matrix& a, const Matrix& b) {
-  double diff = 0.0;
-  double ref = 0.0;
-  for (int64_t r = 0; r < a.rows(); ++r) {
-    for (int64_t c = 0; c < a.cols(); ++c) {
-      const double d =
-          static_cast<double>(a.at(r, c)) - static_cast<double>(b.at(r, c));
-      diff += d * d;
-      const double v = static_cast<double>(b.at(r, c));
-      ref += v * v;
-    }
-  }
-  return std::sqrt(diff) / std::max(1.0, std::sqrt(ref));
-}
-
 // y = U diag(resp) Uᵀ x for one response vector shared by all channels,
 // double accumulation throughout (U is stored float; the arithmetic is not).
 Matrix DenseSpectralApply(const eval::EigenDecomposition& eig,
@@ -188,6 +170,40 @@ double OracleTolerance(const std::string& filter_name) {
   return 2e-3;
 }
 
+double RelativeFrobenius(const Matrix& a, const Matrix& b) {
+  double diff = 0.0;
+  double ref = 0.0;
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      const double d =
+          static_cast<double>(a.at(r, c)) - static_cast<double>(b.at(r, c));
+      diff += d * d;
+      const double v = static_cast<double>(b.at(r, c));
+      ref += v * v;
+    }
+  }
+  return std::sqrt(diff) / std::max(1.0, std::sqrt(ref));
+}
+
+Matrix DenseReference(filters::SpectralFilter* filter,
+                      const std::string& filter_name,
+                      const sparse::CsrMatrix& norm_adj,
+                      const eval::EigenDecomposition& eig, const Matrix& x,
+                      int hops, bool* degenerate) {
+  *degenerate = false;
+  if (filter_name == "adagnn") {
+    return AdaGnnReference(filter, eig, x, hops);
+  }
+  if (filter_name == "optbasis") {
+    return OptBasisReference(filter, norm_adj, x, hops, degenerate);
+  }
+  std::vector<double> resp(eig.values.size());
+  for (size_t i = 0; i < eig.values.size(); ++i) {
+    resp[i] = filter->Response(eig.values[i]);
+  }
+  return DenseSpectralApply(eig, resp, x);
+}
+
 Result<OracleReport> CheckSpectralConformance(const std::string& filter_name,
                                               const sparse::CsrMatrix& norm_adj,
                                               const eval::EigenDecomposition& eig,
@@ -214,20 +230,11 @@ Result<OracleReport> CheckSpectralConformance(const std::string& filter_name,
   Matrix y;
   filter->Forward(ctx, x, &y, /*cache=*/false);
 
-  Matrix ref;
-  if (filter_name == "adagnn") {
-    ref = AdaGnnReference(filter.get(), eig, x, options.hops);
-  } else if (filter_name == "optbasis") {
-    ref = OptBasisReference(filter.get(), norm_adj, x, options.hops,
-                            &report.degenerate_basis);
-  } else {
-    std::vector<double> resp(eig.values.size());
-    for (size_t i = 0; i < eig.values.size(); ++i) {
-      resp[i] = filter->Response(eig.values[i]);
-    }
-    ref = DenseSpectralApply(eig, resp, x);
-  }
-  report.rel_error = report.degenerate_basis ? 0.0 : RelError(y, ref);
+  const Matrix ref =
+      DenseReference(filter.get(), filter_name, norm_adj, eig, x, options.hops,
+                     &report.degenerate_basis);
+  report.rel_error =
+      report.degenerate_basis ? 0.0 : RelativeFrobenius(y, ref);
 
   if (options.check_minibatch && filter->SupportsMiniBatch()) {
     std::vector<Matrix> terms;
@@ -242,7 +249,7 @@ Result<OracleReport> CheckSpectralConformance(const std::string& filter_name,
     for (const auto& t : terms) ptrs.push_back(&t);
     Matrix y_mb;
     filter->CombineTerms(ptrs, &y_mb, /*cache=*/false);
-    report.mb_rel_error = RelError(y_mb, y);
+    report.mb_rel_error = RelativeFrobenius(y_mb, y);
   }
 
   const bool spectral_ok =

@@ -59,6 +59,23 @@ struct OracleReport {
 /// looser for bases with higher float32 error accumulation.
 double OracleTolerance(const std::string& filter_name);
 
+/// ‖a - b‖_F / max(1, ‖b‖_F), accumulated in double. The unit floor keeps
+/// near-zero references (e.g. high-pass filters on smooth signals) from
+/// turning float noise into huge relative errors. Shared by the oracle and
+/// the quantization conformance check (quant_check.h).
+double RelativeFrobenius(const Matrix& a, const Matrix& b);
+
+/// The dense double-precision ground truth U g(Λ) Uᵀ x for `filter` —
+/// adagnn gets its exact per-channel product form and optbasis its
+/// double-precision Lanczos mirror (both documented in the header comment).
+/// Sets *degenerate on an optbasis Lanczos breakdown, in which case the
+/// returned reference is meaningless and must not be compared against.
+Matrix DenseReference(filters::SpectralFilter* filter,
+                      const std::string& filter_name,
+                      const sparse::CsrMatrix& norm_adj,
+                      const eval::EigenDecomposition& eig, const Matrix& x,
+                      int hops, bool* degenerate);
+
 /// Runs `filter_name`'s sparse propagation on (norm_adj, x) and compares it
 /// against the dense spectral operator built from `eig` (the
 /// eigendecomposition of DenseLaplacian(norm_adj)). Returns InvalidArgument

@@ -1,0 +1,76 @@
+// Quantization conformance — quantized MB propagation vs the dense oracle.
+//
+// The serving layer quantizes the frozen MB artifact (precomputed per-hop
+// terms, φ1 weights, θ) to int8 or fp16 (src/quant/). This check closes the
+// loop against the same dense eigendecomposition ground truth the fp oracle
+// uses (oracle.h): for every Table 1 filter that supports the mini-batch
+// path it runs Precompute, quantizes each term per-channel under the given
+// calibration, dequantizes, and compares CombineTerms over the *quantized*
+// terms against U g(Λ) Uᵀ x in double precision. The documented tolerance
+// is the fp oracle tolerance plus a precision-dependent slack
+// (docs/QUANTIZATION.md "Conformance" table) — quantization must cost a
+// bounded, predictable amount of accuracy on top of float32 itself.
+//
+// Full-batch-only filters are reported as skipped passes (there is no MB
+// artifact to quantize), as is an optbasis Lanczos breakdown (the dense
+// reference direction is undefined, same rule as the fp oracle).
+
+#ifndef SGNN_CONFORMANCE_QUANT_CHECK_H_
+#define SGNN_CONFORMANCE_QUANT_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "conformance/oracle.h"
+#include "eval/eigen.h"
+#include "quant/quantize.h"
+#include "sparse/csr.h"
+#include "tensor/matrix.h"
+#include "tensor/status.h"
+
+namespace sgnn::conformance {
+
+/// Outcome of one quantized-propagation-vs-oracle comparison.
+struct QuantReport {
+  std::string filter;
+  quant::Precision precision = quant::Precision::kInt8;
+  double rel_error = 0.0;     ///< quantized MB combine vs dense oracle
+  double fp_rel_error = 0.0;  ///< fp MB combine vs dense oracle (context)
+  double tolerance = 0.0;     ///< QuantTolerance(filter, precision)
+  bool skipped = false;       ///< FB-only filter or Lanczos breakdown
+  bool pass = false;
+  std::string detail;
+};
+
+/// Documented tolerance for quantized propagation: the fp oracle tolerance
+/// plus a per-precision slack (fp16 ~1e-3 relative rounding; int8 ~1/254
+/// per-channel step, amplified by the hop-sum). Table in
+/// docs/QUANTIZATION.md.
+double QuantTolerance(const std::string& filter_name, quant::Precision p);
+
+/// Quantizes `filter_name`'s precomputed MB terms at `precision` under
+/// `calib`, combines them, and compares against the dense spectral
+/// reference. InvalidArgument for unknown filters, mismatched shapes, or
+/// kFp32 (nothing to check).
+[[nodiscard]] Result<QuantReport> CheckQuantConformance(
+    const std::string& filter_name, const sparse::CsrMatrix& norm_adj,
+    const eval::EigenDecomposition& eig, const Matrix& x,
+    quant::Precision precision, const quant::CalibConfig& calib = {},
+    const OracleOptions& options = {});
+
+/// CheckQuantConformance over all taxonomy filters (FB-only ones report as
+/// skipped passes).
+[[nodiscard]] Result<std::vector<QuantReport>> CheckAllQuant(
+    const sparse::CsrMatrix& norm_adj, const eval::EigenDecomposition& eig,
+    const Matrix& x, quant::Precision precision,
+    const quant::CalibConfig& calib = {}, const OracleOptions& options = {});
+
+/// True when every report passed.
+bool AllQuantPass(const std::vector<QuantReport>& reports);
+
+/// One line per report, failures marked.
+std::string FormatQuantReports(const std::vector<QuantReport>& reports);
+
+}  // namespace sgnn::conformance
+
+#endif  // SGNN_CONFORMANCE_QUANT_CHECK_H_

@@ -11,7 +11,7 @@ double CacheStats::HitRate() const {
          static_cast<double>(total);
 }
 
-const Matrix* TieredCache::Get(int64_t node) {
+const Bundle* TieredCache::Get(int64_t node) {
   auto it = index_.find(node);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -27,19 +27,23 @@ const Matrix* TieredCache::Get(int64_t node) {
   // Promote: the bundle just proved hot. Pull it off the host tier first so
   // MakeAccelRoom's demotions cannot collide with it.
   Entry entry = std::move(*slot.it);
-  host_bytes_ -= entry.bundle.bytes();
-  host_.erase(slot.it);
   const size_t need = entry.bundle.bytes();
+  const bool quantized = entry.bundle.quantized();
+  host_bytes_ -= need;
+  if (quantized) host_quant_bytes_ -= need;
+  host_.erase(slot.it);
   if (need <= config_.accel_budget_bytes) {
     MakeAccelRoom(need);
     entry.bundle.MoveToDevice(Device::kAccel);
     accel_bytes_ += need;
+    if (quantized) accel_quant_bytes_ += need;
     accel_.push_front(std::move(entry));
     slot.on_accel = true;
     slot.it = accel_.begin();
   } else {
     // Too big to ever pin: stays a host entry, just bumped to MRU.
     host_bytes_ += need;
+    if (quantized) host_quant_bytes_ += need;
     host_.push_front(std::move(entry));
     slot.on_accel = false;
     slot.it = host_.begin();
@@ -47,7 +51,7 @@ const Matrix* TieredCache::Get(int64_t node) {
   return &slot.it->bundle;
 }
 
-void TieredCache::Put(int64_t node, Matrix bundle) {
+void TieredCache::Put(int64_t node, Bundle bundle) {
   if (index_.count(node) != 0) return;  // engine contract: Put after miss
   const size_t need = bundle.bytes();
   Entry entry{node, std::move(bundle)};
@@ -55,6 +59,7 @@ void TieredCache::Put(int64_t node, Matrix bundle) {
     MakeAccelRoom(need);
     entry.bundle.MoveToDevice(Device::kAccel);
     accel_bytes_ += need;
+    if (entry.bundle.quantized()) accel_quant_bytes_ += need;
     accel_.push_front(std::move(entry));
     index_[node] = Slot{true, accel_.begin()};
     ++stats_.insertions;
@@ -76,17 +81,21 @@ void TieredCache::Clear() {
   index_.clear();
   accel_bytes_ = 0;
   host_bytes_ = 0;
+  accel_quant_bytes_ = 0;
+  host_quant_bytes_ = 0;
 }
 
 void TieredCache::MakeAccelRoom(size_t need) {
   while (!accel_.empty() && accel_bytes_ + need > config_.accel_budget_bytes) {
     Entry victim = std::move(accel_.back());
     accel_.pop_back();
-    accel_bytes_ -= victim.bundle.bytes();
+    const size_t victim_bytes = victim.bundle.bytes();
+    accel_bytes_ -= victim_bytes;
+    if (victim.bundle.quantized()) accel_quant_bytes_ -= victim_bytes;
     ++stats_.demotions;
     victim.bundle.MoveToDevice(Device::kHost);
     const int64_t victim_node = victim.node;
-    if (victim.bundle.bytes() <= config_.host_budget_bytes) {
+    if (victim_bytes <= config_.host_budget_bytes) {
       InsertHost(std::move(victim));
     } else {
       index_.erase(victim_node);
@@ -98,7 +107,9 @@ void TieredCache::MakeAccelRoom(size_t need) {
 void TieredCache::MakeHostRoom(size_t need) {
   while (!host_.empty() && host_bytes_ + need > config_.host_budget_bytes) {
     const Entry& victim = host_.back();
-    host_bytes_ -= victim.bundle.bytes();
+    const size_t victim_bytes = victim.bundle.bytes();
+    host_bytes_ -= victim_bytes;
+    if (victim.bundle.quantized()) host_quant_bytes_ -= victim_bytes;
     index_.erase(victim.node);
     host_.pop_back();
     ++stats_.evictions;
@@ -110,6 +121,7 @@ void TieredCache::InsertHost(Entry entry) {
   MakeHostRoom(need);
   entry.bundle.MoveToDevice(Device::kHost);
   host_bytes_ += need;
+  if (entry.bundle.quantized()) host_quant_bytes_ += need;
   const int64_t node = entry.node;
   host_.push_front(std::move(entry));
   index_[node] = Slot{false, host_.begin()};

@@ -26,9 +26,33 @@
 #include <list>
 #include <unordered_map>
 
+#include "quant/quantize.h"
 #include "tensor/matrix.h"
 
 namespace sgnn::serve {
+
+/// A resident term bundle in either precision: fp32 (a plain Matrix) or a
+/// quantized payload (int8/fp16, scale-less — per-node bundles share the
+/// per-term channel scales owned by the ServableModel, so the cache pays
+/// only payload bytes per node). Exactly one representation is populated.
+struct Bundle {
+  Bundle() = default;
+  explicit Bundle(Matrix fp_bundle) : fp(std::move(fp_bundle)) {}
+  explicit Bundle(quant::QuantizedMatrix q_bundle) : q(std::move(q_bundle)) {}
+
+  Matrix fp;
+  quant::QuantizedMatrix q;
+
+  bool quantized() const { return q.size() > 0; }
+  size_t bytes() const { return quantized() ? q.bytes() : fp.bytes(); }
+  void MoveToDevice(Device d) {
+    if (quantized()) {
+      q.MoveToDevice(d);
+    } else {
+      fp.MoveToDevice(d);
+    }
+  }
+};
 
 /// Byte budgets for the two cache tiers (0 disables a tier).
 struct CacheConfig {
@@ -50,8 +74,9 @@ struct CacheStats {
   double HitRate() const;
 };
 
-/// Two-tier LRU over per-node term bundles. Keys are node ids; values are
-/// (num_terms x F) matrices owned by the cache.
+/// Two-tier LRU over per-node term bundles (fp32 or quantized — mixed
+/// precisions may coexist, e.g. across a router hot-swap between an fp and
+/// a quantized checkpoint of the same lineage). Keys are node ids.
 class TieredCache {
  public:
   explicit TieredCache(CacheConfig config) : config_(config) {}
@@ -59,14 +84,14 @@ class TieredCache {
   /// Looks up `node`, updating recency. A host-tier hit promotes the bundle
   /// back to the accel tier. Returns the resident bundle, or nullptr on a
   /// miss. The pointer is valid until the next Get/Put/Clear.
-  const Matrix* Get(int64_t node);
+  const Bundle* Get(int64_t node);
 
   /// Caches `bundle` (any device; the cache re-homes it). Entries land on
   /// the accel tier when it can ever hold them, demoting LRU entries to
   /// host; bundles larger than the accel budget go straight to the host
   /// tier; bundles no tier can hold are dropped (counted as an eviction).
   /// `node` must not already be resident (engine only Puts after a miss).
-  void Put(int64_t node, Matrix bundle);
+  void Put(int64_t node, Bundle bundle);
 
   /// Drops every entry from both tiers (not counted as evictions).
   void Clear();
@@ -75,12 +100,20 @@ class TieredCache {
   const CacheConfig& config() const { return config_; }
   size_t accel_bytes() const { return accel_bytes_; }
   size_t host_bytes() const { return host_bytes_; }
+  /// Resident bytes split by precision class, per tier — quantized bundles
+  /// are the whole point of the cache-fit story (docs/QUANTIZATION.md), so
+  /// the accounting distinguishes them from fp bytes instead of reporting
+  /// one opaque total.
+  size_t accel_quant_bytes() const { return accel_quant_bytes_; }
+  size_t host_quant_bytes() const { return host_quant_bytes_; }
+  size_t accel_fp_bytes() const { return accel_bytes_ - accel_quant_bytes_; }
+  size_t host_fp_bytes() const { return host_bytes_ - host_quant_bytes_; }
   size_t entries() const { return index_.size(); }
 
  private:
   struct Entry {
     int64_t node = 0;
-    Matrix bundle;
+    Bundle bundle;
   };
   using List = std::list<Entry>;
 
@@ -102,6 +135,8 @@ class TieredCache {
   std::unordered_map<int64_t, Slot> index_;
   size_t accel_bytes_ = 0;
   size_t host_bytes_ = 0;
+  size_t accel_quant_bytes_ = 0;
+  size_t host_quant_bytes_ = 0;
 };
 
 }  // namespace sgnn::serve

@@ -159,6 +159,260 @@ Result<std::unique_ptr<filters::SpectralFilter>> CreateFilterFromSpec(
   return filters::CreateFilter(c.filter_name, c.hops, c.hp, c.feature_dim);
 }
 
+/// Writes header (at `version`) + payload atomically, shared by both
+/// checkpoint flavors.
+Status WriteCheckpointFile(const serialize::Writer& payload, uint32_t version,
+                           uint32_t flags, const std::string& path) {
+  serialize::Writer header;
+  header.PutBytes(kMagic, sizeof(kMagic));
+  header.PutU32(version);
+  header.PutU32(flags);
+  header.PutU64(payload.size());
+  header.PutU32(serialize::Crc32(payload.buffer().data(), payload.size()));
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + tmp);
+  bool ok = std::fwrite(header.buffer().data(), 1, header.size(), f) ==
+            header.size();
+  ok = ok && std::fwrite(payload.buffer().data(), 1, payload.size(), f) ==
+                 payload.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+/// Magic / size / CRC validation shared by both loaders. Version checking
+/// stays with the caller — which version is "foreign" depends on who reads.
+struct CheckpointFile {
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  std::string bytes;  ///< whole file; payload starts at kHeaderSize
+};
+
+Result<CheckpointFile> ReadCheckpointFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  CheckpointFile file;
+  char chunk[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    file.bytes.append(chunk, got);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::IOError("read error on " + path);
+
+  if (file.bytes.size() < kHeaderSize ||
+      std::memcmp(file.bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::IOError(path + " is not a SGNN checkpoint");
+  }
+  serialize::Reader header(file.bytes.data() + sizeof(kMagic),
+                           kHeaderSize - sizeof(kMagic));
+  uint32_t crc = 0;
+  uint64_t payload_size = 0;
+  SGNN_RETURN_IF_ERROR(header.U32(&file.version));
+  SGNN_RETURN_IF_ERROR(header.U32(&file.flags));
+  SGNN_RETURN_IF_ERROR(header.U64(&payload_size));
+  SGNN_RETURN_IF_ERROR(header.U32(&crc));
+  if (file.bytes.size() - kHeaderSize != payload_size) {
+    return Status::IOError(
+        "truncated checkpoint: header promises " +
+        std::to_string(payload_size) + " payload bytes, file has " +
+        std::to_string(file.bytes.size() - kHeaderSize));
+  }
+  const char* payload = file.bytes.data() + kHeaderSize;
+  const uint32_t actual_crc = serialize::Crc32(payload, payload_size);
+  if (actual_crc != crc) {
+    return Status::IOError("checkpoint CRC mismatch: stored " +
+                           std::to_string(crc) + ", computed " +
+                           std::to_string(actual_crc));
+  }
+  return file;
+}
+
+void EncodeQuantPayload(const QuantCheckpoint& c, serialize::Writer* w) {
+  w->PutStr(c.filter_name);
+  w->PutI32(c.hops);
+  w->PutF64(c.hp.alpha);
+  w->PutF64(c.hp.alpha2);
+  w->PutF64(c.hp.beta);
+  w->PutF64(c.hp.beta2);
+  w->PutF64(c.hp.jacobi_a);
+  w->PutF64(c.hp.jacobi_b);
+  w->PutI64(c.feature_dim);
+  w->PutU8(static_cast<uint8_t>(c.precision));
+  w->PutU8(static_cast<uint8_t>(c.calib.policy));
+  w->PutF64(c.calib.percentile);
+  w->PutI64(c.calib.sample_rows);
+  w->PutU64(c.calib.seed);
+  quant::AppendQuantized(c.qtheta, w);
+  w->PutI32(c.phi1_layers);
+  w->PutI64(c.phi1_in);
+  w->PutI64(c.phi1_hidden);
+  w->PutI64(c.phi1_out);
+  w->PutF64(c.dropout);
+  w->PutU32(static_cast<uint32_t>(c.qweights.size()));
+  for (size_t l = 0; l < c.qweights.size(); ++l) {
+    quant::AppendQuantized(c.qweights[l], w);
+    serialize::AppendMatrix(c.biases[l], w);
+  }
+  w->PutU32(static_cast<uint32_t>(c.qterms.size()));
+  for (const quant::QuantizedMatrix& t : c.qterms) {
+    quant::AppendQuantized(t, w);
+  }
+  w->PutStr(c.meta.dataset);
+  w->PutI64(c.meta.n);
+  w->PutI32(c.meta.num_classes);
+  w->PutF64(c.meta.rho);
+  w->PutU64(c.meta.seed);
+}
+
+Status DecodeQuantPayload(serialize::Reader* r, QuantCheckpoint* c) {
+  SGNN_RETURN_IF_ERROR(r->Str(&c->filter_name, /*max_len=*/256));
+  SGNN_RETURN_IF_ERROR(r->I32(&c->hops));
+  SGNN_RETURN_IF_ERROR(r->F64(&c->hp.alpha));
+  SGNN_RETURN_IF_ERROR(r->F64(&c->hp.alpha2));
+  SGNN_RETURN_IF_ERROR(r->F64(&c->hp.beta));
+  SGNN_RETURN_IF_ERROR(r->F64(&c->hp.beta2));
+  SGNN_RETURN_IF_ERROR(r->F64(&c->hp.jacobi_a));
+  SGNN_RETURN_IF_ERROR(r->F64(&c->hp.jacobi_b));
+  SGNN_RETURN_IF_ERROR(r->I64(&c->feature_dim));
+  uint8_t precision = 0, policy = 0;
+  SGNN_RETURN_IF_ERROR(r->U8(&precision));
+  SGNN_RETURN_IF_ERROR(r->U8(&policy));
+  if (precision != static_cast<uint8_t>(quant::Precision::kFp16) &&
+      precision != static_cast<uint8_t>(quant::Precision::kInt8)) {
+    return Status::IOError("corrupt quantized checkpoint: precision tag " +
+                           std::to_string(precision));
+  }
+  if (policy > static_cast<uint8_t>(quant::CalibPolicy::kPercentile)) {
+    return Status::IOError("corrupt quantized checkpoint: calib policy " +
+                           std::to_string(policy));
+  }
+  c->precision = static_cast<quant::Precision>(precision);
+  c->calib.policy = static_cast<quant::CalibPolicy>(policy);
+  SGNN_RETURN_IF_ERROR(r->F64(&c->calib.percentile));
+  SGNN_RETURN_IF_ERROR(r->I64(&c->calib.sample_rows));
+  SGNN_RETURN_IF_ERROR(r->U64(&c->calib.seed));
+  SGNN_RETURN_IF_ERROR(
+      quant::ReadQuantized(r, Device::kHost, &c->qtheta, kMaxTheta));
+  SGNN_RETURN_IF_ERROR(r->I32(&c->phi1_layers));
+  SGNN_RETURN_IF_ERROR(r->I64(&c->phi1_in));
+  SGNN_RETURN_IF_ERROR(r->I64(&c->phi1_hidden));
+  SGNN_RETURN_IF_ERROR(r->I64(&c->phi1_out));
+  SGNN_RETURN_IF_ERROR(r->F64(&c->dropout));
+  uint32_t layer_count = 0;
+  SGNN_RETURN_IF_ERROR(r->U32(&layer_count));
+  if (c->phi1_layers < 0 ||
+      static_cast<uint32_t>(c->phi1_layers) > kMaxLayers ||
+      layer_count != static_cast<uint32_t>(c->phi1_layers)) {
+    return Status::IOError("corrupt quantized phi1 spec: layers=" +
+                           std::to_string(c->phi1_layers) + " stored=" +
+                           std::to_string(layer_count));
+  }
+  c->qweights.resize(layer_count);
+  c->biases.resize(layer_count);
+  for (uint32_t l = 0; l < layer_count; ++l) {
+    SGNN_RETURN_IF_ERROR(
+        quant::ReadQuantized(r, Device::kHost, &c->qweights[l]));
+    SGNN_RETURN_IF_ERROR(serialize::ReadMatrix(r, Device::kHost,
+                                               &c->biases[l]));
+  }
+  uint32_t term_count = 0;
+  SGNN_RETURN_IF_ERROR(r->U32(&term_count));
+  if (term_count > kMaxTerms) {
+    return Status::IOError("corrupt term count " + std::to_string(term_count));
+  }
+  c->qterms.resize(term_count);
+  for (auto& t : c->qterms) {
+    SGNN_RETURN_IF_ERROR(quant::ReadQuantized(r, Device::kHost, &t));
+  }
+  SGNN_RETURN_IF_ERROR(r->Str(&c->meta.dataset, /*max_len=*/256));
+  SGNN_RETURN_IF_ERROR(r->I64(&c->meta.n));
+  SGNN_RETURN_IF_ERROR(r->I32(&c->meta.num_classes));
+  SGNN_RETURN_IF_ERROR(r->F64(&c->meta.rho));
+  SGNN_RETURN_IF_ERROR(r->U64(&c->meta.seed));
+  if (r->remaining() != 0) {
+    return Status::IOError("trailing bytes after checkpoint payload");
+  }
+  return Status::OK();
+}
+
+/// Structural checks for the quantized image, mirroring ValidateStructure:
+/// every payload must carry the checkpoint's declared precision, int8
+/// payloads must own their scales, and the shapes must be consistent with
+/// the φ1 spec and meta before anything is trusted.
+Status ValidateQuantStructure(const QuantCheckpoint& c) {
+  if (c.phi1_layers < 1) {
+    return Status::IOError("checkpoint carries no phi1 layers");
+  }
+  if (c.qterms.empty()) {
+    return Status::IOError("checkpoint carries no precomputed terms");
+  }
+  auto check_payload = [&](const quant::QuantizedMatrix& q,
+                           const std::string& what) -> Status {
+    if (q.precision() != c.precision) {
+      return Status::IOError(what + " precision disagrees with checkpoint (" +
+                             quant::PrecisionName(q.precision()) + " vs " +
+                             quant::PrecisionName(c.precision) + ")");
+    }
+    if (c.precision == quant::Precision::kInt8 &&
+        static_cast<int64_t>(q.scales().size()) != q.cols()) {
+      return Status::IOError(what + " int8 payload is missing scales");
+    }
+    return Status::OK();
+  };
+  if (c.qtheta.size() > 0) {
+    SGNN_RETURN_IF_ERROR(check_payload(c.qtheta, "theta"));
+    if (c.qtheta.rows() != 1) {
+      return Status::IOError("theta payload must be a single row");
+    }
+  }
+  const int64_t n = c.qterms[0].rows();
+  const int64_t f = c.qterms[0].cols();
+  for (const auto& t : c.qterms) {
+    SGNN_RETURN_IF_ERROR(check_payload(t, "term"));
+    if (t.rows() != n || t.cols() != f) {
+      return Status::IOError("inconsistent term shapes in checkpoint");
+    }
+  }
+  if (n != c.meta.n) {
+    return Status::IOError("term row count disagrees with meta node count");
+  }
+  if (f != c.phi1_in) {
+    return Status::IOError("term width disagrees with phi1 input dim");
+  }
+  if (c.qweights.size() != static_cast<size_t>(c.phi1_layers) ||
+      c.biases.size() != c.qweights.size()) {
+    return Status::IOError("phi1 layer payload count mismatch");
+  }
+  for (int l = 0; l < c.phi1_layers; ++l) {
+    const int64_t in = (l == 0) ? c.phi1_in : c.phi1_hidden;
+    const int64_t out = (l == c.phi1_layers - 1) ? c.phi1_out : c.phi1_hidden;
+    const auto& w = c.qweights[static_cast<size_t>(l)];
+    const Matrix& b = c.biases[static_cast<size_t>(l)];
+    SGNN_RETURN_IF_ERROR(
+        check_payload(w, "phi1 layer " + std::to_string(l) + " weight"));
+    if (w.rows() != in || w.cols() != out || b.rows() != 1 ||
+        b.cols() != out) {
+      return Status::IOError("phi1 weight shape mismatch at layer " +
+                             std::to_string(l));
+    }
+  }
+  if (c.phi1_out != c.meta.num_classes) {
+    return Status::IOError("phi1 output dim disagrees with meta class count");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<Checkpoint> BuildCheckpoint(const std::string& filter_name, int hops,
@@ -202,84 +456,112 @@ Result<Checkpoint> BuildCheckpoint(const std::string& filter_name, int hops,
 Status SaveCheckpoint(const Checkpoint& ckpt, const std::string& path) {
   serialize::Writer payload;
   EncodePayload(ckpt, &payload);
-  serialize::Writer header;
-  header.PutBytes(kMagic, sizeof(kMagic));
-  header.PutU32(kCheckpointVersion);
-  header.PutU32(ckpt.has_prop ? kFlagHasProp : 0u);
-  header.PutU64(payload.size());
-  header.PutU32(serialize::Crc32(payload.buffer().data(), payload.size()));
-
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return Status::IOError("cannot open " + tmp);
-  bool ok = std::fwrite(header.buffer().data(), 1, header.size(), f) ==
-            header.size();
-  ok = ok && std::fwrite(payload.buffer().data(), 1, payload.size(), f) ==
-                 payload.size();
-  ok = std::fclose(f) == 0 && ok;
-  if (!ok) {
-    std::remove(tmp.c_str());
-    return Status::IOError("short write to " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError("cannot rename " + tmp + " to " + path);
-  }
-  return Status::OK();
+  return WriteCheckpointFile(payload, kCheckpointVersion,
+                             ckpt.has_prop ? kFlagHasProp : 0u, path);
 }
 
 Result<Checkpoint> LoadCheckpoint(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
-  std::string bytes;
-  char chunk[1 << 16];
-  size_t got = 0;
-  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
-    bytes.append(chunk, got);
-  }
-  const bool read_error = std::ferror(f) != 0;
-  std::fclose(f);
-  if (read_error) return Status::IOError("read error on " + path);
-
-  if (bytes.size() < kHeaderSize ||
-      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::IOError(path + " is not a SGNN checkpoint");
-  }
-  serialize::Reader header(bytes.data() + sizeof(kMagic),
-                           kHeaderSize - sizeof(kMagic));
-  uint32_t version = 0, flags = 0, crc = 0;
-  uint64_t payload_size = 0;
-  SGNN_RETURN_IF_ERROR(header.U32(&version));
-  SGNN_RETURN_IF_ERROR(header.U32(&flags));
-  SGNN_RETURN_IF_ERROR(header.U64(&payload_size));
-  SGNN_RETURN_IF_ERROR(header.U32(&crc));
-  if (version != kCheckpointVersion) {
+  SGNN_ASSIGN_OR_RETURN(CheckpointFile file, ReadCheckpointFile(path));
+  if (file.version != kCheckpointVersion) {
+    // Version 2 bytes are a *quantized* artifact: refuse with the same
+    // typed code as any unknown future version — a v1 reader must never
+    // reinterpret foreign-precision payload bytes as fp32 fields.
     return Status::FailedPrecondition(
-        "unsupported checkpoint version " + std::to_string(version) +
+        "unsupported checkpoint version " + std::to_string(file.version) +
         " (this build reads version " + std::to_string(kCheckpointVersion) +
-        ")");
-  }
-  if (bytes.size() - kHeaderSize != payload_size) {
-    return Status::IOError(
-        "truncated checkpoint: header promises " +
-        std::to_string(payload_size) + " payload bytes, file has " +
-        std::to_string(bytes.size() - kHeaderSize));
-  }
-  const char* payload = bytes.data() + kHeaderSize;
-  const uint32_t actual_crc = serialize::Crc32(payload, payload_size);
-  if (actual_crc != crc) {
-    return Status::IOError("checkpoint CRC mismatch: stored " +
-                           std::to_string(crc) + ", computed " +
-                           std::to_string(actual_crc));
+        (file.version == kQuantCheckpointVersion
+             ? "; quantized checkpoints load via LoadQuantCheckpoint)"
+             : ")"));
   }
   Checkpoint c;
-  serialize::Reader r(payload, payload_size);
-  SGNN_RETURN_IF_ERROR(DecodePayload(&r, flags, &c));
+  serialize::Reader r(file.bytes.data() + kHeaderSize,
+                      file.bytes.size() - kHeaderSize);
+  SGNN_RETURN_IF_ERROR(DecodePayload(&r, file.flags, &c));
   SGNN_RETURN_IF_ERROR(ValidateStructure(c));
   // Hyperparameter validation: a checkpoint that decodes cleanly can still
   // carry out-of-range values (hand edits preserve the CRC when re-packed);
   // they must fail at the factory, with the factory's error.
   auto probe = CreateFilterFromSpec(c);
+  if (!probe.ok()) return probe.status();
+  return c;
+}
+
+Result<QuantCheckpoint> QuantizeCheckpoint(const Checkpoint& ckpt,
+                                           quant::Precision precision,
+                                           const quant::CalibConfig& calib) {
+  if (precision == quant::Precision::kFp32) {
+    return Status::InvalidArgument(
+        "QuantizeCheckpoint: fp32 is not a quantized target");
+  }
+  auto validated = ValidateStructure(ckpt);
+  if (!validated.ok()) {
+    return Status::InvalidArgument("QuantizeCheckpoint: " +
+                                   validated.message());
+  }
+  QuantCheckpoint q;
+  q.filter_name = ckpt.filter_name;
+  q.hops = ckpt.hops;
+  q.hp = ckpt.hp;
+  q.feature_dim = ckpt.feature_dim;
+  q.precision = precision;
+  q.calib = calib;
+  // θ and weights use exact absmax — their full range is known, clipping
+  // only helps long-tailed sample statistics (the terms).
+  const quant::CalibConfig absmax;
+  if (!ckpt.theta.empty()) {
+    Matrix theta(1, static_cast<int64_t>(ckpt.theta.size()), Device::kHost);
+    for (size_t i = 0; i < ckpt.theta.size(); ++i) {
+      theta.at(0, static_cast<int64_t>(i)) = static_cast<float>(ckpt.theta[i]);
+    }
+    SGNN_ASSIGN_OR_RETURN(q.qtheta, quant::Quantize(theta, precision, absmax));
+  }
+  q.phi1_layers = ckpt.phi1_layers;
+  q.phi1_in = ckpt.phi1_in;
+  q.phi1_hidden = ckpt.phi1_hidden;
+  q.phi1_out = ckpt.phi1_out;
+  q.dropout = ckpt.dropout;
+  for (int l = 0; l < ckpt.phi1_layers; ++l) {
+    SGNN_ASSIGN_OR_RETURN(
+        quant::QuantizedMatrix w,
+        quant::Quantize(ckpt.phi1_weights[static_cast<size_t>(2 * l)],
+                        precision, absmax));
+    q.qweights.push_back(std::move(w));
+    q.biases.push_back(ckpt.phi1_weights[static_cast<size_t>(2 * l + 1)]);
+  }
+  for (const Matrix& t : ckpt.terms) {
+    SGNN_ASSIGN_OR_RETURN(quant::QuantizedMatrix qt,
+                          quant::Quantize(t, precision, calib));
+    q.qterms.push_back(std::move(qt));
+  }
+  q.meta = ckpt.meta;
+  return q;
+}
+
+Status SaveQuantCheckpoint(const QuantCheckpoint& ckpt,
+                           const std::string& path) {
+  serialize::Writer payload;
+  EncodeQuantPayload(ckpt, &payload);
+  return WriteCheckpointFile(payload, kQuantCheckpointVersion, 0u, path);
+}
+
+Result<QuantCheckpoint> LoadQuantCheckpoint(const std::string& path) {
+  SGNN_ASSIGN_OR_RETURN(CheckpointFile file, ReadCheckpointFile(path));
+  if (file.version != kQuantCheckpointVersion) {
+    return Status::FailedPrecondition(
+        "unsupported checkpoint version " + std::to_string(file.version) +
+        " (this reader expects quantized version " +
+        std::to_string(kQuantCheckpointVersion) +
+        (file.version == kCheckpointVersion
+             ? "; fp checkpoints load via LoadCheckpoint)"
+             : ")"));
+  }
+  QuantCheckpoint c;
+  serialize::Reader r(file.bytes.data() + kHeaderSize,
+                      file.bytes.size() - kHeaderSize);
+  SGNN_RETURN_IF_ERROR(DecodeQuantPayload(&r, &c));
+  SGNN_RETURN_IF_ERROR(ValidateQuantStructure(c));
+  auto probe =
+      filters::CreateFilter(c.filter_name, c.hops, c.hp, c.feature_dim);
   if (!probe.ok()) return probe.status();
   return c;
 }
@@ -329,6 +611,80 @@ Result<ServableModel> RestoreModel(const Checkpoint& ckpt) {
     ops::Copy(ckpt.phi1_weights[2 * l + 1], &layers[l].bias().value());
   }
   model.terms = ckpt.terms;
+  model.meta = ckpt.meta;
+  return model;
+}
+
+Result<ServableModel> RestoreModel(const QuantCheckpoint& ckpt) {
+  SGNN_RETURN_IF_ERROR(ValidateQuantStructure(ckpt));
+  ServableModel model;
+  SGNN_ASSIGN_OR_RETURN(model.filter,
+                        filters::CreateFilter(ckpt.filter_name, ckpt.hops,
+                                              ckpt.hp, ckpt.feature_dim));
+  if (!model.filter->SupportsMiniBatch()) {
+    return Status::InvalidArgument(
+        "RestoreModel: filter " + ckpt.filter_name +
+        " does not support the decoupled scheme; nothing to serve");
+  }
+  auto& params = model.filter->params();
+  if (params.size() != static_cast<size_t>(ckpt.qtheta.size())) {
+    return Status::IOError(
+        "checkpoint theta count " + std::to_string(ckpt.qtheta.size()) +
+        " disagrees with filter parameter count " +
+        std::to_string(params.size()));
+  }
+  if (ckpt.qtheta.size() > 0) {
+    Matrix theta(1, ckpt.qtheta.cols(), Device::kHost);
+    quant::Dequantize(ckpt.qtheta, &theta);
+    std::vector<double> values(static_cast<size_t>(theta.cols()));
+    for (int64_t i = 0; i < theta.cols(); ++i) {
+      values[static_cast<size_t>(i)] = theta.at(0, i);
+    }
+    params.Reset(values);
+  }
+
+  // Same warm-up as the fp restore: initialize bank term slicing and check
+  // the stored term count against the filter structure.
+  const int64_t f = ckpt.qterms[0].cols();
+  sparse::CsrMatrix unit(1, {0, 1}, {0}, {1.0f}, Device::kHost);
+  filters::FilterContext warm_ctx{&unit, Device::kHost};
+  Matrix warm_x(1, f, Device::kHost);
+  std::vector<Matrix> warm_terms;
+  SGNN_RETURN_IF_ERROR(
+      model.filter->Precompute(warm_ctx, warm_x, &warm_terms));
+  if (warm_terms.size() != ckpt.qterms.size()) {
+    return Status::IOError(
+        "checkpoint term count " + std::to_string(ckpt.qterms.size()) +
+        " disagrees with filter structure (expected " +
+        std::to_string(warm_terms.size()) + ")");
+  }
+
+  // Dequantize-on-load consumer: a plain fp φ1 built from the expanded
+  // weights, so the existing fp kernels serve unchanged.
+  model.phi1 = nn::Mlp(ckpt.phi1_layers, ckpt.phi1_in, ckpt.phi1_hidden,
+                       ckpt.phi1_out, ckpt.dropout, Device::kAccel);
+  auto& layers = model.phi1.layers();
+  for (size_t l = 0; l < layers.size(); ++l) {
+    Matrix w(ckpt.qweights[l].rows(), ckpt.qweights[l].cols(), Device::kHost);
+    quant::Dequantize(ckpt.qweights[l], &w);
+    ops::Copy(w, &layers[l].weight().value());
+    ops::Copy(ckpt.biases[l], &layers[l].bias().value());
+  }
+
+  // Quantized-compute consumer: quantized φ1 on the accelerator plus the
+  // probed combine weights for the fused staged-bundle combine.
+  for (size_t l = 0; l < ckpt.qweights.size(); ++l) {
+    quant::QuantizedMatrix w = ckpt.qweights[l];
+    w.MoveToDevice(Device::kAccel);
+    model.qphi1.AddLayer(std::move(w), ckpt.biases[l].CloneTo(Device::kAccel));
+  }
+  SGNN_RETURN_IF_ERROR(quant::ProbeCombineWeights(
+      model.filter.get(), static_cast<int64_t>(ckpt.qterms.size()), f,
+      &model.combine_w, &model.combine_diagonal));
+
+  model.qterms = ckpt.qterms;
+  model.quantized = true;
+  model.precision = ckpt.precision;
   model.meta = ckpt.meta;
   return model;
 }

@@ -33,14 +33,23 @@
 #include "core/registry.h"
 #include "models/trainer.h"
 #include "nn/mlp.h"
+#include "quant/kernels.h"
+#include "quant/quantize.h"
 #include "sparse/csr.h"
 #include "tensor/matrix.h"
 #include "tensor/status.h"
 
 namespace sgnn::serve {
 
-/// Current checkpoint format version (header field).
+/// Current fp32 checkpoint format version (header field).
 inline constexpr uint32_t kCheckpointVersion = 1;
+
+/// Quantized checkpoint format version. The version field doubles as the
+/// precision-class discriminator: a version-1 reader handed quantized bytes
+/// fails with the same typed kFailedPrecondition as any other future
+/// version — foreign-precision payloads can never be half-parsed as fp32
+/// (wire format table in docs/QUANTIZATION.md).
+inline constexpr uint32_t kQuantCheckpointVersion = 2;
 
 /// Provenance recorded alongside the model (journal rows and `sgnn_serve
 /// info` reporting; not needed to execute queries).
@@ -101,14 +110,80 @@ struct Checkpoint {
 /// consistency, and the filter hyperparameters (via CreateFilter).
 [[nodiscard]] Result<Checkpoint> LoadCheckpoint(const std::string& path);
 
+/// In-memory image of a version-2 (quantized) checkpoint: the same filter
+/// spec and provenance as Checkpoint, with θ, φ1 weights, and MB terms
+/// stored as quantized payloads. Biases stay fp32 (O(out_dim) bytes; their
+/// error lands directly on the logits). Quantized checkpoints never embed
+/// the propagation matrix — a graph refresh re-runs Precompute on the fp
+/// artifact and re-quantizes, so flags are always 0.
+struct QuantCheckpoint {
+  std::string filter_name;
+  int hops = 10;
+  filters::FilterHyperParams hp;
+  int64_t feature_dim = 0;
+
+  quant::Precision precision = quant::Precision::kInt8;
+  quant::CalibConfig calib;  ///< provenance: how the term scales were picked
+
+  /// Learned θ/γ as a (1 x K) quantized row. Per-channel absmax over a
+  /// single row stores each θ exactly (q = ±127, scale = |θ|/127), so int8
+  /// θ restores to fp32 precision.
+  quant::QuantizedMatrix qtheta;
+
+  int phi1_layers = 0;
+  int64_t phi1_in = 0;
+  int64_t phi1_hidden = 0;
+  int64_t phi1_out = 0;
+  double dropout = 0.0;
+  std::vector<quant::QuantizedMatrix> qweights;  ///< per-layer W (absmax)
+  std::vector<Matrix> biases;                    ///< per-layer b, fp32
+
+  /// MB terms quantized per-channel under `calib` (owned scales).
+  std::vector<quant::QuantizedMatrix> qterms;
+
+  CheckpointMeta meta;
+};
+
+/// Post-training quantization of a validated fp checkpoint. Terms are
+/// calibrated under `calib` (the held-out query sample); weights and θ
+/// always use exact absmax. InvalidArgument for kFp32 or a structurally
+/// inconsistent `ckpt`.
+[[nodiscard]] Result<QuantCheckpoint> QuantizeCheckpoint(
+    const Checkpoint& ckpt, quant::Precision precision,
+    const quant::CalibConfig& calib);
+
+/// Writes `ckpt` to `path` (atomic; header version kQuantCheckpointVersion).
+[[nodiscard]] Status SaveQuantCheckpoint(const QuantCheckpoint& ckpt,
+                                         const std::string& path);
+
+/// Reads and fully validates a quantized checkpoint. A version-1 (fp) file
+/// fails with kFailedPrecondition, symmetric to LoadCheckpoint rejecting
+/// version-2 bytes.
+[[nodiscard]] Result<QuantCheckpoint> LoadQuantCheckpoint(
+    const std::string& path);
+
 /// A restored model ready to serve: validated filter with θ restored (and
 /// bank term-slicing initialized), φ1 with weights on the accelerator, and
 /// the host-resident term matrices.
+///
+/// Quantized restores populate both consumption modes (docs/QUANTIZATION.md
+/// decision guide): `phi1` + per-batch dequantized terms back the
+/// dequantize-on-load path, `qphi1` + `combine_w` back the quantized-
+/// compute fast path. `combine_diagonal` records whether the probe
+/// validated the filter's CombineTerms as linear channel-diagonal; engines
+/// must fall back to dequantize-on-load when it is false.
 struct ServableModel {
   std::unique_ptr<filters::SpectralFilter> filter;
   nn::Mlp phi1;
   std::vector<Matrix> terms;
   CheckpointMeta meta;
+
+  bool quantized = false;
+  quant::Precision precision = quant::Precision::kFp32;
+  std::vector<quant::QuantizedMatrix> qterms;  ///< host; owned scales
+  quant::QuantizedMlp qphi1;
+  Matrix combine_w;  ///< (num_terms x F) probed combine weights, host
+  bool combine_diagonal = false;
 };
 
 /// Materializes a ServableModel from a checkpoint image. Runs the full
@@ -116,6 +191,11 @@ struct ServableModel {
 /// filter's structure, and verifies every weight shape. `ckpt.terms` are
 /// copied so the image stays reusable.
 [[nodiscard]] Result<ServableModel> RestoreModel(const Checkpoint& ckpt);
+
+/// Quantized counterpart: same validation path, then probes the filter's
+/// combine weights (quant::ProbeCombineWeights) and materializes both the
+/// dequantized fp φ1 and the quantized φ1.
+[[nodiscard]] Result<ServableModel> RestoreModel(const QuantCheckpoint& ckpt);
 
 }  // namespace sgnn::serve
 

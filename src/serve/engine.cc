@@ -46,7 +46,27 @@ Engine::Engine(ServableModel model, EngineConfig config)
   config_.max_batch = std::max(1, config_.max_batch);
   config_.max_wait_ms = std::max(0.0, config_.max_wait_ms);
   config_.max_queue = std::max(0, config_.max_queue);
-  if (!model_.terms.empty()) {
+  if (model_.quantized && !model_.qterms.empty()) {
+    const int64_t f = model_.qterms[0].cols();
+    query_bytes_ = model_.qterms.size() * static_cast<size_t>(f) *
+                   quant::ElemSize(model_.precision);
+    quant_compute_ = config_.quant_exec == QuantExecMode::kQuantCompute &&
+                     model_.combine_diagonal;
+    if (quant_compute_) {
+      // Fold the per-term channel scales into the probed combine weights
+      // once, so the fused combine pays one multiply per element.
+      const auto t = static_cast<int64_t>(model_.qterms.size());
+      eff_ = Matrix(t, f, Device::kHost);
+      const bool int8 = model_.precision == quant::Precision::kInt8;
+      for (int64_t k = 0; k < t; ++k) {
+        const auto& scales = model_.qterms[static_cast<size_t>(k)].scales();
+        for (int64_t c = 0; c < f; ++c) {
+          const float s = int8 ? scales[static_cast<size_t>(c)] : 1.0f;
+          eff_.at(k, c) = model_.combine_w.at(k, c) * s;
+        }
+      }
+    }
+  } else if (!model_.terms.empty()) {
     query_bytes_ = model_.terms.size() *
                    static_cast<size_t>(model_.terms[0].cols()) * sizeof(float);
   }
@@ -72,6 +92,7 @@ Status Engine::ServeBatchLocked(const std::vector<int64_t>& nodes,
     *logits = Matrix();
     return Status::OK();
   }
+  if (model_.quantized) return ServeQuantLocked(nodes, logits);
   const auto b = static_cast<int64_t>(nodes.size());
   const size_t num_terms = model_.terms.size();
   const int64_t f = model_.terms[0].cols();
@@ -86,11 +107,11 @@ Status Engine::ServeBatchLocked(const std::vector<int64_t>& nodes,
   }
   for (int64_t i = 0; i < b; ++i) {
     const int64_t node = nodes[static_cast<size_t>(i)];
-    const Matrix* bundle = cache_.Get(node);
+    const Bundle* bundle = cache_.Get(node);
     if (bundle != nullptr) {
       for (size_t k = 0; k < num_terms; ++k) {
         std::memcpy(batch_terms[k].row(i),
-                    bundle->row(static_cast<int64_t>(k)), row_bytes);
+                    bundle->fp.row(static_cast<int64_t>(k)), row_bytes);
       }
       continue;
     }
@@ -100,7 +121,7 @@ Status Engine::ServeBatchLocked(const std::vector<int64_t>& nodes,
                   model_.terms[k].row(node), row_bytes);
       std::memcpy(batch_terms[k].row(i), model_.terms[k].row(node), row_bytes);
     }
-    cache_.Put(node, std::move(fresh));
+    cache_.Put(node, Bundle(std::move(fresh)));
   }
 
   std::vector<const Matrix*> ptrs;
@@ -109,6 +130,108 @@ Status Engine::ServeBatchLocked(const std::vector<int64_t>& nodes,
   Matrix h;
   model_.filter->CombineTerms(ptrs, &h, /*cache=*/false);
   model_.phi1.ForwardInference(h, logits);
+  ++batches_;
+  queries_ += static_cast<uint64_t>(b);
+  return Status::OK();
+}
+
+Status Engine::ServeQuantLocked(const std::vector<int64_t>& nodes,
+                                Matrix* logits) {
+  const auto b = static_cast<int64_t>(nodes.size());
+  const size_t num_terms = model_.qterms.size();
+  const int64_t f = model_.qterms[0].cols();
+  const bool int8 = model_.precision == quant::Precision::kInt8;
+  const size_t elem = quant::ElemSize(model_.precision);
+  const size_t bundle_elems = num_terms * static_cast<size_t>(f);
+  const size_t row_bytes = static_cast<size_t>(f) * elem;
+
+  // Gather stage. The cache holds scale-less quantized bundles either way;
+  // the two exec modes differ in what each batch makes of the payload:
+  //   * quant-compute: raw bytes staged contiguously for the fused combine;
+  //   * dequant-on-load: expanded to the fp32 per-term batch matrices the
+  //     unchanged fp kernels consume.
+  std::vector<int8_t> staged8;
+  std::vector<uint16_t> staged16;
+  std::vector<Matrix> batch_terms;
+  if (quant_compute_) {
+    if (int8) {
+      staged8.resize(static_cast<size_t>(b) * bundle_elems);
+    } else {
+      staged16.resize(static_cast<size_t>(b) * bundle_elems);
+    }
+  } else {
+    batch_terms.resize(num_terms);
+    for (size_t k = 0; k < num_terms; ++k) {
+      batch_terms[k] = Matrix(b, f, Device::kAccel);
+    }
+  }
+
+  auto consume = [&](int64_t i, const quant::QuantizedMatrix& q) {
+    if (quant_compute_) {
+      void* dst = int8 ? static_cast<void*>(
+                             staged8.data() + static_cast<size_t>(i) *
+                                                  bundle_elems)
+                       : static_cast<void*>(
+                             staged16.data() + static_cast<size_t>(i) *
+                                                   bundle_elems);
+      const void* src = int8 ? static_cast<const void*>(q.i8())
+                             : static_cast<const void*>(q.f16());
+      std::memcpy(dst, src, bundle_elems * elem);
+      return;
+    }
+    for (size_t k = 0; k < num_terms; ++k) {
+      float* dst = batch_terms[k].row(i);
+      if (int8) {
+        const float* scales = model_.qterms[k].scales().data();
+        const int8_t* src = q.i8row(static_cast<int64_t>(k));
+        for (int64_t c = 0; c < f; ++c) {
+          dst[c] = scales[c] * static_cast<float>(src[c]);
+        }
+      } else {
+        const uint16_t* src = q.f16row(static_cast<int64_t>(k));
+        for (int64_t c = 0; c < f; ++c) dst[c] = quant::F16ToF32(src[c]);
+      }
+    }
+  };
+
+  for (int64_t i = 0; i < b; ++i) {
+    const int64_t node = nodes[static_cast<size_t>(i)];
+    const Bundle* cached = cache_.Get(node);
+    if (cached != nullptr) {
+      consume(i, cached->q);
+      continue;
+    }
+    quant::QuantizedMatrix fresh(model_.precision,
+                                 static_cast<int64_t>(num_terms), f,
+                                 Device::kHost);
+    for (size_t k = 0; k < num_terms; ++k) {
+      char* dst = reinterpret_cast<char*>(fresh.i8()) +
+                  k * static_cast<size_t>(f) * elem;
+      const char* src =
+          reinterpret_cast<const char*>(model_.qterms[k].i8()) +
+          static_cast<size_t>(node) * static_cast<size_t>(f) * elem;
+      std::memcpy(dst, src, row_bytes);
+    }
+    consume(i, fresh);  // before Put — the cache owns (and may drop) it
+    cache_.Put(node, Bundle(std::move(fresh)));
+  }
+
+  Matrix h(b, f, Device::kAccel);
+  if (quant_compute_) {
+    if (int8) {
+      quant::CombineStagedInt8(staged8.data(), b, eff_, &h);
+    } else {
+      quant::CombineStagedF16(staged16.data(), b, eff_, &h);
+    }
+    model_.qphi1.ForwardInference(h, logits);
+  } else {
+    std::vector<const Matrix*> ptrs;
+    ptrs.reserve(num_terms);
+    for (const Matrix& m : batch_terms) ptrs.push_back(&m);
+    Matrix hc;
+    model_.filter->CombineTerms(ptrs, &hc, /*cache=*/false);
+    model_.phi1.ForwardInference(hc, logits);
+  }
   ++batches_;
   queries_ += static_cast<uint64_t>(b);
   return Status::OK();
@@ -332,6 +455,17 @@ void Engine::ServeAndFulfill(std::vector<Pending>* batch) {
 CacheStats Engine::GetCacheStats() const {
   std::lock_guard<std::mutex> lock(serve_mu_);
   return cache_.stats();
+}
+
+Engine::CacheUsage Engine::GetCacheUsage() const {
+  std::lock_guard<std::mutex> lock(serve_mu_);
+  CacheUsage usage;
+  usage.accel_bytes = cache_.accel_bytes();
+  usage.host_bytes = cache_.host_bytes();
+  usage.accel_quant_bytes = cache_.accel_quant_bytes();
+  usage.host_quant_bytes = cache_.host_quant_bytes();
+  usage.entries = cache_.entries();
+  return usage;
 }
 
 LatencyHistogram Engine::GetLatency() const {

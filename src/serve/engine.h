@@ -103,11 +103,26 @@ class SloController {
   double wait_ms_;
 };
 
-/// Engine knobs (the bench_serving sweep axes).
+/// How a quantized model executes queries (fp models ignore this; see the
+/// decision guide in docs/QUANTIZATION.md).
+enum class QuantExecMode {
+  /// Cache holds quantized bundles; each batch expands them to fp32 and
+  /// reuses the unchanged fp kernels (CombineTerms + fp φ1).
+  kDequantOnLoad = 0,
+  /// Fused quantized combine over the staged int8/fp16 bundles plus the
+  /// quantized φ1 GEMM. Requires the probed combine weights; the engine
+  /// silently falls back to kDequantOnLoad when the restore marked the
+  /// filter's combine non-diagonal (`effective_quant_exec` reports which
+  /// path actually runs).
+  kQuantCompute = 1,
+};
+
+/// Engine knobs (the bench_serving / bench_quant sweep axes).
 struct EngineConfig {
   int max_batch = 64;        ///< dispatcher coalescing ceiling (≥ 1)
   double max_wait_ms = 1.0;  ///< max hold on a partial batch
   CacheConfig cache;         ///< bundle-cache tier budgets
+  QuantExecMode quant_exec = QuantExecMode::kQuantCompute;
 
   // --- admission control (0 = unbounded, the pre-overload behavior) ---
   int max_queue = 0;             ///< queue-depth budget, in queries
@@ -169,8 +184,18 @@ class Engine {
   int64_t num_classes() const { return model_.meta.num_classes; }
   const CheckpointMeta& meta() const { return model_.meta; }
   /// Staging bytes one queued query will gather (the max_queued_bytes
-  /// unit): num_terms x feature-width floats.
+  /// unit): num_terms x feature-width elements at the model's precision —
+  /// a quantized model's queries queue ~4x (int8) or 2x (fp16) lighter.
   size_t query_bytes() const { return query_bytes_; }
+
+  /// The execution mode actually serving queries: kQuantCompute only when
+  /// configured AND the model is quantized AND its combine probe validated
+  /// channel-diagonal; kDequantOnLoad otherwise (also for fp models, where
+  /// it means "plain fp serving").
+  QuantExecMode effective_quant_exec() const {
+    return quant_compute_ ? QuantExecMode::kQuantCompute
+                          : QuantExecMode::kDequantOnLoad;
+  }
 
   /// Synchronous batched serving: fills `logits` with one row per node (on
   /// the accelerator, shape |nodes| x num_classes). InvalidArgument when any
@@ -198,6 +223,17 @@ class Engine {
   /// `EngineConfig::default_deadline_ms`.
   std::future<QueryResult> Submit(int64_t node, double deadline_ms = 0.0);
 
+  /// Resident-byte snapshot of the bundle cache, split by tier and by
+  /// precision class (the cache-fit axis of bench_quant).
+  struct CacheUsage {
+    size_t accel_bytes = 0;
+    size_t host_bytes = 0;
+    size_t accel_quant_bytes = 0;
+    size_t host_quant_bytes = 0;
+    size_t entries = 0;
+  };
+  CacheUsage GetCacheUsage() const;
+
   /// Snapshots (copies) taken under the serving lock — safe while running.
   CacheStats GetCacheStats() const;
   LatencyHistogram GetLatency() const;
@@ -218,10 +254,17 @@ class Engine {
   void RejectPending(std::vector<Pending>* batch, const Status& status);
   [[nodiscard]] Status ServeBatchLocked(const std::vector<int64_t>& nodes,
                                         Matrix* logits);
+  [[nodiscard]] Status ServeQuantLocked(const std::vector<int64_t>& nodes,
+                                        Matrix* logits);
 
   ServableModel model_;
   EngineConfig config_;
   size_t query_bytes_ = 0;
+  bool quant_compute_ = false;  ///< fused path active (see accessor)
+  /// (num_terms x F) effective combine weights for the fused path: probed
+  /// combine weight x per-term channel scale (int8) or the weight alone
+  /// (fp16). Empty unless quant_compute_.
+  Matrix eff_;
 
   mutable std::mutex serve_mu_;  ///< model, cache, metrics
   TieredCache cache_;

@@ -32,6 +32,7 @@ uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
 class Writer {
  public:
   void PutU8(uint8_t v);
+  void PutU16(uint16_t v);
   void PutU32(uint32_t v);
   void PutU64(uint64_t v);
   void PutI32(int32_t v);
@@ -61,6 +62,7 @@ class Reader {
       : data_(static_cast<const uint8_t*>(data)), size_(size) {}
 
   [[nodiscard]] Status U8(uint8_t* v);
+  [[nodiscard]] Status U16(uint16_t* v);
   [[nodiscard]] Status U32(uint32_t* v);
   [[nodiscard]] Status U64(uint64_t* v);
   [[nodiscard]] Status I32(int32_t* v);
@@ -70,6 +72,9 @@ class Reader {
   /// Reads a u32 length prefix then that many bytes. `max_len` bounds the
   /// allocation so a corrupt length field cannot OOM the process.
   [[nodiscard]] Status Str(std::string* s, uint32_t max_len = 1u << 20);
+  /// Copies exactly `size` raw bytes (no length prefix) into `out`, which
+  /// must already have room. IOError when fewer bytes remain.
+  [[nodiscard]] Status Raw(void* out, size_t size);
 
   size_t remaining() const { return size_ - pos_; }
   size_t position() const { return pos_; }

@@ -196,6 +196,41 @@ TEST(LayeringTest, ServeMayIncludeRuntimeAndModelsButNotViceVersa) {
   EXPECT_FALSE(HasRule(tools_ok, "layering")) << Render(tools_ok);
 }
 
+TEST(LayeringTest, QuantIsPostTrainingOnly) {
+  // quant sits beside models/eval: serve and conformance consume it, but
+  // the training stack (nn, models, runtime) must never see quantized
+  // types — quantization is strictly post-training (docs/QUANTIZATION.md).
+  const auto quant_ok = Lint("src/quant/kernels.cc", R"cc(
+    #include "quant/kernels.h"
+    #include "core/filter.h"
+    #include "nn/mlp.h"
+    #include "tensor/parallel.h"
+  )cc");
+  EXPECT_FALSE(HasRule(quant_ok, "layering")) << Render(quant_ok);
+  const auto serve_ok = Lint("src/serve/checkpoint.cc", R"cc(
+    #include "serve/checkpoint.h"
+    #include "quant/quantize.h"
+  )cc");
+  EXPECT_FALSE(HasRule(serve_ok, "layering")) << Render(serve_ok);
+  const auto conf_ok = Lint("src/conformance/quant_check.cc", R"cc(
+    #include "conformance/quant_check.h"
+    #include "quant/quantize.h"
+  )cc");
+  EXPECT_FALSE(HasRule(conf_ok, "layering")) << Render(conf_ok);
+  const auto bad_nn = Lint("src/nn/mlp.cc", R"cc(
+    #include "quant/quantize.h"
+  )cc");
+  EXPECT_TRUE(HasRule(bad_nn, "layering")) << Render(bad_nn);
+  const auto bad_models = Lint("src/models/trainer.cc", R"cc(
+    #include "quant/kernels.h"
+  )cc");
+  EXPECT_TRUE(HasRule(bad_models, "layering")) << Render(bad_models);
+  const auto bad_quant = Lint("src/quant/quantize.cc", R"cc(
+    #include "runtime/supervisor.h"
+  )cc");
+  EXPECT_TRUE(HasRule(bad_quant, "layering")) << Render(bad_quant);
+}
+
 TEST(LayeringTest, IgnoresIncludesInComments) {
   const auto f = Lint("src/tensor/x.cc", R"cc(
     // #include "runtime/supervisor.h"

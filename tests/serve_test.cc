@@ -311,10 +311,10 @@ TEST(Engine, RejectsOutOfRangeAndNotRunning) {
 
 // --- tiered cache ------------------------------------------------------------
 
-Matrix Bundle(int64_t terms, int64_t f, float fill) {
+Bundle MakeBundle(int64_t terms, int64_t f, float fill) {
   Matrix m(terms, f, Device::kHost);
   m.Fill(fill);
-  return m;
+  return Bundle(std::move(m));
 }
 
 TEST(TieredCache, LruDemotionEvictionAndCounters) {
@@ -327,15 +327,15 @@ TEST(TieredCache, LruDemotionEvictionAndCounters) {
       Device::kAccel);
 
   EXPECT_EQ(cache.Get(1), nullptr);  // miss on empty
-  cache.Put(1, Bundle(4, 8, 1.0f));
-  cache.Put(2, Bundle(4, 8, 2.0f));
+  cache.Put(1, MakeBundle(4, 8, 1.0f));
+  cache.Put(2, MakeBundle(4, 8, 2.0f));
   EXPECT_EQ(cache.accel_bytes(), 256u);
   // The cache's own budget accounting must agree with the global tracker.
   EXPECT_EQ(DeviceTracker::Global().live_bytes(Device::kAccel),
             accel_before + cache.accel_bytes());
 
   // Third insert overflows accel: LRU (node 1) demotes to host.
-  cache.Put(3, Bundle(4, 8, 3.0f));
+  cache.Put(3, MakeBundle(4, 8, 3.0f));
   EXPECT_EQ(cache.stats().demotions, 1u);
   EXPECT_EQ(cache.accel_bytes(), 256u);
   EXPECT_EQ(cache.host_bytes(), 128u);
@@ -344,20 +344,20 @@ TEST(TieredCache, LruDemotionEvictionAndCounters) {
 
   // Accel hits: 2 and 3 resident; host hit on 1 promotes it back,
   // demoting the new LRU (2) to host.
-  const Matrix* b3 = cache.Get(3);
+  const Bundle* b3 = cache.Get(3);
   ASSERT_NE(b3, nullptr);
-  EXPECT_EQ(b3->at(0, 0), 3.0f);
+  EXPECT_EQ(b3->fp.at(0, 0), 3.0f);
   EXPECT_EQ(cache.stats().accel_hits, 1u);
-  const Matrix* b1 = cache.Get(1);
+  const Bundle* b1 = cache.Get(1);
   ASSERT_NE(b1, nullptr);
-  EXPECT_EQ(b1->at(0, 0), 1.0f);
-  EXPECT_EQ(b1->device(), Device::kAccel);
+  EXPECT_EQ(b1->fp.at(0, 0), 1.0f);
+  EXPECT_EQ(b1->fp.device(), Device::kAccel);
   EXPECT_EQ(cache.stats().host_hits, 1u);
   EXPECT_EQ(cache.stats().demotions, 2u);
   EXPECT_EQ(cache.entries(), 3u);
 
   // Fourth distinct insert: accel LRU demotes, host overflows, eviction.
-  cache.Put(4, Bundle(4, 8, 4.0f));
+  cache.Put(4, MakeBundle(4, 8, 4.0f));
   EXPECT_EQ(cache.stats().evictions, 1u);
   EXPECT_EQ(cache.entries(), 3u);
   EXPECT_LE(cache.accel_bytes(), cfg.accel_budget_bytes);
@@ -376,16 +376,16 @@ TEST(TieredCache, OversizedBundlesSkipTiers) {
   cfg.accel_budget_bytes = 64;   // bundle (128 B) can never pin
   cfg.host_budget_bytes = 128;   // but fits on host
   TieredCache cache(cfg);
-  cache.Put(1, Bundle(4, 8, 1.0f));
+  cache.Put(1, MakeBundle(4, 8, 1.0f));
   EXPECT_EQ(cache.accel_bytes(), 0u);
   EXPECT_EQ(cache.host_bytes(), 128u);
-  const Matrix* b = cache.Get(1);
+  const Bundle* b = cache.Get(1);
   ASSERT_NE(b, nullptr);
-  EXPECT_EQ(b->device(), Device::kHost);  // too big to promote
+  EXPECT_EQ(b->fp.device(), Device::kHost);  // too big to promote
 
   // No tier can hold it at all: dropped, counted as eviction.
   TieredCache tiny(CacheConfig{64, 64});
-  tiny.Put(1, Bundle(4, 8, 1.0f));
+  tiny.Put(1, MakeBundle(4, 8, 1.0f));
   EXPECT_EQ(tiny.entries(), 0u);
   EXPECT_EQ(tiny.stats().evictions, 1u);
   EXPECT_EQ(tiny.Get(1), nullptr);
@@ -393,7 +393,7 @@ TEST(TieredCache, OversizedBundlesSkipTiers) {
 
 TEST(TieredCache, ZeroBudgetsDisableCaching) {
   TieredCache cache(CacheConfig{});
-  cache.Put(1, Bundle(2, 2, 1.0f));
+  cache.Put(1, MakeBundle(2, 2, 1.0f));
   EXPECT_EQ(cache.Get(1), nullptr);
   EXPECT_EQ(cache.entries(), 0u);
   EXPECT_EQ(cache.stats().misses, 1u);

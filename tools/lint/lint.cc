@@ -826,9 +826,10 @@ Config Config::Default() {
                         "NotImplemented",     "Internal",
                         "NumericalError",     "DeadlineExceeded",
                         "Unavailable"};
-  // The include DAG of the paper reproduction:
-  //   tensor -> {sparse, graph} -> {core, nn} -> {models, eval}
-  //          -> runtime -> {bench, tools, tests}.
+  // The include DAG of the paper reproduction (docs/ARCHITECTURE.md renders
+  // the same table as a diagram):
+  //   tensor -> {sparse, graph} -> {core, nn} -> {models, eval, quant}
+  //          -> runtime -> {conformance, serve} -> {bench, tools, tests}.
   // A layer may include itself and anything at or below its feeder group;
   // same-group edges that exist by design (graph->sparse, core->nn,
   // models->eval) are listed explicitly — the table *is* the contract.
@@ -838,6 +839,12 @@ Config Config::Default() {
       {"graph", {"graph", "sparse", "tensor"}},
       {"nn", {"nn", "tensor"}},
       {"core", {"core", "nn", "sparse", "graph", "tensor"}},
+      // quant (post-training int8/fp16 codecs + quantized-compute kernels)
+      // sits directly above core/nn: it probes SpectralFilter::CombineTerms
+      // and mirrors nn::Mlp inference, and is consumed by serve and
+      // conformance. Training layers (models, runtime) never see it —
+      // quantization is strictly post-training.
+      {"quant", {"quant", "core", "nn", "sparse", "graph", "tensor"}},
       {"eval", {"eval", "core", "nn", "sparse", "graph", "tensor"}},
       {"models",
        {"models", "eval", "core", "nn", "sparse", "graph", "tensor"}},
@@ -847,16 +854,16 @@ Config Config::Default() {
       // conformance sits above runtime (it journals fuzz trials through the
       // Supervisor) but below bench/tools/tests.
       {"conformance",
-       {"conformance", "runtime", "models", "eval", "core", "nn", "sparse",
-        "graph", "tensor"}},
+       {"conformance", "runtime", "models", "quant", "eval", "core", "nn",
+        "sparse", "graph", "tensor"}},
       // serve (checkpoints, bundle cache, inference engine) also sits above
       // runtime: checkpoints capture trainer exports and serving benches
       // journal through the Supervisor. No other src/ layer lists "serve",
       // so only bench/tools/tests may include it — training code must never
       // grow a dependency on the serving stack.
       {"serve",
-       {"serve", "runtime", "models", "eval", "core", "nn", "sparse",
-        "graph", "tensor"}},
+       {"serve", "runtime", "models", "quant", "eval", "core", "nn",
+        "sparse", "graph", "tensor"}},
       // bench/tools/tests are deliberately absent: the top of the stack may
       // include anything.
   };

@@ -4,6 +4,8 @@
 //   fast    oracle + gradcheck on fixture graphs, then a short fuzz sweep
 //   full    the same with a long fuzz sweep (nightly budget)
 //   oracle  dense spectral oracle only
+//   quant   quantized MB propagation vs the dense oracle (int8 + fp16,
+//           every MB-capable filter; tolerances in docs/QUANTIZATION.md)
 //   grad    finite-difference gradient checker only
 //   fuzz    property-based fuzz sweep only (--trials)
 //
@@ -29,7 +31,9 @@
 #include "conformance/fuzz.h"
 #include "conformance/gradcheck.h"
 #include "conformance/oracle.h"
+#include "conformance/quant_check.h"
 #include "eval/eigen.h"
+#include "quant/quantize.h"
 #include "sparse/adjacency.h"
 #include "tensor/rng.h"
 
@@ -106,6 +110,35 @@ bool RunOracle(const std::vector<std::string>& filters) {
     }
     std::fputs(conformance::FormatReports(reports).c_str(), stdout);
     ok = ok && conformance::AllPass(reports);
+  }
+  return ok;
+}
+
+bool RunQuant(const std::vector<std::string>& filters) {
+  bool ok = true;
+  const quant::Precision precisions[] = {quant::Precision::kFp16,
+                                         quant::Precision::kInt8};
+  for (const auto& fix : BuildFixtures()) {
+    for (const quant::Precision p : precisions) {
+      std::printf("== quant conformance (%s) on %s (n=%lld) ==\n",
+                  quant::PrecisionName(p), fix.name.c_str(),
+                  static_cast<long long>(fix.norm.n()));
+      std::vector<conformance::QuantReport> reports;
+      if (filters.empty()) {
+        auto r = conformance::CheckAllQuant(fix.norm, fix.eig, fix.x, p);
+        SGNN_CHECK_OK(r);
+        reports = r.MoveValue();
+      } else {
+        for (const auto& name : filters) {
+          auto r = conformance::CheckQuantConformance(name, fix.norm, fix.eig,
+                                                      fix.x, p);
+          SGNN_CHECK_OK(r);
+          reports.push_back(r.MoveValue());
+        }
+      }
+      std::fputs(conformance::FormatQuantReports(reports).c_str(), stdout);
+      ok = ok && conformance::AllQuantPass(reports);
+    }
   }
   return ok;
 }
@@ -259,6 +292,8 @@ int main(int argc, char** argv) {
   bool ok = true;
   if (mode == "oracle") {
     ok = RunOracle(filters);
+  } else if (mode == "quant") {
+    ok = RunQuant(filters);
   } else if (mode == "grad") {
     ok = RunGradcheck(filters);
   } else if (mode == "fuzz") {

@@ -24,11 +24,17 @@
 //   # sheds, and a Router hot-swap under live load drops nothing
 //   sgnn_serve --overload-smoke 1
 //
+//   # quantization smoke (the `quant_smoke` CTest): quantize a trained
+//   # checkpoint to int8, verify cross-precision loads fail typed, serve
+//   # on the quantized-compute fast path, check drift vs fp32 serving
+//   sgnn_serve --quant-smoke 1
+//
 // Serving verifies determinism on demand (--verify 1, default in smoke):
 // every async batched result must be bit-identical to a singleton
 // ServeBatch of the same node.
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <future>
@@ -95,7 +101,8 @@ void Usage() {
       "                  [--cache-accel-kb A] [--cache-host-kb H]\n"
       "                  [--verify 0|1] [--seed S]\n"
       "       sgnn_serve --smoke 1\n"
-      "       sgnn_serve --overload-smoke 1   # admission/retry/hot-swap\n");
+      "       sgnn_serve --overload-smoke 1   # admission/retry/hot-swap\n"
+      "       sgnn_serve --quant-smoke 1      # int8/fp16 wire + serving\n");
 }
 
 /// Deterministic attributed graph from a conformance fuzz seed: topology
@@ -474,6 +481,157 @@ int TrainFuzzCheckpoint(const std::string& path, const char* epochs) {
   return RunTrain(f);
 }
 
+/// Quantization smoke for CTest (`quant_smoke`, inside tier1): the
+/// wire-format and serving contracts of docs/QUANTIZATION.md end to end —
+///
+///   1. typed rejection — a v2 (quantized) file handed to the fp reader
+///      fails kFailedPrecondition, and symmetrically the fp file handed to
+///      the quant reader; foreign-precision bytes are never half-parsed.
+///   2. quantized serving — the int8 artifact restores and serves on the
+///      quantized-compute fast path with batched == singleton verified bit
+///      for bit, and the cache accounts the bundles as quantized bytes.
+///   3. drift — int8 and fp16 logits stay within the documented bound of
+///      fp32 serving (docs/QUANTIZATION.md drift table).
+int RunQuantSmoke(const Flags& flags) {
+  const std::string dir = flags.Get("tmpdir", ".");
+  const std::string fp_path = dir + "/sgnn_serve_quant_fp.ckpt";
+  const std::string q_path = dir + "/sgnn_serve_quant_int8.ckpt";
+  {
+    const char* argv[] = {"sgnn_serve", "--fuzz-seed", "7", "--out",
+                          fp_path.c_str(), "--epochs", "10"};
+    Flags f(7, const_cast<char**>(argv));
+    if (const int rc = RunTrain(f); rc != 0) return rc;
+  }
+  auto ckpt_or = serve::LoadCheckpoint(fp_path);
+  if (!ckpt_or.ok()) {
+    std::fprintf(stderr, "%s\n", ckpt_or.status().ToString().c_str());
+    return 1;
+  }
+  const serve::Checkpoint ckpt = ckpt_or.MoveValue();
+
+  // Quantize int8/percentile and write the v2 file.
+  quant::CalibConfig calib;
+  calib.policy = quant::CalibPolicy::kPercentile;
+  calib.sample_rows = ckpt.meta.n / 2;
+  auto q_or = serve::QuantizeCheckpoint(ckpt, quant::Precision::kInt8, calib);
+  if (!q_or.ok()) {
+    std::fprintf(stderr, "%s\n", q_or.status().ToString().c_str());
+    return 1;
+  }
+  if (const Status s = serve::SaveQuantCheckpoint(q_or.value(), q_path);
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  // Phase 1: cross-precision loads fail typed, both directions.
+  {
+    auto fp_reader = serve::LoadCheckpoint(q_path);
+    auto q_reader = serve::LoadQuantCheckpoint(fp_path);
+    std::remove(fp_path.c_str());
+    if (fp_reader.ok() ||
+        fp_reader.status().code() != StatusCode::kFailedPrecondition ||
+        q_reader.ok() ||
+        q_reader.status().code() != StatusCode::kFailedPrecondition) {
+      std::fprintf(stderr,
+                   "cross-precision checkpoint was not rejected with "
+                   "FailedPrecondition\n");
+      return 1;
+    }
+    std::printf("[1/3] typed rejection: v1<->v2 cross-loads both "
+                "FailedPrecondition\n");
+  }
+
+  // Phase 2: the v2 file round-trips and serves on the fast path, with the
+  // batched == singleton contract verified and quant bytes accounted.
+  auto loaded_or = serve::LoadQuantCheckpoint(q_path);
+  std::remove(q_path.c_str());
+  if (!loaded_or.ok()) {
+    std::fprintf(stderr, "%s\n", loaded_or.status().ToString().c_str());
+    return 1;
+  }
+  auto model_or = serve::RestoreModel(loaded_or.value());
+  if (!model_or.ok()) {
+    std::fprintf(stderr, "%s\n", model_or.status().ToString().c_str());
+    return 1;
+  }
+  serve::EngineConfig cfg;
+  cfg.max_batch = 16;
+  cfg.max_wait_ms = 0.5;
+  cfg.cache.accel_budget_bytes = 1u << 20;
+  cfg.cache.host_budget_bytes = 1u << 20;
+  serve::Engine engine(model_or.MoveValue(), cfg);
+  if (engine.effective_quant_exec() != serve::QuantExecMode::kQuantCompute) {
+    std::fprintf(stderr, "quantized model fell back off the fast path\n");
+    return 1;
+  }
+  const std::vector<int64_t> nodes =
+      GenerateQueries(engine.num_nodes(), 400, 1);
+  if (ServeQueries(&engine, nodes, /*verify=*/true) != 0) return 1;
+  const serve::Engine::CacheUsage usage = engine.GetCacheUsage();
+  if (usage.entries == 0 ||
+      usage.accel_quant_bytes + usage.host_quant_bytes !=
+          usage.accel_bytes + usage.host_bytes) {
+    std::fprintf(stderr,
+                 "cache did not account quantized bundles as quant bytes\n");
+    return 1;
+  }
+  std::printf("[2/3] quantized serving: fast path, %zu cached bundles all "
+              "accounted as quant bytes\n",
+              usage.entries);
+
+  // Phase 3: int8 and fp16 logits track fp32 serving within the documented
+  // drift bounds (relative to the logit scale).
+  {
+    auto fp_model_or = serve::RestoreModel(ckpt);
+    if (!fp_model_or.ok()) return 1;
+    serve::Engine fp_engine(fp_model_or.MoveValue(), cfg);
+    std::vector<int64_t> all;
+    for (int64_t i = 0; i < engine.num_nodes(); ++i) all.push_back(i);
+    Matrix want;
+    if (const Status s = fp_engine.ServeBatch(all, &want); !s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    double scale = 1.0;
+    for (int64_t i = 0; i < want.size(); ++i) {
+      scale = std::max(scale, static_cast<double>(std::fabs(want.data()[i])));
+    }
+    const struct {
+      quant::Precision precision;
+      double bound;  ///< docs/QUANTIZATION.md drift bound, x logit scale
+    } rounds[] = {{quant::Precision::kInt8, 4e-2},
+                  {quant::Precision::kFp16, 2e-3}};
+    for (const auto& round : rounds) {
+      auto rq_or = serve::QuantizeCheckpoint(ckpt, round.precision, calib);
+      if (!rq_or.ok()) return 1;
+      auto rm_or = serve::RestoreModel(rq_or.value());
+      if (!rm_or.ok()) return 1;
+      serve::Engine q_engine(rm_or.MoveValue(), cfg);
+      Matrix got;
+      if (const Status s = q_engine.ServeBatch(all, &got); !s.ok()) {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+        return 1;
+      }
+      double mae = 0.0;
+      for (int64_t i = 0; i < got.size(); ++i) {
+        mae += std::fabs(static_cast<double>(got.data()[i]) -
+                         static_cast<double>(want.data()[i]));
+      }
+      mae /= static_cast<double>(got.size());
+      std::printf("[3/3] drift %s: logit MAE %.5f (bound %.5f)\n",
+                  quant::PrecisionName(round.precision), mae,
+                  round.bound * scale);
+      if (mae > round.bound * scale) {
+        std::fprintf(stderr, "drift exceeded the documented bound\n");
+        return 1;
+      }
+    }
+  }
+  std::printf("quant smoke: PASS\n");
+  return 0;
+}
+
 /// Memoized singleton reference: bit-exact logits for `node` under `engine`.
 const std::vector<float>& SingletonRow(
     serve::Engine* engine, int64_t node,
@@ -793,6 +951,7 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   if (flags.GetInt("smoke", 0) != 0) return RunSmoke(flags);
   if (flags.GetInt("overload-smoke", 0) != 0) return RunOverloadSmoke(flags);
+  if (flags.GetInt("quant-smoke", 0) != 0) return RunQuantSmoke(flags);
   const std::string mode = flags.Get(
       "mode", flags.Get("checkpoint", "").empty() ? "train" : "serve");
   if (mode == "train") return RunTrain(flags);
