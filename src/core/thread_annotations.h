@@ -1,0 +1,45 @@
+// Thread-safety annotations, enforced by sgnn_lint (docs/LINT.md,
+// "Dataflow rules") rather than by the compiler.
+//
+// Clang's -Wthread-safety provides attributes with the same shape, but the
+// repo builds under gcc too, where they expand to nothing and silently rot.
+// These macros therefore expand to nothing *everywhere* and the contract is
+// checked by our own tool: `lock-discipline` verifies that every access to
+// a member annotated SGNN_GUARDED_BY(mu) happens under a live
+// std::lock_guard / std::unique_lock / std::scoped_lock of `mu` (or inside
+// a method annotated SGNN_REQUIRES(mu)), on every build, under any
+// compiler.
+//
+//   struct Engine {
+//     [[nodiscard]] Status ServeLocked() SGNN_REQUIRES(serve_mu_);
+//     void Stop() SGNN_EXCLUDES(queue_mu_);   // re-acquiring would deadlock
+//     mutable std::mutex serve_mu_;
+//     TieredCache cache_ SGNN_GUARDED_BY(serve_mu_);
+//   };
+//
+// Placement contract (what the linter parses):
+//   * SGNN_GUARDED_BY(mu)  — after the member declarator, before `;` or an
+//     `=` initializer: `bool running_ SGNN_GUARDED_BY(mu_) = false;`
+//   * SGNN_REQUIRES(mu) / SGNN_EXCLUDES(mu) — after the parameter list
+//     (and after a trailing `const`), on declarations and definitions
+//     alike. The named mutex is a member of the same class.
+//
+// This header is pure preprocessor — no includes, no types — so every
+// layer may include it; the lint layering rule exempts exactly this path
+// (`layering_exempt_targets` in tools/lint/lint.cc).
+
+#ifndef SGNN_CORE_THREAD_ANNOTATIONS_H_
+#define SGNN_CORE_THREAD_ANNOTATIONS_H_
+
+/// Member may only be read or written while holding `mu`.
+#define SGNN_GUARDED_BY(mu)
+
+/// Function may only be called while holding `mu`; inside its body the
+/// linter treats `mu` as held.
+#define SGNN_REQUIRES(mu)
+
+/// Function must NOT be called while holding `mu` (it acquires `mu`
+/// itself; calling it with `mu` held would self-deadlock).
+#define SGNN_EXCLUDES(mu)
+
+#endif  // SGNN_CORE_THREAD_ANNOTATIONS_H_

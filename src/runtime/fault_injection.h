@@ -16,6 +16,7 @@
 #include <mutex>
 #include <string>
 
+#include "core/thread_annotations.h"
 #include "tensor/rng.h"
 #include "tensor/status.h"
 
@@ -72,13 +73,13 @@ class FaultInjector {
   [[nodiscard]] Status OnIo(const char* op, const std::string& path);
 
   mutable std::mutex mu_;
-  bool armed_ = false;
-  FaultPlan plan_;
-  Rng rng_{1};
-  uint64_t accel_allocs_ = 0;
-  uint64_t io_ops_ = 0;
-  uint64_t alloc_faults_ = 0;
-  uint64_t io_faults_ = 0;
+  bool armed_ SGNN_GUARDED_BY(mu_) = false;
+  FaultPlan plan_ SGNN_GUARDED_BY(mu_);
+  Rng rng_ SGNN_GUARDED_BY(mu_){1};
+  uint64_t accel_allocs_ SGNN_GUARDED_BY(mu_) = 0;
+  uint64_t io_ops_ SGNN_GUARDED_BY(mu_) = 0;
+  uint64_t alloc_faults_ SGNN_GUARDED_BY(mu_) = 0;
+  uint64_t io_faults_ SGNN_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace sgnn::runtime

@@ -17,7 +17,11 @@
 // Overflowing the host tier evicts for good; a later query on that node is a
 // miss and re-gathers. Budgets of 0 disable a tier. The cache is NOT
 // thread-safe — the engine serializes all serving under one lock because the
-// filter's CombineTerms caches state internally.
+// filter's CombineTerms caches state internally. That contract is enforced
+// statically: the engine's cache_ member is SGNN_GUARDED_BY(serve_mu_)
+// (core/thread_annotations.h), so any new unlocked access fails the
+// lock-discipline lint gate (docs/LINT.md, "Dataflow rules") rather than
+// becoming a latent race.
 
 #ifndef SGNN_SERVE_CACHE_H_
 #define SGNN_SERVE_CACHE_H_

@@ -246,15 +246,28 @@ void Engine::Start() {
 }
 
 void Engine::Stop() {
+  // Move the dispatcher handle out under the lock so exactly one caller
+  // joins it: two concurrent Stop()s used to both reach dispatcher_.join()
+  // (UB on the second). A racing caller that sees stopping_ already set
+  // waits for the owning caller to finish the shutdown instead.
+  std::thread joiner;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    std::unique_lock<std::mutex> lock(queue_mu_);
     if (!running_) return;
+    if (stopping_) {
+      queue_cv_.wait(lock, [this] { return !running_; });
+      return;
+    }
     stopping_ = true;
+    joiner = std::move(dispatcher_);
   }
   queue_cv_.notify_all();
-  dispatcher_.join();
-  std::lock_guard<std::mutex> lock(queue_mu_);
-  running_ = false;
+  joiner.join();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    running_ = false;
+  }
+  queue_cv_.notify_all();
 }
 
 std::future<QueryResult> Engine::Submit(int64_t node, double deadline_ms) {

@@ -47,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "eval/table.h"
 #include "serve/cache.h"
 #include "serve/checkpoint.h"
@@ -253,9 +254,11 @@ class Engine {
   void ServeAndFulfill(std::vector<Pending>* batch);
   void RejectPending(std::vector<Pending>* batch, const Status& status);
   [[nodiscard]] Status ServeBatchLocked(const std::vector<int64_t>& nodes,
-                                        Matrix* logits);
+                                        Matrix* logits)
+      SGNN_REQUIRES(serve_mu_);
   [[nodiscard]] Status ServeQuantLocked(const std::vector<int64_t>& nodes,
-                                        Matrix* logits);
+                                        Matrix* logits)
+      SGNN_REQUIRES(serve_mu_);
 
   ServableModel model_;
   EngineConfig config_;
@@ -267,28 +270,31 @@ class Engine {
   Matrix eff_;
 
   mutable std::mutex serve_mu_;  ///< model, cache, metrics
-  TieredCache cache_;
-  LatencyHistogram latency_;
-  uint64_t queries_ = 0;
-  uint64_t batches_ = 0;
+  TieredCache cache_ SGNN_GUARDED_BY(serve_mu_);
+  LatencyHistogram latency_ SGNN_GUARDED_BY(serve_mu_);
+  uint64_t queries_ SGNN_GUARDED_BY(serve_mu_) = 0;
+  uint64_t batches_ SGNN_GUARDED_BY(serve_mu_) = 0;
 
   // SLO controller: owned by the dispatcher thread (single writer); the
   // live hold time is published through an atomic so Submit's wait loop and
-  // stats snapshots read it without the serving lock.
-  SloController slo_;
-  std::atomic<double> current_wait_ms_;
-  LatencyHistogram window_snapshot_;  ///< latency_ at the last SLO step
-  uint64_t window_queries_ = 0;
-  uint64_t window_batches_ = 0;
+  // stats snapshots read it without the serving lock. The controller and
+  // its window bookkeeping are still read/written only under serve_mu_
+  // (the dispatcher steps it right after serving a batch).
+  SloController slo_ SGNN_GUARDED_BY(serve_mu_);
+  std::atomic<double> current_wait_ms_;  ///< lock-free; see comment above
+  /// latency_ at the last SLO step
+  LatencyHistogram window_snapshot_ SGNN_GUARDED_BY(serve_mu_);
+  uint64_t window_queries_ SGNN_GUARDED_BY(serve_mu_) = 0;
+  uint64_t window_batches_ SGNN_GUARDED_BY(serve_mu_) = 0;
 
   mutable std::mutex queue_mu_;  ///< queue + lifecycle + overload counters;
                                  ///< never held across serving
   std::condition_variable queue_cv_;
-  std::deque<Pending> queue_;
-  OverloadStats overload_;
-  bool running_ = false;
-  bool stopping_ = false;
-  std::thread dispatcher_;
+  std::deque<Pending> queue_ SGNN_GUARDED_BY(queue_mu_);
+  OverloadStats overload_ SGNN_GUARDED_BY(queue_mu_);
+  bool running_ SGNN_GUARDED_BY(queue_mu_) = false;
+  bool stopping_ SGNN_GUARDED_BY(queue_mu_) = false;
+  std::thread dispatcher_ SGNN_GUARDED_BY(queue_mu_);
 };
 
 }  // namespace sgnn::serve

@@ -36,6 +36,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/thread_annotations.h"
 #include "serve/engine.h"
 #include "tensor/status.h"
 
@@ -102,14 +103,14 @@ class Router {
 
   RouterConfig config_;
   mutable std::mutex mu_;  ///< roster_ / retained_ mutations and reads
-  std::map<uint32_t, std::shared_ptr<Engine>> roster_;
+  std::map<uint32_t, std::shared_ptr<Engine>> roster_ SGNN_GUARDED_BY(mu_);
   // One shell per Activate call, kept until ~Router so a lock-free reader's
   // `active_` pointer can never dangle. A shell's engine ref also keeps a
   // retired engine *object* alive (stopped, typed-rejecting) for readers
   // that loaded the pointer just before the swap. Growth is one small
   // struct per swap — negligible against the engines themselves.
-  std::vector<std::unique_ptr<const Active>> retained_;
-  std::atomic<const Active*> active_;
+  std::vector<std::unique_ptr<const Active>> retained_ SGNN_GUARDED_BY(mu_);
+  std::atomic<const Active*> active_;  ///< lock-free reader side; see above
 };
 
 }  // namespace sgnn::serve

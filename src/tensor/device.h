@@ -21,6 +21,8 @@
 #include <mutex>
 #include <string>
 
+#include "core/thread_annotations.h"
+
 namespace sgnn {
 
 /// Placement of a tensor in the simulated two-device machine.
@@ -81,12 +83,12 @@ class DeviceTracker {
 
  private:
   mutable std::mutex mu_;
-  size_t live_[2] = {0, 0};
-  size_t peak_[2] = {0, 0};
-  size_t accel_capacity_ = 0;
-  bool accel_oom_ = false;
-  size_t oom_events_ = 0;
-  AllocFaultHook alloc_fault_hook_;
+  size_t live_[2] SGNN_GUARDED_BY(mu_) = {0, 0};
+  size_t peak_[2] SGNN_GUARDED_BY(mu_) = {0, 0};
+  size_t accel_capacity_ SGNN_GUARDED_BY(mu_) = 0;
+  bool accel_oom_ SGNN_GUARDED_BY(mu_) = false;
+  size_t oom_events_ SGNN_GUARDED_BY(mu_) = 0;
+  AllocFaultHook alloc_fault_hook_ SGNN_GUARDED_BY(mu_);
 };
 
 /// Formats a byte count as "1.23 GB" / "45.6 MB" for table output.

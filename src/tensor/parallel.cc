@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/thread_annotations.h"
+
 namespace sgnn::parallel {
 
 namespace {
@@ -50,7 +52,10 @@ struct Task {
   std::mutex done_mu;
   std::condition_variable done_cv;
   std::mutex error_mu;
-  std::exception_ptr error;
+  // First exception from any chunk. Written under error_mu; ParallelFor
+  // reads it lock-free after Run returns, when the done_cv handshake has
+  // already ordered every worker's write before the caller's read.
+  std::exception_ptr error SGNN_GUARDED_BY(error_mu);
 
   void RunChunk(int64_t chunk) {
     const int64_t lo = begin + chunk * grain;
@@ -159,9 +164,9 @@ class Pool {
   std::mutex submit_mu_;  ///< serializes top-level ParallelFor calls
   std::mutex mu_;         ///< guards current_/epoch_/workers_
   std::condition_variable cv_;
-  std::vector<std::thread> workers_;
-  Task* current_ = nullptr;
-  uint64_t epoch_ = 0;
+  std::vector<std::thread> workers_ SGNN_GUARDED_BY(mu_);
+  Task* current_ SGNN_GUARDED_BY(mu_) = nullptr;
+  uint64_t epoch_ SGNN_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace

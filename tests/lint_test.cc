@@ -500,6 +500,503 @@ TEST(NolintPolicyTest, SuppressionDoesNotLeakToOtherRules) {
   EXPECT_TRUE(HasRule(f, "determinism")) << Render(f);
 }
 
+// --- lock-discipline --------------------------------------------------------
+
+TEST(LockDisciplineTest, FlagsAccessOutsideLock) {
+  const auto f = Lint("src/serve/x.cc", R"cc(
+    class Counter {
+     public:
+      void Inc() {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++n_;
+      }
+      uint64_t Get() const { return n_; }
+     private:
+      mutable std::mutex mu_;
+      uint64_t n_ SGNN_GUARDED_BY(mu_) = 0;
+    };
+  )cc");
+  ASSERT_TRUE(HasRule(f, "lock-discipline")) << Render(f);
+  EXPECT_EQ(f.size(), 1u) << Render(f);  // Inc's locked access is quiet
+  EXPECT_NE(f[0].message.find("is SGNN_GUARDED_BY(mu_)"), std::string::npos)
+      << Render(f);
+}
+
+TEST(LockDisciplineTest, QuietWhenEveryAccessIsLocked) {
+  const auto f = Lint("src/serve/x.cc", R"cc(
+    class Counter {
+     public:
+      void Inc() {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++n_;
+      }
+      uint64_t Get() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return n_;
+      }
+     private:
+      mutable std::mutex mu_;
+      uint64_t n_ SGNN_GUARDED_BY(mu_) = 0;
+    };
+  )cc");
+  EXPECT_FALSE(HasRule(f, "lock-discipline")) << Render(f);
+}
+
+TEST(LockDisciplineTest, HelperRaiiLockTypeViaConfig) {
+  // A project RAII wrapper counts as a lock once registered in the config
+  // (the repo contract: std lock types plus whatever the config adds).
+  Config config = Config::Default();
+  config.lock_types.insert("MutexLock");
+  const auto f = LintSource("src/serve/x.cc", R"cc(
+    class Counter {
+     public:
+      void Inc() {
+        MutexLock lock(mu_);
+        ++n_;
+      }
+     private:
+      std::mutex mu_;
+      uint64_t n_ SGNN_GUARDED_BY(mu_) = 0;
+    };
+  )cc",
+                            config);
+  EXPECT_FALSE(HasRule(f, "lock-discipline")) << Render(f);
+}
+
+TEST(LockDisciplineTest, QuietInStringsAndComments) {
+  const auto f = Lint("src/serve/x.cc", R"cc(
+    class Counter {
+     public:
+      // prose: n_ is read without mu_ here, which would be a violation
+      const char* Doc() const { return "n_ read without holding mu_"; }
+     private:
+      std::mutex mu_;
+      uint64_t n_ SGNN_GUARDED_BY(mu_) = 0;
+    };
+  )cc");
+  EXPECT_FALSE(HasRule(f, "lock-discipline")) << Render(f);
+}
+
+TEST(LockDisciplineTest, RequiresSeedsCalleeAndChecksCallSites) {
+  const auto f = Lint("src/serve/x.cc", R"cc(
+    class Engine {
+     public:
+      void Tick() { BumpLocked(); }
+     private:
+      void BumpLocked() SGNN_REQUIRES(mu_) { ++n_; }
+      std::mutex mu_;
+      uint64_t n_ SGNN_GUARDED_BY(mu_) = 0;
+    };
+  )cc");
+  // BumpLocked's own body is quiet (REQUIRES seeds the held set); the
+  // unlocked call in Tick is the one finding.
+  ASSERT_EQ(f.size(), 1u) << Render(f);
+  EXPECT_EQ(f[0].rule, "lock-discipline") << Render(f);
+  EXPECT_NE(f[0].message.find("requires \"mu_\" held"), std::string::npos)
+      << Render(f);
+}
+
+TEST(LockDisciplineTest, QuietWhenRequiresCalleeCalledUnderLock) {
+  const auto f = Lint("src/serve/x.cc", R"cc(
+    class Engine {
+     public:
+      void Tick() {
+        std::lock_guard<std::mutex> lock(mu_);
+        BumpLocked();
+      }
+     private:
+      void BumpLocked() SGNN_REQUIRES(mu_) { ++n_; }
+      std::mutex mu_;
+      uint64_t n_ SGNN_GUARDED_BY(mu_) = 0;
+    };
+  )cc");
+  EXPECT_FALSE(HasRule(f, "lock-discipline")) << Render(f);
+}
+
+TEST(LockDisciplineTest, FlagsExcludesCalleeCalledUnderItsMutex) {
+  const auto f = Lint("src/serve/x.cc", R"cc(
+    class Engine {
+     public:
+      void Stop() SGNN_EXCLUDES(mu_) { std::lock_guard<std::mutex> l(mu_); }
+      void Restart() {
+        std::lock_guard<std::mutex> lock(mu_);
+        Stop();
+      }
+     private:
+      std::mutex mu_;
+    };
+  )cc");
+  ASSERT_TRUE(HasRule(f, "lock-discipline")) << Render(f);
+  EXPECT_NE(Render(f).find("would self-deadlock"), std::string::npos)
+      << Render(f);
+}
+
+TEST(LockDisciplineTest, FlagsDoubleAcquisition) {
+  const auto f = Lint("src/serve/x.cc", R"cc(
+    class Counter {
+     public:
+      void Inc() {
+        std::lock_guard<std::mutex> a(mu_);
+        std::lock_guard<std::mutex> b(mu_);
+        ++n_;
+      }
+     private:
+      std::mutex mu_;
+      uint64_t n_ SGNN_GUARDED_BY(mu_) = 0;
+    };
+  )cc");
+  ASSERT_TRUE(HasRule(f, "lock-discipline")) << Render(f);
+  EXPECT_NE(Render(f).find("already held here"), std::string::npos)
+      << Render(f);
+}
+
+TEST(LockDisciplineTest, UnlockEndsTheHold) {
+  const auto f = Lint("src/serve/x.cc", R"cc(
+    class Counter {
+     public:
+      void Flush() {
+        std::unique_lock<std::mutex> lock(mu_);
+        ++n_;
+        lock.unlock();
+        ++n_;
+      }
+     private:
+      std::mutex mu_;
+      uint64_t n_ SGNN_GUARDED_BY(mu_) = 0;
+    };
+  )cc");
+  // Only the post-unlock access fires.
+  ASSERT_EQ(f.size(), 1u) << Render(f);
+  EXPECT_EQ(f[0].rule, "lock-discipline") << Render(f);
+}
+
+TEST(LockDisciplineTest, DeferLockDoesNotHold) {
+  const auto f = Lint("src/serve/x.cc", R"cc(
+    class Counter {
+     public:
+      void Lazy() {
+        std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+        ++n_;
+      }
+     private:
+      std::mutex mu_;
+      uint64_t n_ SGNN_GUARDED_BY(mu_) = 0;
+    };
+  )cc");
+  EXPECT_TRUE(HasRule(f, "lock-discipline")) << Render(f);
+}
+
+TEST(LockDisciplineTest, ArrayMemberAnnotation) {
+  // The annotation sits after the array extent, DeviceTracker-style.
+  const auto f = Lint("src/tensor/x.cc", R"cc(
+    class Tracker {
+     public:
+      void Bad() { live_[0] = 1; }
+     private:
+      std::mutex mu_;
+      size_t live_[2] SGNN_GUARDED_BY(mu_) = {0, 0};
+    };
+  )cc");
+  EXPECT_TRUE(HasRule(f, "lock-discipline")) << Render(f);
+}
+
+TEST(LockDisciplineTest, ConstructorIsExempt) {
+  // The ctor runs before the object is shared: no lock required.
+  const auto f = Lint("src/serve/x.cc", R"cc(
+    class Counter {
+     public:
+      Counter() { n_ = 0; }
+      ~Counter() { n_ = 0; }
+     private:
+      std::mutex mu_;
+      uint64_t n_ SGNN_GUARDED_BY(mu_) = 0;
+    };
+  )cc");
+  EXPECT_FALSE(HasRule(f, "lock-discipline")) << Render(f);
+}
+
+TEST(LockDisciplineTest, SuppressedWithReason) {
+  const auto f = Lint("src/serve/x.cc", R"cc(
+    class Counter {
+     public:
+      uint64_t Racy() const {
+        // NOLINTNEXTLINE(lock-discipline): stats peek, staleness tolerated
+        return n_;
+      }
+     private:
+      std::mutex mu_;
+      uint64_t n_ SGNN_GUARDED_BY(mu_) = 0;
+    };
+  )cc");
+  EXPECT_FALSE(HasRule(f, "lock-discipline")) << Render(f);
+  EXPECT_FALSE(HasRule(f, "nolint-policy")) << Render(f);
+}
+
+// --- device-pairing ---------------------------------------------------------
+
+TEST(DevicePairingTest, FlagsEarlyReturnLeak) {
+  const auto f = Lint("src/sparse/x.cc", R"cc(
+    void Stage(DeviceTracker* t, size_t bytes, bool fail) {
+      t->OnAlloc(Device::kAccel, bytes);
+      if (fail) return;
+      t->OnFree(Device::kAccel, bytes);
+    }
+  )cc");
+  ASSERT_TRUE(HasRule(f, "device-pairing")) << Render(f);
+  EXPECT_NE(Render(f).find("may not reach its matching"), std::string::npos)
+      << Render(f);
+}
+
+TEST(DevicePairingTest, QuietWhenEveryPathReleases) {
+  const auto f = Lint("src/sparse/x.cc", R"cc(
+    void Stage(DeviceTracker* t, size_t bytes, bool fail) {
+      t->OnAlloc(Device::kAccel, bytes);
+      if (fail) {
+        t->OnFree(Device::kAccel, bytes);
+        return;
+      }
+      t->OnFree(Device::kAccel, bytes);
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "device-pairing")) << Render(f);
+}
+
+TEST(DevicePairingTest, ResourceOwnerClassIsExempt) {
+  // Matrix registers in Allocate and releases in the dtor: its methods hold
+  // one side of the pair by design (config.resource_owner_types).
+  const auto f = Lint("src/tensor/x.cc", R"cc(
+    void Matrix::Allocate(size_t bytes) {
+      DeviceTracker::Global().OnAlloc(device_, bytes);
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "device-pairing")) << Render(f);
+}
+
+TEST(DevicePairingTest, SuppressedWithReason) {
+  const auto f = Lint("src/sparse/x.cc", R"cc(
+    void Seed(DeviceTracker* t) {
+      // NOLINTNEXTLINE(device-pairing): accounting baseline, freed in teardown
+      t->OnAlloc(Device::kAccel, 0);
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "device-pairing")) << Render(f);
+  EXPECT_FALSE(HasRule(f, "nolint-policy")) << Render(f);
+}
+
+// --- status-flow ------------------------------------------------------------
+
+TEST(StatusFlowTest, FlagsOneSidedDrop) {
+  const auto f = Lint("src/graph/x.cc", R"cc(
+    void Save(const Graph& g, bool verbose) {
+      Status s = SaveGraph(g, "/tmp/a");
+      if (verbose) {
+        Log(s);
+      }
+    }
+  )cc");
+  ASSERT_TRUE(HasRule(f, "status-flow")) << Render(f);
+  EXPECT_NE(Render(f).find("silently dropped"), std::string::npos)
+      << Render(f);
+}
+
+TEST(StatusFlowTest, FlagsNeverConsumed) {
+  const auto f = Lint("src/graph/x.cc", R"cc(
+    void Save(const Graph& g) {
+      Status s = SaveGraph(g, "/tmp/a");
+    }
+  )cc");
+  ASSERT_TRUE(HasRule(f, "status-flow")) << Render(f);
+  EXPECT_NE(Render(f).find("is never consumed"), std::string::npos)
+      << Render(f);
+}
+
+TEST(StatusFlowTest, FlagsOverwriteBeforeCheck) {
+  const auto f = Lint("src/graph/x.cc", R"cc(
+    Status Run(const Graph& g) {
+      Status s = SaveGraph(g, "/tmp/a");
+      s = SaveGraph(g, "/tmp/b");
+      return s;
+    }
+  )cc");
+  ASSERT_TRUE(HasRule(f, "status-flow")) << Render(f);
+  EXPECT_NE(Render(f).find("overwritten before being checked"),
+            std::string::npos)
+      << Render(f);
+}
+
+TEST(StatusFlowTest, QuietWhenConsumedOnEveryPath) {
+  const auto f = Lint("src/graph/x.cc", R"cc(
+    Status Run(const Graph& g) {
+      Status s = SaveGraph(g, "/tmp/a");
+      if (!s.ok()) return s;
+      return Status::OK();
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "status-flow")) << Render(f);
+}
+
+TEST(StatusFlowTest, OkInitializedLocalCarriesNoObligation) {
+  const auto f = Lint("src/graph/x.cc", R"cc(
+    void Accumulate() {
+      Status s = Status::OK();
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "status-flow")) << Render(f);
+}
+
+TEST(StatusFlowTest, ImmediatelyUnwrappedCallIsConsumed) {
+  const auto f = Lint("src/graph/x.cc", R"cc(
+    void Use(const Graph& g) {
+      const bool saved = SaveGraph(g, "/tmp/a").ok();
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "status-flow")) << Render(f);
+}
+
+TEST(StatusFlowTest, LambdaInitializerDefersItsCalls) {
+  const auto f = Lint("src/graph/x.cc", R"cc(
+    void Install() {
+      auto check = [](int x) {
+        return Status::InvalidArgument("bad payload");
+      };
+      Use(check);
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "status-flow")) << Render(f);
+}
+
+TEST(StatusFlowTest, SuppressedWithReason) {
+  const auto f = Lint("src/graph/x.cc", R"cc(
+    void Save(const Graph& g) {
+      // NOLINTNEXTLINE(status-flow): best-effort cleanup, failure is benign
+      Status s = SaveGraph(g, "/tmp/a");
+    }
+  )cc");
+  EXPECT_FALSE(HasRule(f, "status-flow")) << Render(f);
+  EXPECT_FALSE(HasRule(f, "nolint-policy")) << Render(f);
+}
+
+// --- tokenizer regressions --------------------------------------------------
+
+TEST(TokenizerTest, DirectiveContinuationSurvivesUrlInString) {
+  // A backslash-continued #define whose first line holds a string with
+  // `//` inside: the slashes must not read as a comment (which would
+  // swallow the continuation and lint line 3 as real code).
+  const auto f = Lint("src/graph/x.cc",
+                      "#define FETCH(dst) \\\n"
+                      "  fetch(dst, \"http://example.com//a\", \\\n"
+                      "        rand())\n"
+                      "int after = rand();\n");
+  int hits = 0;
+  int line = 0;
+  for (const auto& x : f) {
+    if (x.rule == "determinism") {
+      ++hits;
+      line = x.line;
+    }
+  }
+  EXPECT_EQ(hits, 1) << Render(f);
+  EXPECT_EQ(line, 4) << Render(f);
+}
+
+TEST(TokenizerTest, URRawStringPrefixIsRecognized) {
+  // `UR"(...)"` is a raw string: its body (with an embedded quote) must
+  // stay opaque, and real code after it must still be linted.
+  const auto f = Lint("src/graph/x.cc",
+                      "const char32_t* s = UR\"(rand() \" still raw)\";\n"
+                      "int n = rand();\n");
+  int hits = 0;
+  int line = 0;
+  for (const auto& x : f) {
+    if (x.rule == "determinism") {
+      ++hits;
+      line = x.line;
+    }
+  }
+  EXPECT_EQ(hits, 1) << Render(f);
+  EXPECT_EQ(line, 2) << Render(f);
+}
+
+// --- layering: annotation header exemption ----------------------------------
+
+TEST(LayeringTest, ThreadAnnotationHeaderIsIncludableFromAnyLayer) {
+  // core/thread_annotations.h is pure preprocessor, so even the bottom
+  // layer may include it without growing a back-edge.
+  const auto f = Lint("src/tensor/device.h", R"cc(
+    #include "core/thread_annotations.h"
+  )cc");
+  EXPECT_FALSE(HasRule(f, "layering")) << Render(f);
+}
+
+// --- pass 1: annotation collection ------------------------------------------
+
+TEST(CollectAnnotationsTest, IndexesGuardedRequiresAndExcludes) {
+  sgnn::lint::AnnotationIndex idx;
+  sgnn::lint::CollectAnnotations(R"cc(
+    class Engine {
+     public:
+      void Stop() SGNN_EXCLUDES(queue_mu_);
+     private:
+      Status ServeLocked() SGNN_REQUIRES(serve_mu_);
+      std::mutex serve_mu_;
+      std::mutex queue_mu_;
+      uint64_t queries_ SGNN_GUARDED_BY(serve_mu_) = 0;
+      size_t live_[2] SGNN_GUARDED_BY(serve_mu_) = {0, 0};
+    };
+  )cc",
+                                 &idx);
+  EXPECT_EQ(idx.guarded["Engine"]["queries_"], "serve_mu_");
+  EXPECT_EQ(idx.guarded["Engine"]["live_"], "serve_mu_");
+  EXPECT_EQ(idx.requires_held["Engine"]["ServeLocked"].count("serve_mu_"),
+            1u);
+  EXPECT_EQ(idx.excludes_held["Engine"]["Stop"].count("queue_mu_"), 1u);
+}
+
+// --- JSON output + fingerprints ---------------------------------------------
+
+TEST(JsonOutputTest, RoundTripsFingerprints) {
+  const auto f = Lint("src/graph/x.cc", "int t = rand();\n");
+  ASSERT_FALSE(f.empty());
+  const std::string json = sgnn::lint::FindingsToJson(f, 1);
+  EXPECT_NE(json.find("\"files\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": " + std::to_string(f.size())),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos) << json;
+  const auto fps = sgnn::lint::FingerprintsFromJson(json);
+  EXPECT_EQ(fps.size(), f.size());
+  for (const Finding& x : f) {
+    EXPECT_EQ(fps.count(x.Fingerprint()), 1u) << x.Fingerprint();
+  }
+}
+
+TEST(JsonOutputTest, UnparseableBaselineFailsOpen) {
+  EXPECT_TRUE(sgnn::lint::FingerprintsFromJson("not json at all").empty());
+  EXPECT_TRUE(sgnn::lint::FingerprintsFromJson("").empty());
+}
+
+TEST(FingerprintTest, StableWhenFindingShiftsDownTheFile) {
+  const auto a = Lint("src/graph/x.cc", "int t = rand();\n");
+  const auto b = Lint("src/graph/x.cc", "\n\n// padding\nint t = rand();\n");
+  ASSERT_EQ(a.size(), 1u) << Render(a);
+  ASSERT_EQ(b.size(), 1u) << Render(b);
+  EXPECT_NE(a[0].line, b[0].line);
+  EXPECT_EQ(a[0].Fingerprint(), b[0].Fingerprint());
+}
+
+TEST(FingerprintTest, DistinguishesFileRuleAndMessage) {
+  Finding base{"src/a.cc", 10, "hygiene", "float equality"};
+  Finding other_file = base;
+  other_file.file = "src/b.cc";
+  Finding other_rule = base;
+  other_rule.rule = "determinism";
+  Finding other_msg = base;
+  other_msg.message = "different text";
+  EXPECT_NE(base.Fingerprint(), other_file.Fingerprint());
+  EXPECT_NE(base.Fingerprint(), other_rule.Fingerprint());
+  EXPECT_NE(base.Fingerprint(), other_msg.Fingerprint());
+}
+
 // --- pass 1: status-function collection -------------------------------------
 
 TEST(CollectStatusFunctionsTest, FindsDeclarationsAndDefinitions) {

@@ -15,6 +15,7 @@
 
 #include <cstring>
 #include <future>
+#include <thread>
 #include <vector>
 
 #include "core/registry.h"
@@ -329,6 +330,29 @@ TEST(Shutdown, SubmitAfterStopIsTypedNotHung) {
   engine.Stop();
   QueryResult r = engine.Submit(0).get();
   EXPECT_EQ(r.status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Shutdown, ConcurrentStopsJoinExactlyOnce) {
+  // Regression: two racing Stop() calls used to both reach
+  // dispatcher_.join() (UB on the second). Exactly one caller owns the
+  // join now; the rest wait for the shutdown to finish. Queued futures
+  // still all resolve, and the engine restarts cleanly afterwards.
+  Engine engine(Restore(CkptV1()), PinnedConfig());
+  engine.Start();
+  std::vector<std::future<QueryResult>> queued;
+  for (int i = 0; i < 8; ++i) queued.push_back(engine.Submit(i));
+  std::vector<std::thread> stoppers;
+  stoppers.reserve(4);
+  for (int i = 0; i < 4; ++i) stoppers.emplace_back([&] { engine.Stop(); });
+  for (auto& t : stoppers) t.join();
+  for (auto& fut : queued) {
+    EXPECT_TRUE(fut.get().status.ok());
+  }
+  engine.Start();
+  std::future<QueryResult> fut = engine.Submit(3);
+  engine.Stop();  // drains the pinned hold immediately
+  QueryResult r = fut.get();
+  EXPECT_TRUE(r.status.ok()) << r.status.ToString();
 }
 
 // --- SLO controller ----------------------------------------------------------

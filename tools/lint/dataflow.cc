@@ -1,0 +1,1029 @@
+#include "lint/dataflow.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace sgnn::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Declaration scan: scope stack + annotation collection + function ranges
+// ---------------------------------------------------------------------------
+
+/// One function *definition*: body token range plus the identity the
+/// dataflow rules key on.
+struct FunctionInfo {
+  std::string name;  ///< last name component ("Stop", not "Engine::Stop")
+  std::string cls;   ///< enclosing/qualifying class, "" for free functions
+  size_t body_begin; ///< first token inside the body braces
+  size_t body_end;   ///< index of the closing `}`
+  bool ctor_dtor;    ///< constructors/destructors ARE the RAII boundary
+};
+
+/// Identifiers that can precede `(` without being a function name.
+bool IsNonFunctionKeyword(const std::string& w) {
+  static const std::set<std::string> kDeny = {
+      "if",     "for",      "while",  "switch",   "catch",  "return",
+      "sizeof", "new",      "delete", "throw",    "void",   "int",
+      "bool",   "char",     "float",  "double",   "auto",   "decltype",
+      "alignof", "static_assert",     "assert",   "defined", "typeid",
+      "long",   "short",    "unsigned", "signed", "alignas",
+  };
+  return kDeny.count(w) > 0;
+}
+
+/// Tokens that, immediately before an identifier, mark it as an expression
+/// operand or argument rather than a declarator name.
+bool IsDeclaratorDeniedPrev(const std::string& w) {
+  return w == "=" || w == "(" || w == "," || w == "return" || w == "." ||
+         w == "->" || w == "<" || w == "!" || w == "&&" || w == "||" ||
+         w == "case" || w == "goto" || w == "co_return";
+}
+
+/// Collects the mutex names out of an SGNN_REQUIRES/SGNN_EXCLUDES/
+/// SGNN_GUARDED_BY argument list [open+1, close): one name per top-level
+/// comma-separated chain, keeping the chain's last identifier (so
+/// `other.mu_` names `mu_`, matching how lock sites spell it).
+std::set<std::string> MutexArgs(const std::vector<Tok>& t, size_t open,
+                                size_t close) {
+  std::set<std::string> out;
+  std::string last;
+  int depth = 0;
+  for (size_t k = open + 1; k < close; ++k) {
+    const std::string& x = t[k].text;
+    if (x == "(" || x == "[") ++depth;
+    if (x == ")" || x == "]") --depth;
+    if (x == "," && depth == 0) {
+      if (!last.empty()) out.insert(last);
+      last.clear();
+      continue;
+    }
+    if (t[k].kind == TokKind::kIdent) last = x;
+  }
+  if (!last.empty()) out.insert(last);
+  return out;
+}
+
+/// Walks the token stream tracking namespace/class scope; records
+/// annotations into `ann` and/or function definitions into `fns` (either
+/// may be null). Function bodies are skipped wholesale — nested lambdas
+/// and local classes belong to their enclosing function's body range.
+class DeclScanner {
+ public:
+  DeclScanner(const std::vector<Tok>& t, AnnotationIndex* ann,
+              std::vector<FunctionInfo>* fns)
+      : t_(t), ann_(ann), fns_(fns) {}
+
+  void Scan() {
+    const size_t T = t_.size();
+    size_t i = 0;
+    while (i < T) {
+      const Tok& tk = t_[i];
+      if (tk.kind == TokKind::kIdent) {
+        if (tk.text == "namespace") {
+          i = HandleNamespace(i);
+          continue;
+        }
+        if ((tk.text == "class" || tk.text == "struct" ||
+             tk.text == "union") &&
+            !(i > 0 && Is(t_, i - 1, "enum"))) {
+          i = HandleClassHead(i);
+          continue;
+        }
+        if (tk.text == "enum") {
+          i = SkipEnum(i);
+          continue;
+        }
+        if (tk.text == "SGNN_GUARDED_BY" && Is(t_, i + 1, "(")) {
+          i = HandleGuardedBy(i);
+          continue;
+        }
+        if (Is(t_, i + 1, "(") && ScopeAllowsFunctions() &&
+            !IsNonFunctionKeyword(tk.text) &&
+            !(i > 0 && IsDeclaratorDeniedPrev(t_[i - 1].text))) {
+          const size_t after = TryParseSignature(i);
+          if (after > i) {
+            i = after;
+            continue;
+          }
+        }
+        ++i;
+        continue;
+      }
+      if (tk.text == "{") {
+        // Unclaimed brace: a braced initializer rides in expression
+        // position (skip it), anything else opens an opaque scope.
+        if (i > 0 && (Is(t_, i - 1, "=") || Is(t_, i - 1, ",") ||
+                      Is(t_, i - 1, "(") || Is(t_, i - 1, "["))) {
+          i = std::min(MatchForward(t_, i) + 1, T);
+          continue;
+        }
+        stack_.push_back({kOther, ""});
+        ++i;
+        continue;
+      }
+      if (tk.text == "}") {
+        if (!stack_.empty()) stack_.pop_back();
+        ++i;
+        continue;
+      }
+      ++i;
+    }
+  }
+
+ private:
+  enum Kind { kNamespace, kClass, kOther };
+  struct Scope {
+    Kind kind;
+    std::string name;
+  };
+
+  bool ScopeAllowsFunctions() const {
+    return stack_.empty() || stack_.back().kind != kOther;
+  }
+
+  std::string CurClass() const {
+    for (size_t k = stack_.size(); k-- > 0;) {
+      if (stack_[k].kind == kClass) return stack_[k].name;
+    }
+    return "";
+  }
+
+  size_t HandleNamespace(size_t i) {
+    size_t j = i + 1;
+    while (j < t_.size() && !Is(t_, j, "{") && !Is(t_, j, ";") &&
+           !Is(t_, j, "=")) {
+      ++j;
+    }
+    if (Is(t_, j, "{")) {
+      stack_.push_back({kNamespace, ""});
+      return j + 1;
+    }
+    return j + 1;  // alias or using-directive tail: nothing to push
+  }
+
+  size_t HandleClassHead(size_t i) {
+    size_t j = i + 1;
+    // Skip [[attributes]] between the keyword and the name.
+    while (Is(t_, j, "[") && Is(t_, j + 1, "[")) {
+      j = std::min(MatchForward(t_, j) + 1, t_.size());
+    }
+    std::string name;
+    if (IsIdent(t_, j)) {
+      name = t_[j].text;
+      ++j;
+    }
+    if (Is(t_, j, "final")) ++j;
+    // Scan to the body brace; a `;` (forward decl), `=` (variable with a
+    // class-typed initializer), or second identifier run means this head
+    // declares no body here.
+    while (j < t_.size() && !Is(t_, j, "{") && !Is(t_, j, ";") &&
+           !Is(t_, j, "=") && !Is(t_, j, ")") && !Is(t_, j, "(")) {
+      ++j;
+    }
+    if (Is(t_, j, "{")) {
+      stack_.push_back({kClass, name});
+      return j + 1;
+    }
+    return i + 1;  // `struct stat st;` and friends: rescan normally
+  }
+
+  size_t SkipEnum(size_t i) {
+    size_t j = i + 1;
+    while (j < t_.size() && !Is(t_, j, "{") && !Is(t_, j, ";")) ++j;
+    if (Is(t_, j, "{")) return std::min(MatchForward(t_, j) + 1, t_.size());
+    return j + 1;
+  }
+
+  size_t HandleGuardedBy(size_t i) {
+    const size_t close = MatchForward(t_, i + 1);
+    if (close >= t_.size()) return i + 1;
+    // Member declarator immediately left of the macro; `]` steps over an
+    // array extent (`size_t live_[2] SGNN_GUARDED_BY(mu_)`).
+    size_t m = i;
+    if (m == 0) return close + 1;
+    --m;
+    if (Is(t_, m, "]")) {
+      const size_t open = MatchBackward(t_, m);
+      if (open == 0) return close + 1;
+      m = open - 1;
+    }
+    if (IsIdent(t_, m) && ann_ != nullptr) {
+      const std::set<std::string> mus = MutexArgs(t_, i + 1, close);
+      if (!mus.empty()) {
+        ann_->guarded[CurClass()][t_[m].text] = *mus.begin();
+      }
+    }
+    return close + 1;
+  }
+
+  /// Parses a candidate function signature whose name sits at `name_idx`.
+  /// Returns the index just past the construct (body or `;`), or
+  /// `name_idx` unchanged when the tokens turn out not to be a function.
+  size_t TryParseSignature(size_t name_idx) {
+    const size_t T = t_.size();
+    const std::string& name = t_[name_idx].text;
+    const bool dtor = name_idx > 0 && Is(t_, name_idx - 1, "~");
+    std::string cls = CurClass();
+    const size_t q = name_idx - (dtor ? 1 : 0);
+    if (q >= 2 && Is(t_, q - 1, "::") && IsIdent(t_, q - 2)) {
+      cls = t_[q - 2].text;  // out-of-class definition: qualifier wins
+    }
+    const size_t close = MatchForward(t_, name_idx + 1);
+    if (close >= T) return name_idx;
+    const bool ctor_dtor = dtor || (!cls.empty() && name == cls);
+
+    std::set<std::string> req;
+    std::set<std::string> exc;
+    size_t j = close + 1;
+    bool parsed_init_list = false;
+    while (j < T) {
+      if (Is(t_, j, "const") || Is(t_, j, "override") ||
+          Is(t_, j, "final") || Is(t_, j, "mutable") || Is(t_, j, "&") ||
+          Is(t_, j, "&&")) {
+        ++j;
+        continue;
+      }
+      if (Is(t_, j, "noexcept")) {
+        ++j;
+        if (Is(t_, j, "(")) j = std::min(MatchForward(t_, j) + 1, T);
+        continue;
+      }
+      if ((Is(t_, j, "SGNN_REQUIRES") || Is(t_, j, "SGNN_EXCLUDES")) &&
+          Is(t_, j + 1, "(")) {
+        const size_t c2 = MatchForward(t_, j + 1);
+        if (c2 >= T) return name_idx;
+        std::set<std::string> mus = MutexArgs(t_, j + 1, c2);
+        (Is(t_, j, "SGNN_REQUIRES") ? req : exc)
+            .insert(mus.begin(), mus.end());
+        j = c2 + 1;
+        continue;
+      }
+      if (Is(t_, j, ":") && !parsed_init_list) {
+        // Constructor member-initializer list.
+        parsed_init_list = true;
+        ++j;
+        while (j < T) {
+          if (!IsIdent(t_, j)) break;
+          ++j;
+          while (Is(t_, j, "::") && IsIdent(t_, j + 1)) j += 2;
+          if (Is(t_, j, "<")) {  // templated base: Base<T>(...)
+            int d = 0;
+            while (j < T) {
+              if (t_[j].text == "<") ++d;
+              if (t_[j].text == ">") --d;
+              if (t_[j].text == ">>") d -= 2;
+              ++j;
+              if (d <= 0) break;
+            }
+          }
+          if (Is(t_, j, "(") || Is(t_, j, "{")) {
+            j = std::min(MatchForward(t_, j) + 1, T);
+          } else {
+            break;
+          }
+          if (Is(t_, j, ",")) {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        continue;
+      }
+      break;
+    }
+    // Annotations hold for declarations and definitions alike.
+    if (ann_ != nullptr && !req.empty()) {
+      ann_->requires_held[cls][name].insert(req.begin(), req.end());
+    }
+    if (ann_ != nullptr && !exc.empty()) {
+      ann_->excludes_held[cls][name].insert(exc.begin(), exc.end());
+    }
+    if (Is(t_, j, "{")) {
+      const size_t end = MatchForward(t_, j);
+      if (end >= T) return name_idx;
+      if (fns_ != nullptr) {
+        fns_->push_back({name, cls, j + 1, end, ctor_dtor});
+      }
+      return end + 1;
+    }
+    if (Is(t_, j, ";")) return j + 1;
+    if (Is(t_, j, "=")) {  // = default / = delete / = 0;
+      size_t k = j;
+      while (k < T && !Is(t_, k, ";")) ++k;
+      return k + 1;
+    }
+    return name_idx;
+  }
+
+  const std::vector<Tok>& t_;
+  AnnotationIndex* ann_;
+  std::vector<FunctionInfo>* fns_;
+  std::vector<Scope> stack_;
+};
+
+// ---------------------------------------------------------------------------
+// Lock-discipline: lexical RAII-lock tracking per function body
+// ---------------------------------------------------------------------------
+
+class LockChecker {
+ public:
+  LockChecker(const std::vector<Tok>& t, const Config& config,
+              const ReportFn& report)
+      : t_(t), config_(config), report_(report) {}
+
+  void Check(const FunctionInfo& fn) {
+    if (fn.ctor_dtor) return;  // the ctor/dtor IS the RAII boundary
+    const auto guarded_it = config_.annotations.guarded.find(fn.cls);
+    const auto* guarded = guarded_it != config_.annotations.guarded.end()
+                              ? &guarded_it->second
+                              : nullptr;
+    const auto req_cls = config_.annotations.requires_held.find(fn.cls);
+    const auto exc_cls = config_.annotations.excludes_held.find(fn.cls);
+    if (guarded == nullptr &&
+        req_cls == config_.annotations.requires_held.end() &&
+        exc_cls == config_.annotations.excludes_held.end()) {
+      return;  // nothing annotated for this class: no contract to check
+    }
+
+    held_.clear();
+    if (req_cls != config_.annotations.requires_held.end()) {
+      auto it = req_cls->second.find(fn.name);
+      if (it != req_cls->second.end()) {
+        for (const std::string& mu : it->second) {
+          held_.push_back({mu, "", -1, true});
+        }
+      }
+    }
+    int depth = 0;
+    std::set<std::pair<int, std::string>> reported;
+    for (size_t i = fn.body_begin; i < fn.body_end; ++i) {
+      const Tok& tk = t_[i];
+      if (tk.text == "{") {
+        ++depth;
+        continue;
+      }
+      if (tk.text == "}") {
+        --depth;
+        while (!held_.empty() && held_.back().depth > depth) {
+          held_.pop_back();
+        }
+        continue;
+      }
+      if (tk.kind != TokKind::kIdent) continue;
+      const std::string& w = tk.text;
+
+      // RAII lock declaration: lock_guard<...> name(mu[, mu2...]);
+      if (config_.lock_types.count(w) > 0 && !Is(t_, i - 1, ".") &&
+          !Is(t_, i - 1, "->")) {
+        i = HandleLockDecl(i, fn, depth, &reported);
+        continue;
+      }
+      // Manual var.lock()/var.unlock() or mu_.lock()/mu_.unlock().
+      if ((w == "lock" || w == "unlock") && i >= 2 && Is(t_, i - 1, ".") &&
+          IsIdent(t_, i - 2) && Is(t_, i + 1, "(")) {
+        HandleManualLock(i, depth);
+        continue;
+      }
+      // Guarded-member access.
+      if (guarded != nullptr) {
+        auto g = guarded->find(w);
+        if (g != guarded->end() && IsSelfMemberUse(i) &&
+            !MutexHeld(g->second)) {
+          if (reported.insert({tk.line, w}).second) {
+            report_(tk.line, "lock-discipline",
+                    "\"" + w + "\" is SGNN_GUARDED_BY(" + g->second +
+                        ") but is accessed without holding \"" + g->second +
+                        "\" (wrap the access in a std::lock_guard, or "
+                        "annotate the enclosing method SGNN_REQUIRES)");
+          }
+          continue;
+        }
+      }
+      // Same-class call sites: REQUIRES must already hold, EXCLUDES must
+      // not (the callee acquires it itself — deadlock).
+      if (Is(t_, i + 1, "(") && IsSelfMemberUse(i)) {
+        if (req_cls != config_.annotations.requires_held.end()) {
+          auto it = req_cls->second.find(w);
+          if (it != req_cls->second.end() && w != fn.name) {
+            for (const std::string& mu : it->second) {
+              if (!MutexHeld(mu) &&
+                  reported.insert({tk.line, w + "/" + mu}).second) {
+                report_(tk.line, "lock-discipline",
+                        "call to \"" + w + "\" requires \"" + mu +
+                            "\" held (SGNN_REQUIRES), but it is not held "
+                            "here");
+              }
+            }
+          }
+        }
+        if (exc_cls != config_.annotations.excludes_held.end()) {
+          auto it = exc_cls->second.find(w);
+          if (it != exc_cls->second.end() && w != fn.name) {
+            for (const std::string& mu : it->second) {
+              if (MutexHeld(mu) &&
+                  reported.insert({tk.line, w + "!" + mu}).second) {
+                report_(tk.line, "lock-discipline",
+                        "call to \"" + w + "\" with \"" + mu +
+                            "\" held would self-deadlock: \"" + w +
+                            "\" is SGNN_EXCLUDES(" + mu +
+                            ") and acquires it itself");
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+ private:
+  struct Held {
+    std::string mu;   ///< mutex spelling (last name component)
+    std::string var;  ///< lock variable, "" for REQUIRES/manual .lock()
+    int depth;        ///< brace depth the lock dies at (-1: whole function)
+    bool active;      ///< false after var.unlock() or std::defer_lock
+  };
+
+  bool MutexHeld(const std::string& mu) const {
+    for (const Held& h : held_) {
+      if (h.active && h.mu == mu) return true;
+    }
+    return false;
+  }
+
+  /// True when the identifier at `i` refers to this object's own member
+  /// (bare or via `this->`), not another instance's.
+  bool IsSelfMemberUse(size_t i) const {
+    if (i == 0) return true;
+    const std::string& p = t_[i - 1].text;
+    if (p == "." || p == "::") return false;
+    if (p == "->") return i >= 2 && Is(t_, i - 2, "this");
+    return true;
+  }
+
+  /// Parses one RAII lock declaration starting at the lock-type token.
+  /// Returns the index to resume the main scan from.
+  size_t HandleLockDecl(size_t i, const FunctionInfo& fn, int depth,
+                        std::set<std::pair<int, std::string>>* reported) {
+    const size_t T = t_.size();
+    size_t j = i + 1;
+    if (Is(t_, j, "<")) {  // explicit template args
+      int d = 0;
+      while (j < T) {
+        if (t_[j].text == "<") ++d;
+        if (t_[j].text == ">") --d;
+        if (t_[j].text == ">>") d -= 2;
+        ++j;
+        if (d <= 0) break;
+      }
+    }
+    if (!IsIdent(t_, j)) return i;  // a temporary or a mention, not a decl
+    const std::string var = t_[j].text;
+    size_t k = j + 1;
+    if (!Is(t_, k, "(") && !Is(t_, k, "{")) return j;
+    const size_t close = MatchForward(t_, k);
+    if (close >= T || close > fn.body_end) return j;
+    // Split the argument list on top-level commas; tag arguments
+    // (defer_lock/adopt_lock/try_to_lock) set the mode, every other chain
+    // names a mutex by its last identifier.
+    bool active = true;
+    std::vector<std::string> mutexes;
+    std::string last;
+    int d = 0;
+    auto flush = [&]() {
+      if (last.empty()) return;
+      if (last == "defer_lock" || last == "try_to_lock") {
+        active = false;
+      } else if (last != "adopt_lock") {
+        mutexes.push_back(last);
+      }
+      last.clear();
+    };
+    for (size_t p = k + 1; p < close; ++p) {
+      const std::string& x = t_[p].text;
+      if (x == "(" || x == "[" || x == "{") ++d;
+      if (x == ")" || x == "]" || x == "}") --d;
+      if (x == "," && d == 0) {
+        flush();
+        continue;
+      }
+      if (t_[p].kind == TokKind::kIdent) last = x;
+    }
+    flush();
+    for (const std::string& mu : mutexes) {
+      if (active && MutexHeld(mu) &&
+          reported->insert({t_[i].line, "2x" + mu}).second) {
+        report_(t_[i].line, "lock-discipline",
+                "\"" + mu +
+                    "\" is already held here; acquiring it again "
+                    "self-deadlocks (std::mutex is not recursive)");
+      }
+      held_.push_back({mu, var, depth, active});
+    }
+    return close;
+  }
+
+  void HandleManualLock(size_t i, int depth) {
+    const std::string base = t_[i - 2].text;
+    const bool locking = t_[i].text == "lock";
+    for (size_t k = held_.size(); k-- > 0;) {
+      if (held_[k].var == base && !held_[k].var.empty()) {
+        held_[k].active = locking;  // unique_lock re-lock / unlock
+        return;
+      }
+    }
+    if (locking) {
+      held_.push_back({base, "", depth, true});  // bare mu_.lock()
+    } else {
+      for (size_t k = held_.size(); k-- > 0;) {
+        if (held_[k].mu == base) {
+          held_.erase(held_.begin() + static_cast<long>(k));
+          return;
+        }
+      }
+    }
+  }
+
+  const std::vector<Tok>& t_;
+  const Config& config_;
+  const ReportFn& report_;
+  std::vector<Held> held_;
+};
+
+// ---------------------------------------------------------------------------
+// Flow analyzer: device-pairing + status-flow over the statement tree
+// ---------------------------------------------------------------------------
+
+class FlowAnalyzer {
+ public:
+  FlowAnalyzer(const std::vector<Tok>& t, const Config& config,
+               const ReportFn& report, bool pairing_enabled)
+      : t_(t), config_(config), report_(report),
+        pairing_enabled_(pairing_enabled) {
+    for (const auto& [acq, rel] : config_.resource_pairs) {
+      releases_.insert(rel);
+    }
+  }
+
+  void Run(const FunctionInfo& fn) {
+    PathState st;
+    AnalyzeBlockContents(fn.body_begin, fn.body_end, &st);
+    if (st.live && fn.body_end < t_.size()) {
+      ExitCheck(st, t_[fn.body_end].line);
+    }
+  }
+
+ private:
+  /// An unmatched resource acquisition on the current path.
+  struct Acq {
+    int line;
+    std::string acquire;  ///< callee that acquired ("OnAlloc")
+    std::string release;  ///< callee that would balance it ("OnFree")
+  };
+  /// A tracked Status/Result local. `open` means a fallible value is
+  /// stored and has not been looked at on this path. `from_auto` marks a
+  /// variable whose declared type is `auto` — its status-ness is inferred
+  /// from a tree-wide name index that can collide, so those only report
+  /// when NO path ever consumed them (explicit Status/Result declarations
+  /// keep full path sensitivity).
+  struct Ob {
+    int line;
+    bool open;
+    bool ever_consumed;
+    bool from_auto = false;
+  };
+  struct PathState {
+    std::map<std::string, Acq> acqs;  ///< key: release + "#" + arg spelling
+    std::map<std::string, Ob> obs;    ///< key: variable name
+    bool live = true;
+  };
+
+  /// Copies consumption evidence from a dead (returned/thrown) branch into
+  /// the surviving state: it does not discharge the live path's
+  /// obligation, but it distinguishes "checked on one path" from "never
+  /// checked" and feeds the from_auto relaxation.
+  static void MergeEverConsumed(const PathState& dead, PathState* out) {
+    for (const auto& [k, v] : dead.obs) {
+      auto it = out->obs.find(k);
+      if (it != out->obs.end()) {
+        it->second.ever_consumed =
+            it->second.ever_consumed || v.ever_consumed;
+      }
+    }
+  }
+
+  static PathState Join(const PathState& a, const PathState& b) {
+    if (!a.live) {
+      PathState out = b;
+      MergeEverConsumed(a, &out);
+      return out;
+    }
+    if (!b.live) {
+      PathState out = a;
+      MergeEverConsumed(b, &out);
+      return out;
+    }
+    PathState out;
+    out.acqs = a.acqs;
+    for (const auto& [k, v] : b.acqs) out.acqs.emplace(k, v);
+    out.obs = a.obs;
+    for (const auto& [k, vb] : b.obs) {
+      auto it = out.obs.find(k);
+      if (it == out.obs.end()) {
+        out.obs.emplace(k, vb);
+      } else {
+        it->second.open = it->second.open || vb.open;
+        it->second.ever_consumed =
+            it->second.ever_consumed || vb.ever_consumed;
+      }
+    }
+    return out;
+  }
+
+  void AnalyzeBlockContents(size_t i, size_t end, PathState* st) {
+    std::set<std::string> outer;
+    for (const auto& [k, v] : st->obs) outer.insert(k);
+    while (i < end && st->live) i = AnalyzeStatement(i, end, st);
+    // Locals declared in this block die here: an open obligation at the
+    // closing brace is a silent drop. (After a return, ExitCheck already
+    // reported; the dedup set keeps this from double-firing.)
+    for (auto it = st->obs.begin(); it != st->obs.end();) {
+      if (outer.count(it->first) == 0) {
+        if (it->second.open && st->live) ReportDrop(it->first, it->second);
+        it = st->obs.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  size_t AnalyzeStatement(size_t i, size_t end, PathState* st) {
+    if (i >= end) return end;
+    const std::string& w = t_[i].text;
+    if (w == ";") return i + 1;
+    if (w == "{") {
+      size_t close = MatchForward(t_, i);
+      if (close > end) close = end;
+      AnalyzeBlockContents(i + 1, close, st);
+      return std::min(close + 1, end + 1);
+    }
+    if (w == "if") {
+      size_t p = i + 1;
+      if (Is(t_, p, "constexpr")) ++p;
+      if (!Is(t_, p, "(")) return i + 1;
+      const size_t cclose = MatchForward(t_, p);
+      if (cclose >= end) return end;
+      ScanExpr(p + 1, cclose, st);
+      PathState then_st = *st;
+      const size_t after_then = AnalyzeStatement(cclose + 1, end, &then_st);
+      if (after_then < end && Is(t_, after_then, "else")) {
+        PathState else_st = *st;
+        const size_t after_else =
+            AnalyzeStatement(after_then + 1, end, &else_st);
+        *st = Join(then_st, else_st);
+        return after_else;
+      }
+      *st = Join(then_st, *st);  // no else: fallthrough path joins
+      return after_then;
+    }
+    if (w == "while" || w == "for") {
+      if (!Is(t_, i + 1, "(")) return i + 1;
+      const size_t cclose = MatchForward(t_, i + 1);
+      if (cclose >= end) return end;
+      ScanExpr(i + 2, cclose, st);
+      // Loop body modeled as 0-or-1 executions for acquisitions (the leak
+      // question is "can we exit without releasing"), but as at-least-once
+      // for status consumption — a status checked inside the loop that
+      // drains it is consumed, and flagging the 0-iteration path drowns
+      // real drops in noise.
+      PathState body_st = *st;
+      const size_t after = AnalyzeStatement(cclose + 1, end, &body_st);
+      PathState joined = Join(body_st, *st);
+      if (body_st.live) joined.obs = body_st.obs;
+      *st = joined;
+      return after;
+    }
+    if (w == "do") {
+      PathState body_st = *st;
+      size_t after = AnalyzeStatement(i + 1, end, &body_st);
+      PathState joined = Join(body_st, *st);
+      if (body_st.live) joined.obs = body_st.obs;
+      *st = joined;
+      if (after < end && Is(t_, after, "while") && Is(t_, after + 1, "(")) {
+        const size_t cclose = MatchForward(t_, after + 1);
+        if (cclose >= end) return end;
+        ScanExpr(after + 2, cclose, st);
+        after = cclose + 1;
+        if (after < end && Is(t_, after, ";")) ++after;
+      }
+      return after;
+    }
+    if (w == "switch") {
+      if (!Is(t_, i + 1, "(")) return i + 1;
+      const size_t cclose = MatchForward(t_, i + 1);
+      if (cclose >= end) return end;
+      ScanExpr(i + 2, cclose, st);
+      if (cclose + 1 < end && Is(t_, cclose + 1, "{")) {
+        size_t bclose = MatchForward(t_, cclose + 1);
+        if (bclose > end) bclose = end;
+        PathState body_st = *st;
+        AnalyzeSwitchBody(cclose + 2, bclose, *st, &body_st);
+        *st = Join(body_st, *st);  // no-matching-case / break paths
+        return std::min(bclose + 1, end + 1);
+      }
+      return cclose + 1;
+    }
+    if (w == "return") {
+      const size_t stop = SkipToSemicolon(i + 1, end);
+      ScanExpr(i + 1, stop, st);
+      ExitCheck(*st, t_[i].line);
+      st->live = false;
+      return StmtNext(i, stop, end);
+    }
+    if (w == "throw") {
+      // Exceptional exit: kill the path without leak/drop checks (error
+      // unwinding is outside this analysis's contract; see docs/LINT.md).
+      const size_t stop = SkipToSemicolon(i + 1, end);
+      ScanExpr(i + 1, stop, st);
+      st->live = false;
+      return StmtNext(i, stop, end);
+    }
+    if (w == "break" || w == "continue") {
+      // Approximated as straight-line flow (the join at the loop head
+      // already models the skipped iterations).
+      return StmtNext(i, SkipToSemicolon(i, end), end);
+    }
+    if (w == "case" || w == "default") {
+      size_t j = i;
+      while (j < end && !Is(t_, j, ":")) ++j;
+      return j + 1;
+    }
+    if (w == "else") return i + 1;  // defensive: stray else
+    // Plain statement (possibly a declaration).
+    const size_t stop = SkipToSemicolon(i, end);
+    HandleSimpleStatement(i, stop, st);
+    return StmtNext(i, stop, end);
+  }
+
+  /// Advances past a statement that ended at `stop` (a `;`, a `}`, or
+  /// `end`), always making progress.
+  size_t StmtNext(size_t i, size_t stop, size_t end) const {
+    size_t next = (stop < end && Is(t_, stop, ";")) ? stop + 1 : stop;
+    return next > i ? next : i + 1;
+  }
+
+  /// First `;` at nesting depth zero in [i, end); stops early at an
+  /// unbalanced `}` (enclosing block end). Balanced (), [], {} — lambda
+  /// bodies and braced initializers — pass through whole.
+  size_t SkipToSemicolon(size_t i, size_t end) const {
+    size_t j = i;
+    while (j < end) {
+      const std::string& x = t_[j].text;
+      if (x == ";") return j;
+      if (x == "}") return j;
+      if (x == "(" || x == "[" || x == "{") {
+        j = MatchForward(t_, j) + 1;
+        continue;
+      }
+      ++j;
+    }
+    return end;
+  }
+
+  void AnalyzeSwitchBody(size_t i, size_t end, const PathState& pre,
+                         PathState* st) {
+    while (i < end) {
+      if (Is(t_, i, "case") ||
+          (Is(t_, i, "default") && Is(t_, i + 1, ":"))) {
+        while (i < end && !Is(t_, i, ":")) ++i;
+        ++i;
+        // Each label is reachable from the switch head even when the
+        // previous case returned.
+        *st = Join(*st, pre);
+        continue;
+      }
+      if (!st->live) {  // dead code between a return and the next label
+        ++i;
+        continue;
+      }
+      i = AnalyzeStatement(i, end, st);
+    }
+  }
+
+  void HandleSimpleStatement(size_t i, size_t stop, PathState* st) {
+    size_t k = i;
+    while (Is(t_, k, "const") || Is(t_, k, "static")) ++k;
+    // Status/Result/auto declaration?
+    size_t var_at = 0;
+    if (Is(t_, k, "Status") && IsIdent(t_, k + 1)) {
+      var_at = k + 1;
+    } else if (Is(t_, k, "Result") && Is(t_, k + 1, "<")) {
+      int d = 0;
+      size_t j = k + 1;
+      while (j < stop) {
+        if (t_[j].text == "<") ++d;
+        if (t_[j].text == ">") --d;
+        if (t_[j].text == ">>") d -= 2;
+        ++j;
+        if (d <= 0) break;
+      }
+      if (IsIdent(t_, j) && j < stop) var_at = j;
+    } else if (Is(t_, k, "auto") && IsIdent(t_, k + 1) &&
+               Is(t_, k + 2, "=")) {
+      var_at = k + 1;
+    }
+    if (var_at != 0) {
+      const std::string var = t_[var_at].text;
+      const size_t after = var_at + 1;
+      if (Is(t_, after, "=")) {
+        const bool open = RangeHasStatusCall(after + 1, stop);
+        // `auto` only creates an obligation when the initializer visibly
+        // returns a Status/Result; other auto locals stay untracked.
+        if (open || !Is(t_, k, "auto")) {
+          st->obs[var] = {t_[var_at].line, open, false, Is(t_, k, "auto")};
+        }
+        ScanExpr(after + 1, stop, st);
+        return;
+      }
+      if (Is(t_, after, "(") || Is(t_, after, "{")) {  // direct-init
+        const size_t close = MatchForward(t_, after);
+        const bool open =
+            RangeHasStatusCall(after + 1, std::min(close, stop));
+        st->obs[var] = {t_[var_at].line, open, false};
+        ScanExpr(after + 1, std::min(close, stop), st);
+        return;
+      }
+      if (!Is(t_, k, "auto")) {
+        st->obs[var] = {t_[var_at].line, false, false};  // `Status s;`
+        ScanExpr(after, stop, st);
+        return;
+      }
+    }
+    // Assignment to a tracked variable?
+    if (IsIdent(t_, i) && Is(t_, i + 1, "=")) {
+      auto it = st->obs.find(t_[i].text);
+      if (it != st->obs.end()) {
+        if (it->second.open &&
+            reported_.insert("ow:" + t_[i].text +
+                             std::to_string(it->second.line)).second) {
+          report_(t_[i].line, "status-flow",
+                  "status \"" + t_[i].text +
+                      "\" is overwritten before being checked (the error "
+                      "stored at line " + std::to_string(it->second.line) +
+                      " is lost)");
+        }
+        const bool open = RangeHasStatusCall(i + 2, stop);
+        it->second.open = open;
+        if (open) it->second.line = t_[i].line;
+        ScanExpr(i + 2, stop, st);
+        return;
+      }
+    }
+    ScanExpr(i, stop, st);
+  }
+
+  /// True when [b, e) contains a call to a status-returning function other
+  /// than the OK() factory (an OK-initialized local carries no obligation).
+  /// A lambda initializer defers its calls, and a call whose result is
+  /// immediately unwrapped (`.value()`, `.MoveValue()`, `.ok()`) is
+  /// consumed in the same expression — neither opens an obligation.
+  bool RangeHasStatusCall(size_t b, size_t e) const {
+    if (Is(t_, b, "[")) return false;  // lambda: calls inside are deferred
+    for (size_t k = b; k < e; ++k) {
+      if (IsIdent(t_, k) && Is(t_, k + 1, "(") && t_[k].text != "OK" &&
+          config_.status_functions.count(t_[k].text) > 0) {
+        const size_t close = MatchForward(t_, k + 1);
+        if (close + 1 < e &&
+            (Is(t_, close + 1, ".") || Is(t_, close + 1, "->"))) {
+          continue;
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Linear scan of an expression range: resource acquisitions/releases
+  /// and status-variable consumptions.
+  void ScanExpr(size_t b, size_t e, PathState* st) {
+    for (size_t k = b; k < e && k < t_.size(); ++k) {
+      if (t_[k].kind != TokKind::kIdent) continue;
+      const std::string& w = t_[k].text;
+      if (pairing_enabled_ && Is(t_, k + 1, "(")) {
+        auto acq = config_.resource_pairs.find(w);
+        if (acq != config_.resource_pairs.end()) {
+          const std::string key = acq->second + "#" + FirstArg(k + 1);
+          st->acqs.emplace(key, Acq{t_[k].line, w, acq->second});
+          continue;
+        }
+        if (releases_.count(w) > 0) {
+          st->acqs.erase(w + "#" + FirstArg(k + 1));
+          continue;
+        }
+      }
+      // Consumption: any use of a tracked status that is not a member of
+      // some other object (`r.status` is not the local `status`).
+      if (!st->obs.empty() && k > b &&
+          (Is(t_, k - 1, ".") || Is(t_, k - 1, "->"))) {
+        continue;
+      }
+      auto it = st->obs.find(w);
+      if (it != st->obs.end()) {
+        it->second.open = false;
+        it->second.ever_consumed = true;
+      }
+    }
+  }
+
+  /// Token spelling of the first argument of the call whose `(` is at
+  /// `open` — the pairing key ("Device::kAccel", "device_", ...).
+  std::string FirstArg(size_t open) const {
+    const size_t close = MatchForward(t_, open);
+    std::string out;
+    int d = 0;
+    for (size_t k = open + 1; k < close; ++k) {
+      const std::string& x = t_[k].text;
+      if (x == "(" || x == "[" || x == "{") ++d;
+      if (x == ")" || x == "]" || x == "}") --d;
+      if (x == "," && d == 0) break;
+      out += x;
+    }
+    return out;
+  }
+
+  void ExitCheck(const PathState& st, int line) {
+    if (pairing_enabled_) {
+      for (const auto& [key, a] : st.acqs) {
+        if (reported_.insert("dp:" + key + std::to_string(a.line)).second) {
+          report_(a.line, "device-pairing",
+                  "\"" + a.acquire + "\" acquired here may not reach its "
+                      "matching \"" + a.release + "\" on the path exiting "
+                      "at line " + std::to_string(line) +
+                      " (leak on early return)");
+        }
+      }
+    }
+    for (const auto& [var, ob] : st.obs) {
+      if (ob.open) ReportDrop(var, ob);
+    }
+  }
+
+  void ReportDrop(const std::string& var, const Ob& ob) {
+    if (ob.from_auto && ob.ever_consumed) return;  // see Ob::from_auto
+    if (!reported_.insert("sf:" + var + std::to_string(ob.line)).second) {
+      return;
+    }
+    report_(ob.line, "status-flow",
+            ob.ever_consumed
+                ? "status \"" + var + "\" is checked on one path but "
+                      "silently dropped on another (every path must "
+                      "consume it)"
+                : "status \"" + var + "\" is never consumed (check it, "
+                      "return it, or SGNN_CHECK_OK it)");
+  }
+
+  const std::vector<Tok>& t_;
+  const Config& config_;
+  const ReportFn& report_;
+  const bool pairing_enabled_;
+  std::set<std::string> releases_;
+  std::set<std::string> reported_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+void CollectAnnotationsFromTokens(const std::vector<Tok>& toks,
+                                  AnnotationIndex* out) {
+  DeclScanner scanner(toks, out, nullptr);
+  scanner.Scan();
+}
+
+void CollectAnnotations(const std::string& source, AnnotationIndex* out) {
+  const LexResult lex = Lex(source, Config());
+  CollectAnnotationsFromTokens(lex.toks, out);
+}
+
+void RunDataflowRules(const LexResult& lex, const Config& config,
+                      const ReportFn& report) {
+  std::vector<FunctionInfo> fns;
+  DeclScanner scanner(lex.toks, nullptr, &fns);
+  scanner.Scan();
+  LockChecker locks(lex.toks, config, report);
+  for (const FunctionInfo& fn : fns) {
+    locks.Check(fn);
+    const bool pairing =
+        !fn.ctor_dtor && config.resource_owner_types.count(fn.cls) == 0 &&
+        !config.resource_pairs.empty();
+    FlowAnalyzer flow(lex.toks, config, report,
+                      pairing);
+    flow.Run(fn);
+  }
+}
+
+}  // namespace sgnn::lint

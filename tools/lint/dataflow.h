@@ -1,0 +1,59 @@
+// Dataflow rule families for sgnn_lint: lock-discipline, device-pairing,
+// and status-flow (docs/LINT.md, "Dataflow rules").
+//
+// The entry point consumes the same LexResult the token rules see and a
+// report callback supplied by the Linter, so NOLINT suppression behaves
+// identically across all nine rules. Internally this module builds the
+// structure the token rules never needed:
+//
+//   1. a declaration scan — namespace/class scope stack over the token
+//      stream, collecting SGNN_GUARDED_BY / SGNN_REQUIRES / SGNN_EXCLUDES
+//      annotations and the token range of every function *definition*
+//      (class attribution via the enclosing class or a `Class::` qualifier);
+//   2. per function, a lexical lock tracker — RAII locks live from their
+//      declaration to the end of the enclosing brace (or `.unlock()`),
+//      which matches how std::lock_guard actually scopes;
+//   3. per function, a path-sensitive walk of the structured statement
+//      tree (if/else, loops as 0-or-1 executions, switch, return/throw)
+//      carrying resource-acquisition and status-obligation state, joined
+//      at merge points.
+//
+// What is deliberately NOT modeled: goto, exceptions as control flow
+// (throw just kills the path — no leak/drop checks fire on it), aliasing
+// (a Status passed by pointer counts as consumed), and inter-procedural
+// effects beyond the annotation index. See docs/LINT.md for the precise
+// contract each rule enforces.
+
+#ifndef SGNN_TOOLS_LINT_DATAFLOW_H_
+#define SGNN_TOOLS_LINT_DATAFLOW_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/lint.h"
+
+namespace sgnn::lint {
+
+/// Finding sink: (line, rule, message). The Linter's callback applies the
+/// per-line suppressions before recording.
+using ReportFn =
+    std::function<void(int line, const std::string& rule, std::string msg)>;
+
+/// Runs lock-discipline, device-pairing, and status-flow over every
+/// function definition found in the token stream. Annotations come from
+/// `config.annotations` (tree-wide pass 1 plus the current file, merged by
+/// LintSource).
+void RunDataflowRules(const LexResult& lex, const Config& config,
+                      const ReportFn& report);
+
+/// Token-level worker behind CollectAnnotations (lint.h): merges the
+/// stream's SGNN_* annotations into `out`. Exposed so LintSource can fold
+/// in the current file's annotations without re-lexing.
+void CollectAnnotationsFromTokens(const std::vector<Tok>& toks,
+                                  AnnotationIndex* out);
+
+}  // namespace sgnn::lint
+
+#endif  // SGNN_TOOLS_LINT_DATAFLOW_H_

@@ -1,0 +1,135 @@
+// Machine-readable output for sgnn_lint: --format=json serialization and
+// the CI baseline round-trip (docs/LINT.md, "CI integration").
+//
+// The JSON writer is hand-rolled (the repo has no JSON dependency and the
+// schema is four scalar fields); the reader is a tolerant scanner that
+// only extracts "fingerprint" values — a baseline file is *advisory*
+// (known findings to ignore), so an unparseable baseline must fail open
+// (suppress nothing), never crash the gate.
+
+#include <cstdint>
+#include <cstdio>
+
+#include "lint/lint.h"
+
+namespace sgnn::lint {
+namespace {
+
+/// FNV-1a 64-bit over `s`, continuing from `h`.
+uint64_t Fnv1a(const std::string& s, uint64_t h) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Collapses every digit run to `#`, so messages that embed counts or
+/// line numbers ("stored at line 42") hash identically across edits that
+/// merely renumber them.
+std::string NormalizeDigits(const std::string& s) {
+  std::string out;
+  bool in_digits = false;
+  for (const char c : s) {
+    if (c >= '0' && c <= '9') {
+      if (!in_digits) out.push_back('#');
+      in_digits = true;
+    } else {
+      out.push_back(c);
+      in_digits = false;
+    }
+  }
+  return out;
+}
+
+void AppendEscaped(const std::string& s, std::string* out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned char>(c));
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string Finding::Fingerprint() const {
+  // Line numbers (and digits inside the message) are deliberately
+  // excluded: a finding keeps its identity when unrelated edits shift it
+  // down the file, so CI baselines do not churn.
+  uint64_t h = 14695981039346656037ULL;
+  h = Fnv1a(file, h);
+  h = Fnv1a("\x1f", h);  // field separator: "a"+"bc" != "ab"+"c"
+  h = Fnv1a(rule, h);
+  h = Fnv1a("\x1f", h);
+  h = Fnv1a(NormalizeDigits(message), h);
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+std::string FindingsToJson(const std::vector<Finding>& findings,
+                           size_t files_scanned) {
+  std::string out = "{\n  \"files\": " + std::to_string(files_scanned) +
+                    ",\n  \"count\": " + std::to_string(findings.size()) +
+                    ",\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"file\": \"";
+    AppendEscaped(f.file, &out);
+    out += "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"";
+    AppendEscaped(f.rule, &out);
+    out += "\", \"severity\": \"error\", \"fingerprint\": \"" +
+           f.Fingerprint() + "\", \"message\": \"";
+    AppendEscaped(f.message, &out);
+    out += "\"}";
+  }
+  out += findings.empty() ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+std::set<std::string> FingerprintsFromJson(const std::string& json) {
+  std::set<std::string> out;
+  const std::string key = "\"fingerprint\"";
+  size_t pos = 0;
+  while ((pos = json.find(key, pos)) != std::string::npos) {
+    pos += key.size();
+    while (pos < json.size() &&
+           (json[pos] == ' ' || json[pos] == ':' || json[pos] == '\t')) {
+      ++pos;
+    }
+    if (pos >= json.size() || json[pos] != '"') continue;
+    const size_t close = json.find('"', pos + 1);
+    if (close == std::string::npos) break;
+    out.insert(json.substr(pos + 1, close - pos - 1));
+    pos = close + 1;
+  }
+  return out;
+}
+
+}  // namespace sgnn::lint

@@ -1,0 +1,83 @@
+// Shared tokenizer for sgnn_lint (tools/lint/). Split out of lint.cc when
+// the dataflow rules (dataflow.cc) grew a second consumer of the token
+// stream; the token-level rules and the CFG pass must see byte-identical
+// tokens or their findings drift apart.
+//
+// The lexer is comment-, string-, raw-string-, char-literal-, and
+// preprocessor-aware. Preprocessor directives are skipped wholesale
+// (macro bodies are exempt by construction), with two subtleties pinned by
+// tests/lint_test.cc (TokenizerTest.*):
+//   * a `//` inside a directive's *string literal* ("http://...") is not a
+//     comment and must not end the directive early — otherwise a continued
+//     macro body leaks into the token stream and desynchronizes pass 1;
+//   * all raw-string prefixes (R, LR, uR, u8R, UR) must be recognized, or
+//     the payload's quotes re-open string state and swallow real code.
+
+#ifndef SGNN_TOOLS_LINT_LEXER_H_
+#define SGNN_TOOLS_LINT_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sgnn::lint {
+
+struct Config;  // lint.h; only known_rules is consulted (NOLINT validation)
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+/// A parsed #include directive.
+struct Include {
+  std::string target;  ///< path between the quotes/brackets
+  bool quoted;         ///< "..." (project include) vs <...>
+  int line;
+};
+
+/// One NOLINT / NOLINTNEXTLINE suppression, keyed by the line it covers.
+struct Suppression {
+  std::set<std::string> rules;
+};
+
+/// A malformed suppression (bare NOLINT, unknown rule, missing reason).
+struct BadNolint {
+  int line;
+  std::string message;
+};
+
+struct LexResult {
+  std::vector<Tok> toks;
+  std::vector<Include> includes;
+  std::map<int, Suppression> suppressions;
+  std::vector<BadNolint> bad_nolints;
+};
+
+LexResult Lex(const std::string& src, const Config& config);
+
+// --- token-stream helpers shared by the rule passes ------------------------
+
+bool Is(const std::vector<Tok>& t, size_t i, const char* text);
+bool IsIdent(const std::vector<Tok>& t, size_t i);
+
+/// Index of the punctuator matching an opener at `i` ("(", "[", "{"), or
+/// t.size() when unbalanced. Understands nothing about templates — callers
+/// only use it for (), [], {}.
+size_t MatchForward(const std::vector<Tok>& t, size_t i);
+
+/// Index of the opener matching a closer at `i` (")", "]"), or 0 when
+/// unbalanced.
+size_t MatchBackward(const std::vector<Tok>& t, size_t i);
+
+/// True when the floating literal spelling denotes a float/double (has a
+/// decimal point, exponent, or f suffix; hex ints excluded).
+bool IsFloatLiteral(const std::string& text);
+
+}  // namespace sgnn::lint
+
+#endif  // SGNN_TOOLS_LINT_LEXER_H_

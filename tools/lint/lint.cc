@@ -1,370 +1,13 @@
 #include "lint/lint.h"
 
-#include <cctype>
 #include <cstddef>
+#include <utility>
+
+#include "lint/dataflow.h"
+#include "lint/lexer.h"
 
 namespace sgnn::lint {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------------
-
-enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
-
-struct Tok {
-  TokKind kind;
-  std::string text;
-  int line;
-};
-
-/// A parsed #include directive.
-struct Include {
-  std::string target;  ///< path between the quotes/brackets
-  bool quoted;         ///< "..." (project include) vs <...>
-  int line;
-};
-
-/// One NOLINT / NOLINTNEXTLINE suppression, keyed by the line it covers.
-struct Suppression {
-  std::set<std::string> rules;
-};
-
-/// A malformed suppression (bare NOLINT, unknown rule, missing reason).
-struct BadNolint {
-  int line;
-  std::string message;
-};
-
-struct LexResult {
-  std::vector<Tok> toks;
-  std::vector<Include> includes;
-  std::map<int, Suppression> suppressions;
-  std::vector<BadNolint> bad_nolints;
-};
-
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Two-character punctuators the rules care about. Everything else is
-/// emitted one character at a time.
-bool IsTwoCharPunct(char a, char b) {
-  static const char* kOps[] = {"::", "->", "==", "!=", "<=", ">=",
-                               "&&", "||", "<<", ">>", "+=", "-=",
-                               "*=", "/=", "++", "--"};
-  for (const char* op : kOps) {
-    if (op[0] == a && op[1] == b) return true;
-  }
-  return false;
-}
-
-/// Parses NOLINT markers out of one comment's text. `comment_line` is the
-/// line the comment starts on; NOLINTNEXTLINE shifts the target one down.
-void ParseNolint(const std::string& text, int comment_line,
-                 const Config& config, LexResult* out) {
-  // Only a comment that *starts* with NOLINT is a suppression; prose that
-  // mentions NOLINT mid-sentence (like this linter's own docs) is not.
-  size_t pos = 0;
-  while (pos < text.size() &&
-         (text[pos] == '/' || text[pos] == '*' || text[pos] == ' ' ||
-          text[pos] == '\t')) {
-    ++pos;
-  }
-  if (text.compare(pos, 6, "NOLINT") != 0) return;
-  size_t cur = pos + 6;  // past "NOLINT"
-  int target = comment_line;
-  if (text.compare(cur, 8, "NEXTLINE") == 0) {
-    cur += 8;
-    target = comment_line + 1;
-  }
-  if (cur >= text.size() || text[cur] != '(') {
-    out->bad_nolints.push_back(
-        {comment_line,
-         "bare NOLINT: suppressions must name a rule and a reason, e.g. "
-         "\"NOLINT(rule): why this is safe\""});
-    return;
-  }
-  const size_t close = text.find(')', cur);
-  if (close == std::string::npos) {
-    out->bad_nolints.push_back({comment_line, "unterminated NOLINT(...)"});
-    return;
-  }
-  // Split the comma-separated rule list.
-  Suppression sup;
-  std::string rules_text = text.substr(cur + 1, close - cur - 1);
-  size_t start = 0;
-  while (start <= rules_text.size()) {
-    size_t comma = rules_text.find(',', start);
-    if (comma == std::string::npos) comma = rules_text.size();
-    std::string rule = rules_text.substr(start, comma - start);
-    // Trim spaces.
-    while (!rule.empty() && rule.front() == ' ') rule.erase(rule.begin());
-    while (!rule.empty() && rule.back() == ' ') rule.pop_back();
-    if (!rule.empty()) {
-      if (config.known_rules.count(rule) == 0) {
-        out->bad_nolints.push_back(
-            {comment_line, "NOLINT names unknown rule \"" + rule + "\""});
-        return;
-      }
-      sup.rules.insert(rule);
-    }
-    start = comma + 1;
-  }
-  if (sup.rules.empty()) {
-    out->bad_nolints.push_back({comment_line, "NOLINT() with no rule"});
-    return;
-  }
-  // Require ": reason" with a non-empty reason after the rule list.
-  size_t after = close + 1;
-  while (after < text.size() && text[after] == ' ') ++after;
-  bool has_reason = false;
-  if (after < text.size() && text[after] == ':') {
-    ++after;
-    while (after < text.size() && text[after] == ' ') ++after;
-    has_reason = after < text.size();
-  }
-  if (!has_reason) {
-    out->bad_nolints.push_back(
-        {comment_line,
-         "NOLINT without a reason: write \"NOLINT(rule): why\""});
-    return;
-  }
-  out->suppressions[target].rules.insert(sup.rules.begin(), sup.rules.end());
-}
-
-LexResult Lex(const std::string& src, const Config& config) {
-  LexResult out;
-  const size_t n = src.size();
-  size_t i = 0;
-  int line = 1;
-  bool at_line_start = true;  // only whitespace seen since the last newline
-
-  auto advance_over = [&](char c) {
-    if (c == '\n') {
-      ++line;
-      at_line_start = true;
-    }
-  };
-
-  while (i < n) {
-    const char c = src[i];
-    // Whitespace.
-    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
-      advance_over(c);
-      ++i;
-      continue;
-    }
-    // Line comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      const int start_line = line;
-      size_t j = i + 2;
-      while (j < n && src[j] != '\n') ++j;
-      ParseNolint(src.substr(i, j - i), start_line, config, &out);
-      i = j;
-      continue;
-    }
-    // Block comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      const int start_line = line;
-      size_t j = i + 2;
-      std::string text;
-      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) {
-        if (src[j] == '\n') ++line;
-        text.push_back(src[j]);
-        ++j;
-      }
-      ParseNolint(text, start_line, config, &out);
-      i = (j + 1 < n) ? j + 2 : n;
-      continue;
-    }
-    // Preprocessor directive: record #include targets, skip everything else
-    // (including backslash continuations, so macro bodies are not linted).
-    if (c == '#' && at_line_start) {
-      size_t j = i + 1;
-      while (j < n && (src[j] == ' ' || src[j] == '\t')) ++j;
-      size_t word_end = j;
-      while (word_end < n && IsIdentChar(src[word_end])) ++word_end;
-      const std::string directive = src.substr(j, word_end - j);
-      if (directive == "include") {
-        size_t k = word_end;
-        while (k < n && (src[k] == ' ' || src[k] == '\t')) ++k;
-        if (k < n && (src[k] == '"' || src[k] == '<')) {
-          const char close_ch = src[k] == '"' ? '"' : '>';
-          size_t close = src.find(close_ch, k + 1);
-          if (close != std::string::npos) {
-            out.includes.push_back(
-                {src.substr(k + 1, close - k - 1), src[k] == '"', line});
-          }
-        }
-      }
-      // Skip to the end of the (possibly continued) directive. A trailing
-      // line comment still counts for suppression, so `#include ...
-      // NOLINT(layering): reason` works like any other line.
-      while (j < n) {
-        if (src[j] == '/' && j + 1 < n && src[j + 1] == '/') {
-          size_t eol = j;
-          while (eol < n && src[eol] != '\n') ++eol;
-          ParseNolint(src.substr(j, eol - j), line, config, &out);
-          j = eol;
-          break;
-        }
-        if (src[j] == '\n') {
-          // Continued if the last non-CR character was a backslash.
-          size_t back = j;
-          while (back > i && (src[back - 1] == '\r')) --back;
-          if (back > i && src[back - 1] == '\\') {
-            ++line;
-            ++j;
-            continue;
-          }
-          break;
-        }
-        ++j;
-      }
-      i = j;  // leave the newline for the main loop
-      continue;
-    }
-    at_line_start = false;
-    // String literal (with raw-string handling via the identifier path).
-    if (c == '"') {
-      size_t j = i + 1;
-      while (j < n && src[j] != '"') {
-        if (src[j] == '\\' && j + 1 < n) ++j;
-        if (src[j] == '\n') ++line;
-        ++j;
-      }
-      out.toks.push_back({TokKind::kString, "", line});
-      i = (j < n) ? j + 1 : n;
-      continue;
-    }
-    // Char literal.
-    if (c == '\'') {
-      size_t j = i + 1;
-      while (j < n && src[j] != '\'') {
-        if (src[j] == '\\' && j + 1 < n) ++j;
-        ++j;
-      }
-      out.toks.push_back({TokKind::kChar, "", line});
-      i = (j < n) ? j + 1 : n;
-      continue;
-    }
-    // Number (digit separators allowed; a trailing ' is never consumed).
-    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
-        (c == '.' && i + 1 < n &&
-         std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
-      size_t j = i;
-      while (j < n &&
-             (IsIdentChar(src[j]) || src[j] == '.' ||
-              (src[j] == '\'' && j + 1 < n && IsIdentChar(src[j + 1])) ||
-              ((src[j] == '+' || src[j] == '-') && j > i &&
-               (src[j - 1] == 'e' || src[j - 1] == 'E' ||
-                src[j - 1] == 'p' || src[j - 1] == 'P')))) {
-        ++j;
-      }
-      out.toks.push_back({TokKind::kNumber, src.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    // Identifier / keyword, or a raw string literal prefix.
-    if (IsIdentStart(c)) {
-      size_t j = i;
-      while (j < n && IsIdentChar(src[j])) ++j;
-      const std::string word = src.substr(i, j - i);
-      const bool raw_prefix = (word == "R" || word == "u8R" || word == "uR" ||
-                               word == "LR");
-      if (raw_prefix && j < n && src[j] == '"') {
-        // R"delim( ... )delim"
-        size_t paren = src.find('(', j + 1);
-        if (paren == std::string::npos) {
-          i = n;
-          continue;
-        }
-        const std::string delim = src.substr(j + 1, paren - j - 1);
-        const std::string closer = ")" + delim + "\"";
-        size_t end = src.find(closer, paren + 1);
-        const size_t stop = (end == std::string::npos) ? n
-                                                       : end + closer.size();
-        for (size_t k = j; k < stop && k < n; ++k) {
-          if (src[k] == '\n') ++line;
-        }
-        out.toks.push_back({TokKind::kString, "", line});
-        i = stop;
-        continue;
-      }
-      out.toks.push_back({TokKind::kIdent, word, line});
-      i = j;
-      continue;
-    }
-    // Punctuation.
-    if (i + 1 < n && IsTwoCharPunct(c, src[i + 1])) {
-      out.toks.push_back({TokKind::kPunct, src.substr(i, 2), line});
-      i += 2;
-      continue;
-    }
-    out.toks.push_back({TokKind::kPunct, std::string(1, c), line});
-    ++i;
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Shared token helpers
-// ---------------------------------------------------------------------------
-
-bool Is(const std::vector<Tok>& t, size_t i, const char* text) {
-  return i < t.size() && t[i].text == text;
-}
-bool IsIdent(const std::vector<Tok>& t, size_t i) {
-  return i < t.size() && t[i].kind == TokKind::kIdent;
-}
-
-/// Index of the punctuator matching an opener at `i` ("(", "[", "{"), or
-/// t.size() when unbalanced. Understands nothing about templates — callers
-/// only use it for (), [], {}.
-size_t MatchForward(const std::vector<Tok>& t, size_t i) {
-  const std::string& open = t[i].text;
-  const std::string close = open == "(" ? ")" : open == "[" ? "]" : "}";
-  int depth = 0;
-  for (size_t j = i; j < t.size(); ++j) {
-    if (t[j].text == open) ++depth;
-    if (t[j].text == close) {
-      if (--depth == 0) return j;
-    }
-  }
-  return t.size();
-}
-
-/// Index of the opener matching a closer at `i` (")", "]"), or npos-like -1.
-size_t MatchBackward(const std::vector<Tok>& t, size_t i) {
-  const std::string& close = t[i].text;
-  const std::string open = close == ")" ? "(" : "[";
-  int depth = 0;
-  for (size_t j = i + 1; j-- > 0;) {
-    if (t[j].text == close) ++depth;
-    if (t[j].text == open) {
-      if (--depth == 0) return j;
-    }
-  }
-  return 0;
-}
-
-/// True when the floating literal spelling denotes a float/double (has a
-/// decimal point, exponent, or f suffix; hex ints excluded).
-bool IsFloatLiteral(const std::string& text) {
-  if (text.size() > 1 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X'))
-    return false;
-  bool has_dot = false, has_exp = false, has_f = false;
-  for (char c : text) {
-    if (c == '.') has_dot = true;
-    if (c == 'e' || c == 'E') has_exp = true;
-    if (c == 'f' || c == 'F') has_f = true;
-  }
-  return has_dot || has_exp || has_f;
-}
 
 // ---------------------------------------------------------------------------
 // Rule context
@@ -382,6 +25,7 @@ class Linter {
     ParallelSafety();
     Determinism();
     if (InSrc()) Hygiene();
+    DataflowRules();
     return std::move(findings_);
   }
 
@@ -415,6 +59,9 @@ class Linter {
     const std::set<std::string>& allowed = it->second;
     for (const Include& inc : lex_.includes) {
       if (!inc.quoted) continue;  // system headers are not layered
+      if (config_.layering_exempt_targets.count(inc.target) > 0) {
+        continue;  // dependency-free annotation headers: universal
+      }
       const size_t slash = inc.target.find('/');
       if (slash == std::string::npos) continue;  // same-directory include
       const std::string target_layer = inc.target.substr(0, slash);
@@ -785,6 +432,19 @@ class Linter {
     return base_float;
   }
 
+  // --- lock-discipline / device-pairing / status-flow ----------------------
+  //
+  // The dataflow families live in dataflow.cc (function extraction + the
+  // structured control-flow walk); findings route back through Report so
+  // suppression works identically for them.
+  void DataflowRules() {
+    RunDataflowRules(lex_, config_,
+                     [this](int line, const std::string& rule,
+                            std::string message) {
+                       Report(line, rule, std::move(message));
+                     });
+  }
+
   std::string path_;
   const LexResult& lex_;
   const Config& config_;
@@ -800,6 +460,22 @@ class Linter {
 
 std::string Finding::ToString() const {
   return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+void AnnotationIndex::MergeFrom(const AnnotationIndex& other) {
+  for (const auto& [cls, members] : other.guarded) {
+    for (const auto& [member, mu] : members) guarded[cls][member] = mu;
+  }
+  for (const auto& [cls, fns] : other.requires_held) {
+    for (const auto& [fn, mus] : fns) {
+      requires_held[cls][fn].insert(mus.begin(), mus.end());
+    }
+  }
+  for (const auto& [cls, fns] : other.excludes_held) {
+    for (const auto& [fn, mus] : fns) {
+      excludes_held[cls][fn].insert(mus.begin(), mus.end());
+    }
+  }
 }
 
 std::string LayerOf(const std::string& path) {
@@ -867,6 +543,11 @@ Config Config::Default() {
       // bench/tools/tests are deliberately absent: the top of the stack may
       // include anything.
   };
+  // The thread-annotation macros are pure preprocessor (no includes, no
+  // types), so every layer may see them without growing a real dependency
+  // on core. Fixture-pinned in tests/lint_test.cc
+  // (LockDisciplineTest.AnnotationHeaderIsLayeringExempt).
+  c.layering_exempt_targets = {"core/thread_annotations.h"};
   // Non-reentrant surfaces: the JSONL journal (single FILE* + flush), the
   // Supervisor cell state machine, DeviceTracker *configuration* (the
   // OnAlloc/OnFree accounting hooks are mutex-protected and fine), fault
@@ -882,8 +563,18 @@ Config Config::Default() {
   // sanctioned wall-clock accessor (benches time through it).
   c.determinism_allowlist = {"src/tensor/rng.h", "src/tensor/rng.cc",
                              "src/eval/table.h"};
+  // RAII locks the lock-discipline rule recognizes. Tests add helper
+  // wrapper types to pin the extension point.
+  c.lock_types = {"lock_guard", "unique_lock", "scoped_lock"};
+  // DeviceTracker accounting must balance: every OnAlloc(device, n) must
+  // reach an OnFree(device, ...) on all paths, unless the enclosing class
+  // owns the bytes RAII-style (releases in its destructor).
+  c.resource_pairs = {{"OnAlloc", "OnFree"}};
+  c.resource_owner_types = {"Matrix", "CsrMatrix", "EdgeIndex",
+                            "QuantizedMatrix"};
   c.known_rules = {"discarded-status", "layering",      "parallel-safety",
-                   "determinism",      "hygiene",       "nolint-policy"};
+                   "determinism",      "hygiene",       "nolint-policy",
+                   "lock-discipline",  "device-pairing", "status-flow"};
   return c;
 }
 
@@ -935,7 +626,12 @@ std::vector<Finding> LintSource(const std::string& path,
                                 const std::string& source,
                                 const Config& config) {
   const LexResult lex = Lex(source, config);
-  Linter linter(path, lex, config);
+  // Fold the file's own annotations on top of the tree-wide index, so a
+  // single-file fixture (or a header changed faster than the driver's
+  // pass 1 reruns) is self-consistent.
+  Config local = config;
+  CollectAnnotationsFromTokens(lex.toks, &local.annotations);
+  Linter linter(path, lex, local);
   return linter.Run();
 }
 

@@ -24,6 +24,17 @@
 //   hygiene            in library code (src/): float ==/!=, std::cout, and
 //                      exit()/abort() where only Status propagation is
 //                      allowed
+//   lock-discipline    access to a member annotated SGNN_GUARDED_BY(mu)
+//                      (core/thread_annotations.h) outside a live RAII lock
+//                      of mu; call-site checks for SGNN_REQUIRES /
+//                      SGNN_EXCLUDES; double-acquisition of a held mutex
+//   device-pairing     an Allocate-style acquisition (DeviceTracker
+//                      OnAlloc/OnFree by default) that fails to reach its
+//                      release on some path — leaks on early returns
+//   status-flow        a declared Status/Result local consumed on one path
+//                      but silently dropped on another (checked in `if`,
+//                      ignored in `else`; overwritten before use; falls out
+//                      of scope unread)
 //   nolint-policy      every suppression must name a known rule and give a
 //                      reason: `// NOLINT(rule): reason`
 //
@@ -31,14 +42,14 @@
 // `// NOLINTNEXTLINE(rule): reason` on the line above. A bare `NOLINT`, an
 // unknown rule name, or a missing reason is itself a finding.
 //
-// The analysis is a lightweight two-pass tokenizer, not a compiler: pass 1
-// collects the names of functions declared to return Status/Result<T>
-// anywhere in the tree; pass 2 tokenizes each file (comment-, string-,
-// raw-string-, and preprocessor-aware) and runs the rules. Preprocessor
-// directives are skipped wholesale, so macro *bodies* (SGNN_CHECK's
-// std::abort) are exempt by construction; macro *call sites* are linted
-// like any other statement. Rationale and the full rule catalogue live in
-// docs/LINT.md.
+// The analysis is pass 1 (tree-wide symbol/annotation collection) plus
+// pass 2 (per-file tokenization — comment-, string-, raw-string-, and
+// preprocessor-aware — followed by token rules and, for the three dataflow
+// families, a per-function structured control-flow walk; see
+// tools/lint/dataflow.cc). Preprocessor directives are skipped wholesale,
+// so macro *bodies* (SGNN_CHECK's std::abort) are exempt by construction;
+// macro *call sites* are linted like any other statement. Rationale and
+// the full rule catalogue live in docs/LINT.md.
 
 #ifndef SGNN_TOOLS_LINT_LINT_H_
 #define SGNN_TOOLS_LINT_LINT_H_
@@ -59,6 +70,32 @@ struct Finding {
 
   /// "file:line: [rule] message" — the format editors can jump on.
   std::string ToString() const;
+
+  /// Stable 16-hex-digit identity for CI baseline diffs: FNV-1a over
+  /// file + rule + digit-normalized message. Deliberately excludes the
+  /// line number (and digits inside the message), so unrelated edits that
+  /// shift a finding down the file do not churn the baseline.
+  std::string Fingerprint() const;
+};
+
+/// Pass-1 index of the thread-safety and REQUIRES/EXCLUDES annotations
+/// declared with the core/thread_annotations.h macros. Keyed by class name
+/// ("" for free functions); methods keep only their last name component,
+/// mirroring status_functions.
+struct AnnotationIndex {
+  /// class -> member -> mutex named in SGNN_GUARDED_BY.
+  std::map<std::string, std::map<std::string, std::string>> guarded;
+  /// class -> function -> mutexes from SGNN_REQUIRES.
+  std::map<std::string, std::map<std::string, std::set<std::string>>>
+      requires_held;
+  /// class -> function -> mutexes from SGNN_EXCLUDES.
+  std::map<std::string, std::map<std::string, std::set<std::string>>>
+      excludes_held;
+
+  bool empty() const {
+    return guarded.empty() && requires_held.empty() && excludes_held.empty();
+  }
+  void MergeFrom(const AnnotationIndex& other);
 };
 
 /// Data-driven rule configuration. Default() encodes the project contract;
@@ -73,12 +110,37 @@ struct Config {
   /// missing from the map may include anything (bench/tools/tests top).
   std::map<std::string, std::set<std::string>> allowed_includes;
 
+  /// Exact include targets exempt from the layering DAG: dependency-free
+  /// pure-preprocessor headers (the thread-annotation macros) that every
+  /// layer must be able to see without growing a back-edge.
+  std::set<std::string> layering_exempt_targets;
+
   /// Non-reentrant callee names banned inside a ParallelFor lambda body.
   std::set<std::string> parallel_denylist;
 
   /// Repo-relative paths exempt from the determinism rule (the RNG module
   /// itself and the sanctioned wall-clock timing helper).
   std::set<std::string> determinism_allowlist;
+
+  /// RAII lock class names the lock-discipline rule recognizes (last name
+  /// component: "lock_guard", "unique_lock", "scoped_lock"). Tests extend
+  /// this with helper RAII wrapper types.
+  std::set<std::string> lock_types;
+
+  /// Acquire -> release callee pairs for the device-pairing rule. The
+  /// acquisition's first argument (token spelling) must match the
+  /// release's, so OnAlloc(kAccel, n) pairs with OnFree(kAccel, m).
+  std::map<std::string, std::string> resource_pairs;
+
+  /// Classes that *own* a tracked resource RAII-style (register in the
+  /// ctor/Register, release in the dtor/Unregister): their methods hold
+  /// one side of a pair by design and are exempt from device-pairing.
+  std::set<std::string> resource_owner_types;
+
+  /// Thread-safety annotations collected tree-wide (pass 1). LintSource
+  /// additionally folds in the current file's own annotations, so a
+  /// self-contained fixture needs no separate pass.
+  AnnotationIndex annotations;
 
   /// Valid rule names for NOLINT suppressions.
   std::set<std::string> known_rules;
@@ -91,6 +153,10 @@ struct Config {
 void CollectStatusFunctions(const std::string& source,
                             std::set<std::string>* out);
 
+/// Pass 1: scans `source` for SGNN_GUARDED_BY / SGNN_REQUIRES /
+/// SGNN_EXCLUDES annotations and merges them into `out`.
+void CollectAnnotations(const std::string& source, AnnotationIndex* out);
+
 /// Pass 2: runs every rule over one file. `path` is the repo-relative path
 /// (used for layer assignment and the src/-only rules).
 std::vector<Finding> LintSource(const std::string& path,
@@ -100,6 +166,21 @@ std::vector<Finding> LintSource(const std::string& path,
 /// Maps a repo-relative path to its layer name ("tensor", "bench", ...) or
 /// "" when the file is outside the layered tree.
 std::string LayerOf(const std::string& path);
+
+// --- machine-readable output (tools/lint/json.cc) --------------------------
+
+/// Serializes findings as the JSON document CI diffs:
+///   {"files": N, "count": M, "findings": [{"file", "line", "rule",
+///    "severity", "fingerprint", "message"}, ...]}
+/// Every finding carries severity "error" (the gate fails on any finding);
+/// the field exists so the schema never has to change shape.
+std::string FindingsToJson(const std::vector<Finding>& findings,
+                           size_t files_scanned);
+
+/// Extracts the fingerprint set from a previous --format=json run (the CI
+/// baseline). Tolerant of whitespace; anything unparseable yields the
+/// empty set, which suppresses nothing.
+std::set<std::string> FingerprintsFromJson(const std::string& json);
 
 }  // namespace sgnn::lint
 

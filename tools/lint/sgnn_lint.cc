@@ -1,16 +1,29 @@
 // sgnn_lint command-line driver.
 //
-//   sgnn_lint [--rules] [repo_root]
+//   sgnn_lint [--rules] [--format=text|json] [--baseline=<file.json>]
+//             [--budget-ms=N] [repo_root]
 //
 // Walks src/, bench/, tools/, tests/ under `repo_root` (default: the
 // current directory), runs the two lint passes (see lint.h), prints one
-// "file:line: [rule] message" per finding, and exits non-zero when any
-// finding survives. Wired into CTest as `lint_repo` and into the build as
-// the `lint` target, so a rule regression fails `ctest -R lint` instead of
-// landing in a table.
+// "file:line: [rule] message" per finding (or the JSON document CI diffs,
+// with --format=json), and exits non-zero when any finding survives.
+//
+//   --baseline=f   suppress findings whose fingerprint appears in a
+//                  previous --format=json run; CI gates on *new* findings
+//                  while a cleanup of pre-existing ones is in flight.
+//   --budget-ms=N  fail (exit 3) when the whole run exceeds N ms of wall
+//                  clock; keeps the lint gate's latency an enforced
+//                  contract instead of a slow creep. The measured time is
+//                  always printed to stderr.
+//
+// Wired into CTest as `lint_repo` and into the build as the `lint`
+// target, so a rule regression fails `ctest -R lint` instead of landing
+// in a table.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -53,19 +66,57 @@ void PrintRules() {
       "eval::Timer\n"
       "hygiene           float ==/!=, std::cout, exit/abort in library "
       "code\n"
+      "lock-discipline   SGNN_GUARDED_BY member touched without its mutex; "
+      "SGNN_REQUIRES/SGNN_EXCLUDES call-site violations; double-lock\n"
+      "device-pairing    resource acquisition (DeviceTracker OnAlloc) that "
+      "misses its release on some path\n"
+      "status-flow       Status/Result local checked on one path but "
+      "dropped on another, or overwritten unread\n"
       "nolint-policy     suppression without a known rule and a reason\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The budget check is the one sanctioned wall-clock read in this tool:
+  // it measures the linter itself and never feeds journaled results.
+  const auto t0 = std::chrono::steady_clock::now();  // NOLINT(determinism): lint runtime budget, not benchmark timing
+
   std::string root = ".";
+  bool json = false;
+  long budget_ms = -1;
+  std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--rules") == 0) {
       PrintRules();
       return 0;
     }
+    if (std::strncmp(argv[i], "--format=", 9) == 0) {
+      const char* fmt = argv[i] + 9;
+      if (std::strcmp(fmt, "json") == 0) {
+        json = true;
+      } else if (std::strcmp(fmt, "text") != 0) {
+        std::fprintf(stderr, "sgnn_lint: unknown format \"%s\"\n", fmt);
+        return 2;
+      }
+      continue;
+    }
+    if (std::strncmp(argv[i], "--baseline=", 11) == 0) {
+      baseline_path = argv[i] + 11;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--budget-ms=", 12) == 0) {
+      budget_ms = std::strtol(argv[i] + 12, nullptr, 10);
+      continue;
+    }
     root = argv[i];
+  }
+
+  std::set<std::string> baseline;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!ReadFile(baseline_path, &text)) return 2;
+    baseline = sgnn::lint::FingerprintsFromJson(text);
   }
 
   // Gather the lintable files in deterministic order.
@@ -81,7 +132,8 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  // Pass 1: collect Status/Result-returning function names tree-wide.
+  // Pass 1: collect Status/Result-returning function names and thread-
+  // safety annotations tree-wide (so engine.cc sees engine.h's contracts).
   sgnn::lint::Config config = sgnn::lint::Config::Default();
   std::vector<std::pair<std::string, std::string>> sources;  // rel path, text
   sources.reserve(files.size());
@@ -89,20 +141,49 @@ int main(int argc, char** argv) {
     std::string text;
     if (!ReadFile(p, &text)) return 2;
     sgnn::lint::CollectStatusFunctions(text, &config.status_functions);
+    sgnn::lint::CollectAnnotations(text, &config.annotations);
     sources.emplace_back(fs::relative(p, root).generic_string(),
                          std::move(text));
   }
 
   // Pass 2: rules.
-  size_t findings = 0;
+  std::vector<sgnn::lint::Finding> findings;
+  size_t baselined = 0;
   for (const auto& [rel, text] : sources) {
-    for (const sgnn::lint::Finding& f :
+    for (sgnn::lint::Finding& f :
          sgnn::lint::LintSource(rel, text, config)) {
-      std::printf("%s\n", f.ToString().c_str());
-      ++findings;
+      if (!baseline.empty() && baseline.count(f.Fingerprint()) > 0) {
+        ++baselined;
+        continue;
+      }
+      findings.push_back(std::move(f));
     }
   }
-  std::fprintf(stderr, "sgnn_lint: %zu file(s), %zu finding(s)\n",
-               sources.size(), findings);
-  return findings == 0 ? 0 : 1;
+
+  if (json) {
+    std::fputs(sgnn::lint::FindingsToJson(findings, sources.size()).c_str(),
+               stdout);
+  } else {
+    for (const sgnn::lint::Finding& f : findings) {
+      std::printf("%s\n", f.ToString().c_str());
+    }
+  }
+
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)  // NOLINT(determinism): lint runtime budget, not benchmark timing
+          .count();
+  std::fprintf(stderr, "sgnn_lint: %zu file(s), %zu finding(s)", sources.size(),
+               findings.size());
+  if (baselined > 0) {
+    std::fprintf(stderr, " (%zu baselined)", baselined);
+  }
+  std::fprintf(stderr, ", %lld ms\n", static_cast<long long>(elapsed_ms));
+  if (budget_ms >= 0 && elapsed_ms > budget_ms) {
+    std::fprintf(stderr,
+                 "sgnn_lint: runtime budget exceeded (%lld ms > %ld ms)\n",
+                 static_cast<long long>(elapsed_ms), budget_ms);
+    return 3;
+  }
+  return findings.empty() ? 0 : 1;
 }
