@@ -1,0 +1,142 @@
+#include "conformance/lazy_check.h"
+
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "core/lazy.h"
+#include "core/registry.h"
+
+namespace sgnn::conformance {
+
+namespace {
+
+bool BitIdentical(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  if (a.size() == 0) return true;
+  return std::memcmp(a.data(), b.data(), a.bytes()) == 0;
+}
+
+}  // namespace
+
+Result<LazyReport> CheckLazyConformance(const std::string& filter_name,
+                                        const sparse::CsrMatrix& norm_adj,
+                                        const eval::EigenDecomposition& eig,
+                                        const Matrix& x,
+                                        const OracleOptions& options) {
+  if (x.rows() != norm_adj.n()) {
+    return Status::InvalidArgument("lazy conformance: x rows != graph nodes");
+  }
+  if (static_cast<int64_t>(eig.values.size()) != x.rows()) {
+    return Status::InvalidArgument(
+        "lazy conformance: eigendecomposition size mismatch");
+  }
+  SGNN_ASSIGN_OR_RETURN(
+      auto filter,
+      filters::CreateFilter(filter_name, options.hops, options.hp, x.cols()));
+
+  LazyReport report;
+  report.filter = filter_name;
+  report.tolerance = OracleTolerance(filter_name);
+
+  if (!filter->SupportsLazy()) {
+    report.skipped = true;
+    report.pass = true;
+    report.bit_identical = true;
+    report.precompute_bit_identical = true;
+    report.detail = "eager-only: no lazy op-graph recording";
+    return report;
+  }
+
+  filters::FilterContext ctx;
+  ctx.prop = &norm_adj;
+  ctx.device = Device::kHost;
+
+  Matrix y_eager;
+  filter->Forward(ctx, x, &y_eager, /*cache=*/false);
+  Matrix y_lazy;
+  opgraph::PipelineStats stats;
+  SGNN_RETURN_IF_ERROR(
+      filters::LazyForward(filter.get(), ctx, x, &y_lazy, &stats));
+  report.fused_chains = stats.fused_spmm_chains;
+  report.bit_identical = BitIdentical(y_eager, y_lazy);
+
+  report.precompute_bit_identical = true;
+  if (filter->SupportsMiniBatch()) {
+    std::vector<Matrix> eager_terms;
+    SGNN_RETURN_IF_ERROR(filter->Precompute(ctx, x, &eager_terms));
+    std::vector<Matrix> lazy_terms;
+    SGNN_RETURN_IF_ERROR(
+        filters::LazyPrecompute(filter.get(), ctx, x, &lazy_terms));
+    report.precompute_bit_identical =
+        eager_terms.size() == lazy_terms.size();
+    for (size_t i = 0;
+         report.precompute_bit_identical && i < eager_terms.size(); ++i) {
+      report.precompute_bit_identical =
+          BitIdentical(eager_terms[i], lazy_terms[i]);
+    }
+  }
+
+  bool degenerate = false;
+  const Matrix ref = DenseReference(filter.get(), filter_name, norm_adj, eig,
+                                    x, options.hops, &degenerate);
+  if (degenerate) {
+    report.skipped = true;
+    report.pass = true;
+    report.detail = "lanczos breakdown: dense reference undefined";
+    return report;
+  }
+
+  report.eager_rel_error = RelativeFrobenius(y_eager, ref);
+  report.rel_error = RelativeFrobenius(y_lazy, ref);
+  report.pass = report.bit_identical && report.precompute_bit_identical &&
+                report.rel_error <= report.tolerance;
+  if (!report.bit_identical) {
+    report.detail = "lazy forward is not bit-identical to eager";
+  } else if (!report.precompute_bit_identical) {
+    report.detail = "lazy precompute terms are not bit-identical to eager";
+  } else if (!report.pass) {
+    report.detail = "fused forward diverges from dense spectral operator";
+  }
+  return report;
+}
+
+Result<std::vector<LazyReport>> CheckAllLazy(const sparse::CsrMatrix& norm_adj,
+                                             const eval::EigenDecomposition& eig,
+                                             const Matrix& x,
+                                             const OracleOptions& options) {
+  std::vector<LazyReport> reports;
+  for (const auto& name : filters::AllFilterNames()) {
+    SGNN_ASSIGN_OR_RETURN(
+        auto report, CheckLazyConformance(name, norm_adj, eig, x, options));
+    reports.push_back(std::move(report));
+  }
+  return reports;
+}
+
+bool AllLazyPass(const std::vector<LazyReport>& reports) {
+  for (const auto& r : reports) {
+    if (!r.pass) return false;
+  }
+  return true;
+}
+
+std::string FormatLazyReports(const std::vector<LazyReport>& reports) {
+  std::ostringstream os;
+  for (const auto& r : reports) {
+    os << (r.pass ? "  ok  " : "FAIL  ") << r.filter;
+    if (r.skipped) {
+      os << "  (" << r.detail << ")\n";
+      continue;
+    }
+    os << "  bits=" << (r.bit_identical ? "exact" : "DIFF")
+       << " pre=" << (r.precompute_bit_identical ? "exact" : "DIFF")
+       << " rel=" << r.rel_error << " eager=" << r.eager_rel_error
+       << " tol=" << r.tolerance << " fused=" << r.fused_chains;
+    if (!r.detail.empty()) os << "  (" << r.detail << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace sgnn::conformance

@@ -1,0 +1,68 @@
+// Lazy-execution conformance — fused op-graph path vs eager vs the oracle.
+//
+// The lazy op-graph (src/opgraph/, docs/OPGRAPH.md) promises bit-identical
+// results to the eager filters it mirrors while fusing SpMM chains and
+// planning buffers. This check enforces both halves of that contract for
+// every Table 1 filter with lazy support:
+//   * bit-identity: LazyForward output and every LazyPrecompute term must
+//     match the eager Forward/Precompute byte for byte (memcmp, not a
+//     tolerance), and
+//   * spectral correctness: the lazy forward must sit within the same
+//     dense eigendecomposition oracle tolerance (oracle.h) that gates the
+//     eager path — the fused kernels cannot trade accuracy for speed.
+// Filters without lazy recording (Bernstein, OptBasis, product forms) are
+// reported as skipped passes.
+
+#ifndef SGNN_CONFORMANCE_LAZY_CHECK_H_
+#define SGNN_CONFORMANCE_LAZY_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "conformance/oracle.h"
+#include "eval/eigen.h"
+#include "sparse/csr.h"
+#include "tensor/matrix.h"
+#include "tensor/status.h"
+
+namespace sgnn::conformance {
+
+/// Outcome of one lazy-vs-eager-vs-oracle comparison.
+struct LazyReport {
+  std::string filter;
+  double rel_error = 0.0;        ///< lazy forward vs dense oracle
+  double eager_rel_error = 0.0;  ///< eager forward vs dense oracle (context)
+  double tolerance = 0.0;        ///< OracleTolerance(filter)
+  bool bit_identical = false;    ///< lazy ≡ eager forward, byte for byte
+  /// Lazy ≡ eager precompute terms, byte for byte (true for FB-only).
+  bool precompute_bit_identical = false;
+  int fused_chains = 0;          ///< SpMM chains collapsed by fusion
+  bool skipped = false;          ///< filter has no lazy recording
+  bool pass = false;
+  std::string detail;
+};
+
+/// Runs `filter_name` eagerly and lazily on the host, asserts bit-identity
+/// of forward (and precompute, when MB-capable), and gates the fused result
+/// against the dense spectral reference. InvalidArgument for unknown
+/// filters or mismatched shapes.
+[[nodiscard]] Result<LazyReport> CheckLazyConformance(
+    const std::string& filter_name, const sparse::CsrMatrix& norm_adj,
+    const eval::EigenDecomposition& eig, const Matrix& x,
+    const OracleOptions& options = {});
+
+/// CheckLazyConformance over all taxonomy filters (eager-only ones report
+/// as skipped passes).
+[[nodiscard]] Result<std::vector<LazyReport>> CheckAllLazy(
+    const sparse::CsrMatrix& norm_adj, const eval::EigenDecomposition& eig,
+    const Matrix& x, const OracleOptions& options = {});
+
+/// True when every report passed.
+bool AllLazyPass(const std::vector<LazyReport>& reports);
+
+/// One line per report, failures marked.
+std::string FormatLazyReports(const std::vector<LazyReport>& reports);
+
+}  // namespace sgnn::conformance
+
+#endif  // SGNN_CONFORMANCE_LAZY_CHECK_H_

@@ -49,6 +49,25 @@ class GaussianSquaredChannel : public PolynomialBasisFilter {
     return tau;
   }
 
+  /// Lazy mirror of the squared-affine stream: same SpMM / Scale / Axpy
+  /// sequence per rep, recorded instead of executed (the planner's aliasing
+  /// reproduces the eager in-place update on `cur`).
+  void RecordBasis(opgraph::Graph* graph, opgraph::ValueId x,
+                   const opgraph::SpmmOperator* adj,
+                   const LazyTermEmitter& emit) const override {
+    opgraph::ValueId cur = x;
+    emit(0, cur);
+    for (int k = 1; k <= hops(); ++k) {
+      for (int rep = 0; rep < 2; ++rep) {
+        const opgraph::ValueId s = graph->Spmm(adj, cur);
+        const opgraph::ValueId v =
+            graph->Scale(static_cast<float>(center_), cur);
+        cur = graph->Axpy(1.0f, s, v);
+      }
+      emit(k, cur);
+    }
+  }
+
   std::vector<double> DefaultTheta(int, Rng*) const override { return {}; }
 
   std::vector<double> FixedTheta(int hops) const override {
@@ -105,6 +124,22 @@ class PprPrefactorChannel : public PolynomialBasisFilter {
       p *= a;
     }
     return tau;
+  }
+
+  /// Lazy mirror: per hop, SpMM for m_{k+1} then the prefactor's Scale +
+  /// Axpy forming the emitted term — the eager kernel order exactly.
+  void RecordBasis(opgraph::Graph* graph, opgraph::ValueId x,
+                   const opgraph::SpmmOperator* adj,
+                   const LazyTermEmitter& emit) const override {
+    opgraph::ValueId cur = x;
+    for (int k = 0; k <= hops(); ++k) {
+      const opgraph::ValueId next = graph->Spmm(adj, cur);
+      opgraph::ValueId term =
+          graph->Scale(static_cast<float>(1.0 - beta_), cur);
+      term = graph->Axpy(static_cast<float>(beta_), next, term);
+      emit(k, term);
+      cur = next;
+    }
   }
 
   std::vector<double> DefaultTheta(int, Rng*) const override { return {}; }
@@ -226,6 +261,41 @@ bool MixtureBankFilter::SupportsMiniBatch() const {
     if (!ch->SupportsMiniBatch()) return false;
   }
   return true;
+}
+
+bool MixtureBankFilter::SupportsLazy() const {
+  for (const auto& ch : channels_) {
+    if (!ch->SupportsLazy()) return false;
+  }
+  return true;
+}
+
+opgraph::ValueId MixtureBankFilter::RecordForward(
+    opgraph::Graph* graph, opgraph::ValueId x,
+    const opgraph::SpmmOperator* adj) {
+  ScatterParams();
+  const auto& flat = params_.values();
+  opgraph::ValueId acc = graph->Zero(graph->rows(x), graph->cols(x));
+  for (size_t q = 0; q < channels_.size(); ++q) {
+    const opgraph::ValueId yq = channels_[q]->RecordForward(graph, x, adj);
+    // Unconditional accumulate, mirroring eager Forward's Axpy per channel.
+    acc = graph->Axpy(static_cast<float>(flat[q]), yq, acc);
+  }
+  return acc;
+}
+
+Status MixtureBankFilter::RecordPrecompute(
+    opgraph::Graph* graph, opgraph::ValueId x,
+    const opgraph::SpmmOperator* adj,
+    std::vector<opgraph::ValueId>* terms) {
+  ScatterParams();
+  terms->clear();
+  term_offsets_.assign(1, 0);
+  for (auto& ch : channels_) {
+    SGNN_RETURN_IF_ERROR(ch->RecordPrecompute(graph, x, adj, terms));
+    term_offsets_.push_back(terms->size());
+  }
+  return Status::OK();
 }
 
 Status MixtureBankFilter::Precompute(const FilterContext& ctx, const Matrix& x,

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "nn/parameter.h"
+#include "opgraph/graph.h"
 #include "sparse/csr.h"
 #include "tensor/matrix.h"
 #include "tensor/rng.h"
@@ -136,6 +137,29 @@ class SpectralFilter {
 
   /// Learnable coefficient group (empty for fixed filters).
   virtual nn::ScalarParams& params() = 0;
+
+  // — Lazy op-graph recording (docs/OPGRAPH.md) —
+
+  /// True when the filter can record Forward/Precompute onto an
+  /// opgraph::Graph for fused, memory-planned execution. Filters with
+  /// irregular basis streams (Bernstein, OptBasis) and factored product
+  /// forms stay eager-only.
+  virtual bool SupportsLazy() const { return false; }
+
+  /// Records y = g(L̃; θ) x as graph nodes and returns the output value.
+  /// `adj` applies Ã. The recorded kernel sequence must match eager
+  /// Forward bit-for-bit. Only valid when SupportsLazy().
+  virtual opgraph::ValueId RecordForward(opgraph::Graph* graph,
+                                         opgraph::ValueId x,
+                                         const opgraph::SpmmOperator* adj);
+
+  /// Records the Precompute term stream, appending one value per term in
+  /// the exact order/count eager Precompute emits. Only valid when
+  /// SupportsLazy().
+  [[nodiscard]] virtual Status RecordPrecompute(
+      opgraph::Graph* graph, opgraph::ValueId x,
+      const opgraph::SpmmOperator* adj,
+      std::vector<opgraph::ValueId>* terms);
 };
 
 /// Shared low-level propagation helpers.

@@ -1,0 +1,50 @@
+#include "core/lazy.h"
+
+namespace sgnn::filters {
+
+namespace {
+
+Status CheckLazyRunnable(const SpectralFilter& filter,
+                         const FilterContext& ctx) {
+  if (!filter.SupportsLazy()) {
+    return Status::NotImplemented("filter '" + filter.name() +
+                                  "' has no lazy op-graph recording");
+  }
+  SGNN_CHECK(ctx.prop != nullptr, "lazy execution requires a propagation matrix");
+  return Status::OK();
+}
+
+}  // namespace
+
+Status LazyForward(SpectralFilter* filter, const FilterContext& ctx,
+                   const Matrix& x, Matrix* y,
+                   opgraph::PipelineStats* stats) {
+  SGNN_RETURN_IF_ERROR(CheckLazyRunnable(*filter, ctx));
+  CsrSpmmOperator adj(ctx.prop);
+  opgraph::Graph graph(ctx.device);
+  const opgraph::ValueId input = graph.Input(&x);
+  const opgraph::ValueId out = filter->RecordForward(&graph, input, &adj);
+  graph.MarkOutput(out, y);
+  return opgraph::RunPipeline(&graph, opgraph::PipelineOptions{}, stats);
+}
+
+Status LazyPrecompute(SpectralFilter* filter, const FilterContext& ctx,
+                      const Matrix& x, std::vector<Matrix>* terms,
+                      opgraph::PipelineStats* stats) {
+  SGNN_RETURN_IF_ERROR(CheckLazyRunnable(*filter, ctx));
+  CsrSpmmOperator adj(ctx.prop);
+  opgraph::Graph graph(ctx.device);
+  const opgraph::ValueId input = graph.Input(&x);
+  std::vector<opgraph::ValueId> ids;
+  SGNN_RETURN_IF_ERROR(filter->RecordPrecompute(&graph, input, &adj, &ids));
+  // Size the destination vector once before pinning: MarkOutput stores raw
+  // slot pointers, so `terms` must not reallocate until execution is done.
+  terms->clear();
+  terms->resize(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    graph.MarkOutput(ids[i], &(*terms)[i]);
+  }
+  return opgraph::RunPipeline(&graph, opgraph::PipelineOptions{}, stats);
+}
+
+}  // namespace sgnn::filters

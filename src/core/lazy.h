@@ -1,0 +1,54 @@
+// Lazy execution drivers: record a filter's Forward / Precompute onto an
+// op-graph, fuse + plan + execute it (docs/OPGRAPH.md).
+//
+// This header is where the opgraph and sparse layers meet: opgraph itself
+// never includes sparse/, so the CSR propagation matrix is adapted onto
+// opgraph::SpmmOperator here, one layer up. Results are bit-identical to the
+// eager Forward/Precompute calls they replace; eager stays the oracle
+// (sgnn_conformance --mode=lazy gates this path against the dense
+// eigendecomposition reference).
+
+#ifndef SGNN_CORE_LAZY_H_
+#define SGNN_CORE_LAZY_H_
+
+#include <vector>
+
+#include "core/filter.h"
+#include "opgraph/executor.h"
+#include "sparse/csr.h"
+
+namespace sgnn::filters {
+
+/// Adapts the CSR propagation matrix Ã onto opgraph's abstract operator.
+class CsrSpmmOperator : public opgraph::SpmmOperator {
+ public:
+  explicit CsrSpmmOperator(const sparse::CsrMatrix* prop) : prop_(prop) {}
+
+  int64_t n() const override { return prop_->n(); }
+  void Apply(const Matrix& x, Matrix* out) const override {
+    prop_->SpMM(x, out);
+  }
+
+ private:
+  const sparse::CsrMatrix* prop_;
+};
+
+/// y = g(L̃; θ) x via record → fuse → plan → execute. Returns NotImplemented
+/// for filters without lazy support (callers keep the eager path), and
+/// OutOfMemory when execution newly latched the simulated accelerator OOM
+/// flag (results are still fully computed; see opgraph/executor.h).
+[[nodiscard]] Status LazyForward(SpectralFilter* filter,
+                                 const FilterContext& ctx, const Matrix& x,
+                                 Matrix* y,
+                                 opgraph::PipelineStats* stats = nullptr);
+
+/// Lazy mirror of SpectralFilter::Precompute: emits the same terms in the
+/// same order, each planned directly into its slot of `terms`.
+[[nodiscard]] Status LazyPrecompute(SpectralFilter* filter,
+                                    const FilterContext& ctx, const Matrix& x,
+                                    std::vector<Matrix>* terms,
+                                    opgraph::PipelineStats* stats = nullptr);
+
+}  // namespace sgnn::filters
+
+#endif  // SGNN_CORE_LAZY_H_

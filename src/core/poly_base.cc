@@ -34,6 +34,20 @@ void Affine(const FilterContext& ctx, float c, float d, const Matrix& x,
 
 }  // namespace propagate
 
+opgraph::ValueId SpectralFilter::RecordForward(opgraph::Graph* /*graph*/,
+                                               opgraph::ValueId /*x*/,
+                                               const opgraph::SpmmOperator*) {
+  SGNN_CHECK(false, "RecordForward called on a filter without lazy support");
+  return opgraph::kNoValue;
+}
+
+Status SpectralFilter::RecordPrecompute(opgraph::Graph* /*graph*/,
+                                        opgraph::ValueId /*x*/,
+                                        const opgraph::SpmmOperator* /*adj*/,
+                                        std::vector<opgraph::ValueId>*) {
+  return Status::NotImplemented("filter has no lazy op-graph recording");
+}
+
 PolynomialBasisFilter::PolynomialBasisFilter(std::string name, FilterType type,
                                              int hops, FilterHyperParams hp)
     : hp_(hp), name_(std::move(name)), type_(type), hops_(hops) {
@@ -99,6 +113,61 @@ void PolynomialBasisFilter::StreamBasis(const FilterContext& ctx,
     prev = std::move(cur);
     cur = std::move(next);
   }
+}
+
+void PolynomialBasisFilter::RecordBasis(opgraph::Graph* graph,
+                                        opgraph::ValueId x,
+                                        const opgraph::SpmmOperator* adj,
+                                        const LazyTermEmitter& emit) const {
+  // Mirrors the default StreamBasis hop for hop: the kFusedSpmmAffine node
+  // the fusion pass forms from Spmm→Scale→Axpy replays SpMM + Scale +
+  // conditional Axpys on the same float values, so results stay
+  // bit-identical to eager (the eager scratch→next copy is exact).
+  opgraph::ValueId prev = opgraph::kNoValue;
+  opgraph::ValueId cur = x;
+  emit(0, cur);
+  for (int k = 1; k <= hops(); ++k) {
+    const Recurrence r = RecurrenceAt(k);
+    opgraph::ValueId v =
+        graph->Scale(static_cast<float>(r.ca), graph->Spmm(adj, cur));
+    if (r.ci != 0.0) v = graph->Axpy(static_cast<float>(r.ci), cur, v);
+    if (r.cp != 0.0 && prev != opgraph::kNoValue) {
+      v = graph->Axpy(static_cast<float>(r.cp), prev, v);
+    }
+    emit(k, v);
+    prev = cur;
+    cur = v;
+  }
+}
+
+opgraph::ValueId PolynomialBasisFilter::RecordForward(
+    opgraph::Graph* graph, opgraph::ValueId x,
+    const opgraph::SpmmOperator* adj) {
+  const std::vector<double> theta = CurrentTheta();
+  // Zero + Axpy chain (skipping θ_k == 0) replicates eager Forward's
+  // zero-filled y and conditional accumulation — including signed zeros.
+  opgraph::ValueId acc = graph->Zero(graph->rows(x), graph->cols(x));
+  RecordBasis(graph, x, adj, [&](int k, opgraph::ValueId term) {
+    const double w = theta[static_cast<size_t>(k)];
+    if (w != 0.0) acc = graph->Axpy(static_cast<float>(w), term, acc);
+  });
+  return acc;
+}
+
+Status PolynomialBasisFilter::RecordPrecompute(
+    opgraph::Graph* graph, opgraph::ValueId x,
+    const opgraph::SpmmOperator* adj,
+    std::vector<opgraph::ValueId>* terms) {
+  if (type_ == FilterType::kFixed) {
+    // Fixed filters fold θ during precompute: a single combined value.
+    terms->push_back(RecordForward(graph, x, adj));
+    return Status::OK();
+  }
+  terms->reserve(terms->size() + static_cast<size_t>(hops()) + 1);
+  RecordBasis(graph, x, adj, [&](int /*k*/, opgraph::ValueId term) {
+    terms->push_back(term);
+  });
+  return Status::OK();
 }
 
 std::vector<double> PolynomialBasisFilter::ScalarBasis(double lambda,

@@ -24,6 +24,9 @@ namespace sgnn::filters {
 /// Callback receiving basis term k (valid only during the call).
 using TermEmitter = std::function<void(int k, const Matrix& term)>;
 
+/// Callback receiving the recorded graph value for basis term k.
+using LazyTermEmitter = std::function<void(int k, opgraph::ValueId term)>;
+
 /// Base class implementing Forward/Backward/Precompute/Response on top of a
 /// subclass-provided basis stream.
 class PolynomialBasisFilter : public SpectralFilter {
@@ -51,12 +54,30 @@ class PolynomialBasisFilter : public SpectralFilter {
   void BackwardCombine(const std::vector<const Matrix*>& batch_terms,
                        const Matrix& grad_y) override;
 
+  /// Recurrence-driven bases record onto the op-graph for fused execution;
+  /// subclasses overriding StreamBasis with irregular streams must either
+  /// override RecordBasis to match or opt out by returning false here.
+  bool SupportsLazy() const override { return true; }
+  opgraph::ValueId RecordForward(opgraph::Graph* graph, opgraph::ValueId x,
+                                 const opgraph::SpmmOperator* adj) override;
+  [[nodiscard]] Status RecordPrecompute(
+      opgraph::Graph* graph, opgraph::ValueId x,
+      const opgraph::SpmmOperator* adj,
+      std::vector<opgraph::ValueId>* terms) override;
+
  protected:
   /// Streams T^(k)(L̃)·x for k = 0..ctx.hops. Default implementation drives
   /// ScalarRecurrenceStep's matrix analogue; subclasses with irregular bases
   /// (Bernstein, Favard, OptBasis) override.
   virtual void StreamBasis(const FilterContext& ctx, const Matrix& x,
                            const TermEmitter& emit);
+
+  /// Lazy mirror of StreamBasis: records T^(k)(L̃)·x for k = 0..hops as
+  /// graph nodes, emitting the same term values in the same order. The
+  /// default drives RecurrenceAt exactly like the default StreamBasis.
+  virtual void RecordBasis(opgraph::Graph* graph, opgraph::ValueId x,
+                           const opgraph::SpmmOperator* adj,
+                           const LazyTermEmitter& emit) const;
 
   /// Scalar basis values τ_k(λ) for k = 0..hops (same recurrence on scalars,
   /// with Ã ↦ 1-λ and L̃ ↦ λ).
@@ -93,9 +114,10 @@ class PolynomialBasisFilter : public SpectralFilter {
   FilterHyperParams hp_;
   nn::ScalarParams params_;
 
- private:
+  /// Effective θ validated to K+1 entries (used by eager and lazy paths).
   std::vector<double> CurrentTheta() const;
 
+ private:
   std::string name_;
   FilterType type_;
   int hops_ = 10;

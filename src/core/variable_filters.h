@@ -75,6 +75,9 @@ class BernsteinFilter : public PolynomialBasisFilter {
  public:
   explicit BernsteinFilter(int hops, FilterHyperParams hp = {});
 
+  /// Irregular (K²/2-propagation) stream; no op-graph mirror — eager only.
+  bool SupportsLazy() const override { return false; }
+
  protected:
   void StreamBasis(const FilterContext& ctx, const Matrix& x,
                    const TermEmitter& emit) override;
@@ -133,6 +136,10 @@ class FavardFilter : public PolynomialBasisFilter {
 class OptBasisFilter : public PolynomialBasisFilter {
  public:
   explicit OptBasisFilter(int hops, FilterHyperParams hp = {});
+
+  /// Signal-dependent Lanczos stream (norms depend on intermediate values);
+  /// not expressible as a recorded affine recurrence — eager only.
+  bool SupportsLazy() const override { return false; }
 
   void ResetParameters(Rng* rng) override;
   void Forward(const FilterContext& ctx, const Matrix& x, Matrix* y,

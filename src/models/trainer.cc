@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/lazy.h"
 #include "tensor/parallel.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
@@ -124,6 +125,19 @@ TrainResult TrainFullBatch(const graph::Graph& g, const graph::Splits& splits,
 
   filters::FilterContext ctx{&norm, Device::kAccel};
 
+  // No-cache inference forward, optionally through the lazy op-graph. A
+  // simulated OOM during lazy execution is latched in the DeviceTracker and
+  // surfaced by RunGuard exactly like an eager over-capacity allocation;
+  // outputs are fully computed either way (see opgraph/executor.h).
+  const auto infer_forward = [&](const Matrix& in, Matrix* out) {
+    if (config.lazy && filter->SupportsLazy()) {
+      const Status lazy_status = filters::LazyForward(filter, ctx, in, out);
+      (void)lazy_status;
+    } else {
+      filter->Forward(ctx, in, out, /*cache=*/false);
+    }
+  };
+
   double best_val = -1.0;
   int64_t step = 0;
   double train_ms_total = 0.0;
@@ -162,7 +176,7 @@ TrainResult TrainFullBatch(const graph::Graph& g, const graph::Splits& splits,
         ((epoch + 1) % config.eval_every == 0 || last)) {
       Matrix eh0, ehf, elogits;
       phi0.ForwardInference(x, &eh0);
-      filter->Forward(ctx, eh0, &ehf, /*cache=*/false);
+      infer_forward(eh0, &ehf);
       phi1.ForwardInference(ehf, &elogits);
       const double val = EvaluateMetric(metric, elogits, g.labels, splits.val);
       if (val > best_val) {
@@ -187,7 +201,7 @@ TrainResult TrainFullBatch(const graph::Graph& g, const graph::Splits& splits,
     Stopwatch sw;
     Matrix eh0, ehf, elogits;
     phi0.ForwardInference(x, &eh0);
-    filter->Forward(ctx, eh0, &ehf, /*cache=*/false);
+    infer_forward(eh0, &ehf);
     phi1.ForwardInference(ehf, &elogits);
     result.stats.infer_ms = sw.ElapsedMs();
     if (capture_embeddings && result.embeddings.size() == 0) {
@@ -228,7 +242,12 @@ TrainResult TrainMiniBatch(const graph::Graph& g, const graph::Splits& splits,
   sparse::CsrMatrix norm = sparse::NormalizeAdjacency(g.adj, config.rho);
   filters::FilterContext host_ctx{&norm, Device::kHost};
   std::vector<Matrix> terms;
-  const Status pre = filter->Precompute(host_ctx, g.features, &terms);
+  // Lazy path emits the identical term stream (bit-for-bit) with fused
+  // propagation and pool-planned buffers; eager remains the oracle.
+  const Status pre =
+      (config.lazy && filter->SupportsLazy())
+          ? filters::LazyPrecompute(filter, host_ctx, g.features, &terms)
+          : filter->Precompute(host_ctx, g.features, &terms);
   if (!pre.ok()) {
     result.status = pre;
     return result;

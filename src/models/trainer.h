@@ -48,6 +48,12 @@ struct TrainConfig {
   /// (serve/checkpoint.h) persists. MB-only: serving needs the decoupled
   /// per-hop terms, which full-batch training never materializes.
   bool export_model = false;
+  /// Lazy op-graph execution (docs/OPGRAPH.md): MB precompute and the FB
+  /// no-cache inference passes record onto an op-graph and run fused with
+  /// planned buffers. Bit-identical to eager; filters without lazy support
+  /// silently keep the eager path. Training forwards (cache=true) stay
+  /// eager — the backward pass consumes the cached basis terms.
+  bool lazy = false;
 };
 
 /// Per-stage efficiency measurements (paper Tables 9/11, Figure 2).

@@ -1,0 +1,130 @@
+#include "opgraph/executor.h"
+
+#include <vector>
+
+#include "opgraph/fusion.h"
+#include "tensor/device.h"
+#include "tensor/ops.h"
+
+namespace sgnn::opgraph {
+
+namespace {
+
+class Storage {
+ public:
+  Storage(const Graph& graph, const Plan& plan)
+      : graph_(graph), plan_(plan), pool_(plan.buffers.size()) {
+    const Device device = graph.device();
+    for (size_t b = 0; b < plan.buffers.size(); ++b) {
+      pool_[b] = Matrix(plan.buffers[b].rows, plan.buffers[b].cols, device);
+    }
+    for (const Plan::OutputSpec& o : plan_.outputs) {
+      *o.dest = Matrix(o.rows, o.cols, device);
+    }
+  }
+
+  /// Mutable storage backing value `v` (never an external input).
+  Matrix* Dest(ValueId v) {
+    const int slot = plan_.output_slot[static_cast<size_t>(v)];
+    if (slot >= 0) return plan_.outputs[static_cast<size_t>(slot)].dest;
+    const int buf = plan_.pool_buffer[static_cast<size_t>(v)];
+    SGNN_CHECK(buf >= 0, "opgraph: value has no writable storage");
+    return &pool_[static_cast<size_t>(buf)];
+  }
+
+  /// Read-only view of value `v` (external input, output slot, or pool).
+  const Matrix& Src(ValueId v) {
+    const ValueInfo& info = graph_.values()[static_cast<size_t>(v)];
+    if (info.is_input()) return *info.external;
+    return *Dest(v);
+  }
+
+ private:
+  const Graph& graph_;
+  const Plan& plan_;
+  std::vector<Matrix> pool_;
+};
+
+}  // namespace
+
+Status Execute(const Graph& graph, const Plan& plan) {
+  DeviceTracker& tracker = DeviceTracker::Global();
+  const bool oom_before = tracker.accel_oom();
+
+  // All allocations happen here; peak grows by exactly planned_peak_bytes.
+  Storage storage(graph, plan);
+
+  // Marked inputs have no defining node — copy them out first (the eager
+  // Precompute path emits T_0 = x as a copy).
+  for (ValueId v = 0; v < graph.num_values(); ++v) {
+    const ValueInfo& info = graph.values()[static_cast<size_t>(v)];
+    if (info.is_input() && info.output != nullptr) {
+      ops::Copy(*info.external, info.output);
+    }
+  }
+
+  for (const Node& n : graph.nodes()) {
+    Matrix* out = storage.Dest(n.out);
+    switch (n.kind) {
+      case OpKind::kZero:
+        out->Fill(0.0f);
+        break;
+      case OpKind::kSpmm:
+        n.spmm->Apply(storage.Src(n.in0), out);
+        break;
+      case OpKind::kScale: {
+        const Matrix& x = storage.Src(n.in0);
+        if (&x != out) ops::Copy(x, out);
+        ops::Scale(n.alpha, out);
+        break;
+      }
+      case OpKind::kAxpy: {
+        const Matrix& y = storage.Src(n.in1);
+        if (&y != out) ops::Copy(y, out);
+        ops::Axpy(n.alpha, storage.Src(n.in0), out);
+        break;
+      }
+      case OpKind::kGemm:
+        ops::Gemm(storage.Src(n.in0), storage.Src(n.in1), out);
+        break;
+      case OpKind::kElementwise: {
+        const Matrix& x = storage.Src(n.in0);
+        if (&x != out) ops::Copy(x, out);
+        ops::ReluInPlace(out);
+        break;
+      }
+      case OpKind::kFusedSpmmAffine:
+        // Exact kernel order of the unfused chain: SpMM, Scale, Axpy(ci),
+        // Axpy(cp) — bit-identical to eager, minus the scratch copy.
+        n.spmm->Apply(storage.Src(n.in0), out);
+        ops::Scale(n.ca, out);
+        if (n.in1 != kNoValue) ops::Axpy(n.ci, storage.Src(n.in1), out);
+        if (n.in2 != kNoValue) ops::Axpy(n.cp, storage.Src(n.in2), out);
+        break;
+    }
+  }
+
+  if (!oom_before && tracker.accel_oom()) {
+    return Status::OutOfMemory(
+        "opgraph: plan execution latched simulated accelerator OOM");
+  }
+  return Status::OK();
+}
+
+Status RunPipeline(Graph* graph, const PipelineOptions& options,
+                   PipelineStats* stats) {
+  int fused = 0;
+  if (options.fuse) fused = FuseSpmmChains(graph);
+  const Plan plan = PlanBuffers(*graph);
+  if (stats != nullptr) {
+    stats->nodes = static_cast<int>(graph->nodes().size());
+    stats->fused_spmm_chains = fused;
+    stats->pool_buffers = static_cast<int>(plan.buffers.size());
+    stats->pool_bytes = plan.pool_bytes;
+    stats->output_bytes = plan.output_bytes;
+    stats->planned_peak_bytes = plan.planned_peak_bytes;
+  }
+  return Execute(*graph, plan);
+}
+
+}  // namespace sgnn::opgraph

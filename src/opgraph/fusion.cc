@@ -1,0 +1,97 @@
+#include "opgraph/fusion.h"
+
+#include <utility>
+#include <vector>
+
+namespace sgnn::opgraph {
+
+namespace {
+
+// True when value `v` has already been defined at node position `pos` (graph
+// input, or defining node strictly earlier). Fused nodes are emitted at the
+// SpMM's position, so every operand they reference must satisfy this.
+bool AvailableAt(const std::vector<ValueInfo>& values, ValueId v, int pos) {
+  const int def = values[static_cast<size_t>(v)].def;
+  return def < pos;  // inputs have def == -1
+}
+
+}  // namespace
+
+int FuseSpmmChains(Graph* graph) {
+  const std::vector<Node>& nodes = graph->nodes();
+  const std::vector<ValueInfo>& values = graph->values();
+  const std::vector<int> uses = graph->UseCounts();
+
+  // Sole consumer per single-use value (chain links must be single-use).
+  std::vector<int> sole(values.size(), -1);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (const ValueId v : {nodes[i].in0, nodes[i].in1, nodes[i].in2}) {
+      if (v != kNoValue && uses[static_cast<size_t>(v)] == 1) {
+        sole[static_cast<size_t>(v)] = static_cast<int>(i);
+      }
+    }
+  }
+  const auto is_output = [&](ValueId v) {
+    return values[static_cast<size_t>(v)].output != nullptr;
+  };
+  const auto single_use_internal = [&](ValueId v) {
+    return uses[static_cast<size_t>(v)] == 1 && !is_output(v);
+  };
+
+  std::vector<char> absorbed(nodes.size(), 0);
+  std::vector<Node> rewritten;
+  rewritten.reserve(nodes.size());
+  int fused = 0;
+
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (absorbed[i]) continue;
+    const Node& n = nodes[i];
+    if (n.kind == OpKind::kSpmm && single_use_internal(n.out)) {
+      const int j = sole[static_cast<size_t>(n.out)];
+      if (j > static_cast<int>(i) && nodes[static_cast<size_t>(j)].kind ==
+                                         OpKind::kScale &&
+          nodes[static_cast<size_t>(j)].in0 == n.out) {
+        Node f;
+        f.kind = OpKind::kFusedSpmmAffine;
+        f.spmm = n.spmm;
+        f.in0 = n.in0;
+        f.ca = nodes[static_cast<size_t>(j)].alpha;
+        absorbed[static_cast<size_t>(j)] = 1;
+        ValueId chain = nodes[static_cast<size_t>(j)].out;
+        int tail = j;
+        // Absorb up to two accumulating Axpys (ci then cp — the recurrence
+        // order, which is also the executor's replay order).
+        for (int slot = 0; slot < 2; ++slot) {
+          if (!single_use_internal(chain)) break;
+          const int k = sole[static_cast<size_t>(chain)];
+          if (k <= tail) break;
+          const Node& a = nodes[static_cast<size_t>(k)];
+          if (a.kind != OpKind::kAxpy || a.in1 != chain || a.in0 == chain ||
+              !AvailableAt(values, a.in0, static_cast<int>(i))) {
+            break;
+          }
+          if (slot == 0) {
+            f.ci = a.alpha;
+            f.in1 = a.in0;
+          } else {
+            f.cp = a.alpha;
+            f.in2 = a.in0;
+          }
+          absorbed[static_cast<size_t>(k)] = 1;
+          chain = a.out;
+          tail = k;
+        }
+        f.out = chain;
+        rewritten.push_back(f);
+        ++fused;
+        continue;
+      }
+    }
+    rewritten.push_back(n);
+  }
+
+  if (fused > 0) graph->ReplaceNodes(std::move(rewritten));
+  return fused;
+}
+
+}  // namespace sgnn::opgraph

@@ -231,6 +231,42 @@ TEST(LayeringTest, QuantIsPostTrainingOnly) {
   EXPECT_TRUE(HasRule(bad_quant, "layering")) << Render(bad_quant);
 }
 
+TEST(LayeringTest, OpgraphSitsBetweenTensorAndSparseCore) {
+  // opgraph (lazy op-graph, docs/OPGRAPH.md) sits directly on tensor and
+  // feeds sparse/core: it abstracts the propagation matrix behind
+  // SpmmOperator instead of including sparse/, and core/lazy.h is the
+  // first layer that sees both sides.
+  const auto opgraph_ok = Lint("src/opgraph/executor.cc", R"cc(
+    #include "opgraph/executor.h"
+    #include "opgraph/fusion.h"
+    #include "tensor/device.h"
+    #include "tensor/ops.h"
+  )cc");
+  EXPECT_FALSE(HasRule(opgraph_ok, "layering")) << Render(opgraph_ok);
+  const auto core_ok = Lint("src/core/lazy.cc", R"cc(
+    #include "core/lazy.h"
+    #include "opgraph/executor.h"
+    #include "sparse/csr.h"
+  )cc");
+  EXPECT_FALSE(HasRule(core_ok, "layering")) << Render(core_ok);
+  const auto sparse_ok = Lint("src/sparse/csr.cc", R"cc(
+    #include "opgraph/graph.h"
+  )cc");
+  EXPECT_FALSE(HasRule(sparse_ok, "layering")) << Render(sparse_ok);
+  const auto bad_sparse_edge = Lint("src/opgraph/graph.cc", R"cc(
+    #include "sparse/csr.h"
+  )cc");
+  EXPECT_TRUE(HasRule(bad_sparse_edge, "layering")) << Render(bad_sparse_edge);
+  const auto bad_core_edge = Lint("src/opgraph/planner.cc", R"cc(
+    #include "core/filter.h"
+  )cc");
+  EXPECT_TRUE(HasRule(bad_core_edge, "layering")) << Render(bad_core_edge);
+  const auto bad_nn_edge = Lint("src/nn/mlp.cc", R"cc(
+    #include "opgraph/graph.h"
+  )cc");
+  EXPECT_TRUE(HasRule(bad_nn_edge, "layering")) << Render(bad_nn_edge);
+}
+
 TEST(LayeringTest, IgnoresIncludesInComments) {
   const auto f = Lint("src/tensor/x.cc", R"cc(
     // #include "runtime/supervisor.h"

@@ -1,0 +1,651 @@
+// Tests for the lazy op-graph (src/opgraph/ + core/lazy.h): builder shape/
+// topology invariants, SpMM-chain fusion legality and refusal, planner
+// determinism and alias correctness, exact peak-byte accounting against
+// DeviceTracker, bit-identity of lazy vs eager across the nine fuzz graph
+// families and thread counts, the fused-chebyshev memory win, the lazy
+// probe's SKIPPED journaling under an injected OOM, and a kill-and-resume
+// Supervisor round trip over lazy-mode cells.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "conformance/fuzz.h"
+#include "conformance/lazy_check.h"
+#include "core/lazy.h"
+#include "core/registry.h"
+#include "eval/eigen.h"
+#include "graph/datasets.h"
+#include "graph/generator.h"
+#include "opgraph/executor.h"
+#include "opgraph/fusion.h"
+#include "opgraph/graph.h"
+#include "opgraph/planner.h"
+#include "runtime/fault_injection.h"
+#include "runtime/supervisor.h"
+#include "sparse/adjacency.h"
+#include "tensor/device.h"
+#include "tensor/ops.h"
+#include "tensor/parallel.h"
+#include "tensor/rng.h"
+
+namespace sgnn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed,
+                    Device device = Device::kHost) {
+  Matrix m(rows, cols, device);
+  Rng rng(seed);
+  m.FillNormal(&rng);
+  return m;
+}
+
+/// Ring + chords propagation matrix, normalized like the trainer's.
+sparse::CsrMatrix SmallProp(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  sparse::EdgeList edges;
+  for (int64_t i = 0; i < n; ++i) {
+    edges.emplace_back(static_cast<int32_t>(i),
+                       static_cast<int32_t>((i + 1) % n));
+    if (rng.Bernoulli(0.3)) {
+      edges.emplace_back(static_cast<int32_t>(i),
+                         static_cast<int32_t>(rng.UniformInt(n)));
+    }
+  }
+  auto adj = sparse::BuildAdjacency(n, edges, /*add_self_loops=*/true);
+  SGNN_CHECK(adj.ok(), "test fixture adjacency must build");
+  return sparse::NormalizeAdjacency(adj.value(), 0.5);
+}
+
+bool BitIdentical(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  if (a.size() == 0) return true;
+  return std::memcmp(a.data(), b.data(), a.bytes()) == 0;
+}
+
+// --- builder -----------------------------------------------------------------
+
+TEST(OpGraphBuilder, RecordsShapesAndTopologicalOrder) {
+  const sparse::CsrMatrix prop = SmallProp(12, 1);
+  const filters::CsrSpmmOperator op(&prop);
+  const Matrix x = RandomMatrix(12, 4, 2);
+  const Matrix w = RandomMatrix(4, 3, 3);
+
+  opgraph::Graph g(Device::kHost);
+  const opgraph::ValueId vx = g.Input(&x);
+  const opgraph::ValueId vw = g.Input(&w);
+  const opgraph::ValueId s = g.Spmm(&op, vx);
+  const opgraph::ValueId u = g.Scale(2.0f, s);
+  const opgraph::ValueId a = g.Axpy(0.5f, vx, u);
+  const opgraph::ValueId z = g.Zero(12, 4);
+  const opgraph::ValueId acc = g.Axpy(1.0f, a, z);
+  const opgraph::ValueId p = g.Gemm(acc, vw);
+  const opgraph::ValueId r = g.Elementwise(opgraph::EwKind::kRelu, p);
+  Matrix out;
+  g.MarkOutput(r, &out);
+
+  EXPECT_EQ(g.num_values(), 9);
+  EXPECT_EQ(g.nodes().size(), 7u);
+  EXPECT_EQ(g.rows(s), 12);
+  EXPECT_EQ(g.cols(s), 4);
+  EXPECT_EQ(g.rows(p), 12);
+  EXPECT_EQ(g.cols(p), 3);
+  EXPECT_TRUE(g.values()[static_cast<size_t>(vx)].is_input());
+  EXPECT_FALSE(g.values()[static_cast<size_t>(s)].is_input());
+  EXPECT_EQ(g.values()[static_cast<size_t>(r)].output, &out);
+
+  // SSA: every node's inputs are defined strictly before the node.
+  for (size_t i = 0; i < g.nodes().size(); ++i) {
+    const opgraph::Node& n = g.nodes()[i];
+    EXPECT_EQ(g.values()[static_cast<size_t>(n.out)].def,
+              static_cast<int>(i));
+    for (const opgraph::ValueId v : {n.in0, n.in1, n.in2}) {
+      if (v == opgraph::kNoValue) continue;
+      EXPECT_LT(g.values()[static_cast<size_t>(v)].def, static_cast<int>(i));
+    }
+  }
+
+  const std::vector<int> uses = g.UseCounts();
+  EXPECT_EQ(uses[static_cast<size_t>(vx)], 2);  // Spmm + Axpy
+  EXPECT_EQ(uses[static_cast<size_t>(s)], 1);
+  EXPECT_EQ(uses[static_cast<size_t>(r)], 0);  // marked outputs not counted
+}
+
+// --- fusion ------------------------------------------------------------------
+
+TEST(OpGraphFusion, CollapsesSpmmScaleAxpyChainAndPreservesBits) {
+  const sparse::CsrMatrix prop = SmallProp(20, 4);
+  const filters::CsrSpmmOperator op(&prop);
+  const Matrix cur = RandomMatrix(20, 5, 5);
+  const Matrix prev = RandomMatrix(20, 5, 6);
+
+  // The recurrence chain: next = 2·(Ã cur) + 0.5·cur − 1·prev.
+  auto record = [&](Matrix* out) {
+    auto g = std::make_unique<opgraph::Graph>(Device::kHost);
+    const opgraph::ValueId vc = g->Input(&cur);
+    const opgraph::ValueId vp = g->Input(&prev);
+    const opgraph::ValueId s = g->Spmm(&op, vc);
+    const opgraph::ValueId u = g->Scale(2.0f, s);
+    const opgraph::ValueId v = g->Axpy(0.5f, vc, u);
+    const opgraph::ValueId w = g->Axpy(-1.0f, vp, v);
+    g->MarkOutput(w, out);
+    return g;
+  };
+
+  Matrix fused_out;
+  auto fused = record(&fused_out);
+  EXPECT_EQ(opgraph::FuseSpmmChains(fused.get()), 1);
+  ASSERT_EQ(fused->nodes().size(), 1u);
+  const opgraph::Node& f = fused->nodes()[0];
+  EXPECT_EQ(f.kind, opgraph::OpKind::kFusedSpmmAffine);
+  EXPECT_FLOAT_EQ(f.ca, 2.0f);
+  EXPECT_FLOAT_EQ(f.ci, 0.5f);
+  EXPECT_FLOAT_EQ(f.cp, -1.0f);
+  ASSERT_TRUE(Execute(*fused, opgraph::PlanBuffers(*fused)).ok());
+
+  Matrix eager_out;
+  auto eager = record(&eager_out);
+  opgraph::PipelineOptions no_fuse;
+  no_fuse.fuse = false;
+  ASSERT_TRUE(RunPipeline(eager.get(), no_fuse).ok());
+
+  EXPECT_TRUE(BitIdentical(fused_out, eager_out));
+}
+
+TEST(OpGraphFusion, RefusesMultiUseIntermediates) {
+  const sparse::CsrMatrix prop = SmallProp(10, 7);
+  const filters::CsrSpmmOperator op(&prop);
+  const Matrix x = RandomMatrix(10, 3, 8);
+
+  opgraph::Graph g(Device::kHost);
+  const opgraph::ValueId vx = g.Input(&x);
+  const opgraph::ValueId s = g.Spmm(&op, vx);   // used twice below
+  const opgraph::ValueId u = g.Scale(2.0f, s);
+  const opgraph::ValueId v = g.Axpy(1.0f, s, u);
+  Matrix out;
+  g.MarkOutput(v, &out);
+
+  EXPECT_EQ(opgraph::FuseSpmmChains(&g), 0);
+  EXPECT_EQ(g.nodes().size(), 3u);
+}
+
+TEST(OpGraphFusion, StopsAbsorbingAtMarkedOutputs) {
+  const sparse::CsrMatrix prop = SmallProp(10, 9);
+  const filters::CsrSpmmOperator op(&prop);
+  const Matrix x = RandomMatrix(10, 3, 10);
+
+  opgraph::Graph g(Device::kHost);
+  const opgraph::ValueId vx = g.Input(&x);
+  const opgraph::ValueId s = g.Spmm(&op, vx);
+  const opgraph::ValueId u = g.Scale(2.0f, s);
+  Matrix mid, out;
+  g.MarkOutput(u, &mid);  // marked value must survive fusion
+  const opgraph::ValueId v = g.Axpy(1.0f, vx, u);
+  g.MarkOutput(v, &out);
+
+  // Spmm→Scale still fuses, but the Axpy past the marked value does not.
+  EXPECT_EQ(opgraph::FuseSpmmChains(&g), 1);
+  ASSERT_EQ(g.nodes().size(), 2u);
+  EXPECT_EQ(g.nodes()[0].kind, opgraph::OpKind::kFusedSpmmAffine);
+  EXPECT_EQ(g.nodes()[1].kind, opgraph::OpKind::kAxpy);
+
+  ASSERT_TRUE(Execute(g, opgraph::PlanBuffers(g)).ok());
+  Matrix want_mid(10, 3, Device::kHost);
+  prop.SpMM(x, &want_mid);
+  ops::Scale(2.0f, &want_mid);
+  Matrix want_out = want_mid;
+  ops::Axpy(1.0f, x, &want_out);
+  EXPECT_TRUE(BitIdentical(mid, want_mid));
+  EXPECT_TRUE(BitIdentical(out, want_out));
+}
+
+// --- planner -----------------------------------------------------------------
+
+TEST(OpGraphPlanner, PlansAreDeterministic) {
+  const sparse::CsrMatrix prop = SmallProp(16, 11);
+  const filters::CsrSpmmOperator op(&prop);
+  const Matrix x = RandomMatrix(16, 4, 12);
+
+  auto record = [&](Matrix* out) {
+    auto g = std::make_unique<opgraph::Graph>(Device::kHost);
+    opgraph::ValueId prev = opgraph::kNoValue;
+    opgraph::ValueId cur = g->Input(&x);
+    opgraph::ValueId acc = g->Zero(16, 4);
+    for (int k = 0; k < 4; ++k) {
+      opgraph::ValueId next = g->Scale(2.0f, g->Spmm(&op, cur));
+      if (prev != opgraph::kNoValue) next = g->Axpy(-1.0f, prev, next);
+      acc = g->Axpy(0.25f, next, acc);
+      prev = cur;
+      cur = next;
+    }
+    g->MarkOutput(acc, out);
+    opgraph::FuseSpmmChains(g.get());
+    return g;
+  };
+
+  Matrix out_a, out_b;
+  auto ga = record(&out_a);
+  auto gb = record(&out_b);
+  const opgraph::Plan pa = opgraph::PlanBuffers(*ga);
+  const opgraph::Plan pb = opgraph::PlanBuffers(*gb);
+  EXPECT_EQ(pa.pool_buffer, pb.pool_buffer);
+  EXPECT_EQ(pa.output_slot, pb.output_slot);
+  EXPECT_EQ(pa.buffers.size(), pb.buffers.size());
+  EXPECT_EQ(pa.pool_bytes, pb.pool_bytes);
+  EXPECT_EQ(pa.output_bytes, pb.output_bytes);
+  EXPECT_EQ(pa.planned_peak_bytes, pb.planned_peak_bytes);
+
+  // Same schedule, same plan => same bits.
+  ASSERT_TRUE(Execute(*ga, pa).ok());
+  ASSERT_TRUE(Execute(*gb, pb).ok());
+  EXPECT_TRUE(BitIdentical(out_a, out_b));
+}
+
+TEST(OpGraphPlanner, PinsAccumulatorChainIntoOutputSlot) {
+  const Matrix x = RandomMatrix(8, 2, 13);
+
+  opgraph::Graph g(Device::kHost);
+  const opgraph::ValueId vx = g.Input(&x);
+  const opgraph::ValueId z = g.Zero(8, 2);
+  const opgraph::ValueId a1 = g.Axpy(1.0f, vx, z);
+  const opgraph::ValueId a2 = g.Axpy(2.0f, vx, a1);
+  Matrix out;
+  g.MarkOutput(a2, &out);
+
+  const opgraph::Plan plan = opgraph::PlanBuffers(g);
+  // The whole Zero→Axpy→Axpy chain lives in the caller's matrix: no pool.
+  EXPECT_EQ(plan.buffers.size(), 0u);
+  EXPECT_EQ(plan.output_slot[static_cast<size_t>(z)], 0);
+  EXPECT_EQ(plan.output_slot[static_cast<size_t>(a1)], 0);
+  EXPECT_EQ(plan.output_slot[static_cast<size_t>(a2)], 0);
+  EXPECT_EQ(plan.pool_bytes, 0u);
+
+  ASSERT_TRUE(Execute(g, plan).ok());
+  Matrix want(8, 2, Device::kHost);
+  want.Fill(0.0f);
+  ops::Axpy(1.0f, x, &want);
+  ops::Axpy(2.0f, x, &want);
+  EXPECT_TRUE(BitIdentical(out, want));
+}
+
+TEST(OpGraphPlanner, RefusesAliasWhenSourceIsStillLive) {
+  const sparse::CsrMatrix prop = SmallProp(14, 15);
+  const filters::CsrSpmmOperator op(&prop);
+  const Matrix x = RandomMatrix(14, 3, 16);
+
+  // Diamond: a feeds both the Scale and the later Axpy, so the Scale must
+  // not overwrite it in place even though shapes match.
+  opgraph::Graph g(Device::kHost);
+  const opgraph::ValueId vx = g.Input(&x);
+  const opgraph::ValueId a = g.Spmm(&op, vx);
+  const opgraph::ValueId b = g.Scale(0.5f, a);
+  const opgraph::ValueId c = g.Axpy(1.0f, a, b);
+  Matrix out;
+  g.MarkOutput(c, &out);
+
+  const opgraph::Plan plan = opgraph::PlanBuffers(g);
+  // `a` needs a pool buffer; `b` dies at the Axpy so the backward pinning
+  // pass puts the Scale→Axpy tail straight into the caller's matrix.
+  EXPECT_EQ(plan.buffers.size(), 1u);
+  EXPECT_EQ(plan.output_slot[static_cast<size_t>(b)], 0);
+  EXPECT_EQ(plan.output_slot[static_cast<size_t>(c)], 0);
+  EXPECT_GE(plan.pool_buffer[static_cast<size_t>(a)], 0);
+
+  ASSERT_TRUE(Execute(g, plan).ok());
+  Matrix spmm(14, 3, Device::kHost);
+  prop.SpMM(x, &spmm);
+  Matrix want = spmm;
+  ops::Scale(0.5f, &want);
+  ops::Axpy(1.0f, spmm, &want);
+  EXPECT_TRUE(BitIdentical(out, want));
+}
+
+TEST(OpGraphPlanner, ReusesPoolBuffersAcrossHops) {
+  const sparse::CsrMatrix prop = SmallProp(24, 17);
+  const filters::CsrSpmmOperator op(&prop);
+  const Matrix x = RandomMatrix(24, 4, 18);
+
+  opgraph::Graph g(Device::kHost);
+  opgraph::ValueId prev = opgraph::kNoValue;
+  opgraph::ValueId cur = g.Input(&x);
+  opgraph::ValueId acc = g.Zero(24, 4);
+  const int kHops = 10;
+  for (int k = 0; k < kHops; ++k) {
+    opgraph::ValueId next = g.Scale(2.0f, g.Spmm(&op, cur));
+    if (prev != opgraph::kNoValue) next = g.Axpy(-1.0f, prev, next);
+    acc = g.Axpy(0.1f, next, acc);
+    prev = cur;
+    cur = next;
+  }
+  Matrix out;
+  g.MarkOutput(acc, &out);
+  opgraph::FuseSpmmChains(&g);
+
+  const opgraph::Plan plan = opgraph::PlanBuffers(g);
+  // The recurrence only ever keeps prev/cur (+ the accumulator, pinned to
+  // the output): the pool must stay O(1) in the hop count.
+  EXPECT_LE(plan.buffers.size(), 3u);
+  EXPECT_EQ(plan.planned_peak_bytes, plan.pool_bytes + plan.output_bytes);
+}
+
+// --- executor memory accounting ----------------------------------------------
+
+TEST(OpGraphExecutor, PeakBytesMatchPlanExactly) {
+  const sparse::CsrMatrix prop = SmallProp(64, 19);
+  for (const Device device : {Device::kHost, Device::kAccel}) {
+    const filters::CsrSpmmOperator op(&prop);
+    const Matrix x = RandomMatrix(64, 8, 20, device);
+
+    opgraph::Graph g(device);
+    opgraph::ValueId prev = opgraph::kNoValue;
+    opgraph::ValueId cur = g.Input(&x);
+    opgraph::ValueId acc = g.Zero(64, 8);
+    for (int k = 0; k < 6; ++k) {
+      opgraph::ValueId next = g.Scale(2.0f, g.Spmm(&op, cur));
+      if (prev != opgraph::kNoValue) next = g.Axpy(-1.0f, prev, next);
+      acc = g.Axpy(0.2f, next, acc);
+      prev = cur;
+      cur = next;
+    }
+    Matrix out;
+    g.MarkOutput(acc, &out);
+    opgraph::FuseSpmmChains(&g);
+    const opgraph::Plan plan = opgraph::PlanBuffers(g);
+
+    auto& tracker = DeviceTracker::Global();
+    const size_t live0 = tracker.live_bytes(device);
+    tracker.ResetPeak();
+    ASSERT_TRUE(Execute(g, plan).ok());
+    const size_t growth = tracker.peak_bytes(device) - live0;
+    // The contract in opgraph/planner.h: exact, not an upper bound.
+    EXPECT_EQ(growth, plan.planned_peak_bytes);
+  }
+  DeviceTracker::Global().ResetPeak();
+}
+
+TEST(OpGraphMemory, FusedChebyshevK10PeaksBelowEager) {
+  auto& tracker = DeviceTracker::Global();
+  tracker.ResetAll();
+  const int64_t n = 300, f = 16;
+  const sparse::CsrMatrix prop = SmallProp(n, 21);
+  const Matrix x = RandomMatrix(n, f, 22, Device::kAccel);
+  auto filter_or = filters::CreateFilter("chebyshev", 10, {}, f);
+  ASSERT_TRUE(filter_or.ok());
+  auto filter = filter_or.MoveValue();
+  filters::FilterContext ctx;
+  ctx.prop = &prop;
+  ctx.device = Device::kAccel;
+
+  Matrix y_eager;
+  const size_t live_eager = tracker.live_bytes(Device::kAccel);
+  tracker.ResetPeak();
+  filter->Forward(ctx, x, &y_eager, /*cache=*/false);
+  const size_t eager_peak = tracker.peak_bytes(Device::kAccel) - live_eager;
+
+  Matrix y_lazy;
+  opgraph::PipelineStats stats;
+  const size_t live_lazy = tracker.live_bytes(Device::kAccel);
+  tracker.ResetPeak();
+  ASSERT_TRUE(
+      filters::LazyForward(filter.get(), ctx, x, &y_lazy, &stats).ok());
+  const size_t lazy_peak = tracker.peak_bytes(Device::kAccel) - live_lazy;
+
+  // The paper's Fig. 2 motivation, asserted: fusing the K=10 chebyshev
+  // chain drops the propagation working set below the eager stream's.
+  EXPECT_GT(stats.fused_spmm_chains, 0);
+  EXPECT_EQ(lazy_peak, stats.planned_peak_bytes);
+  EXPECT_LT(lazy_peak, eager_peak);
+  EXPECT_TRUE(BitIdentical(y_lazy, y_eager));
+  tracker.ResetAll();
+}
+
+// --- lazy ≡ eager property sweep ---------------------------------------------
+
+// One representative seed per fuzz graph family (er/sbm/star/path/cycle/
+// disconnected/self_loop/isolated/empty), every lazy-capable filter, and
+// three thread counts: the lazy pipeline must reproduce the eager forward
+// and precompute byte for byte each time.
+TEST(OpGraphProperty, LazyMatchesEagerAcrossFamiliesAndThreads) {
+  std::map<std::string, conformance::FuzzCase> cases;
+  for (uint64_t seed = 1; seed <= 2000 && cases.size() < 9; ++seed) {
+    conformance::FuzzCase c = conformance::CaseFromSeed(seed);
+    cases.emplace(c.family, std::move(c));
+  }
+  ASSERT_EQ(cases.size(), 9u);
+
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  int checked_filters = 0;
+  for (const auto& [family, c] : cases) {
+    auto adj_or = sparse::BuildAdjacency(c.n, c.edges, c.self_loops);
+    ASSERT_TRUE(adj_or.ok()) << family;
+    const sparse::CsrMatrix prop =
+        sparse::NormalizeAdjacency(adj_or.value(), c.rho);
+    const Matrix x = RandomMatrix(c.n, 3, c.seed ^ 0xF00Dull);
+    filters::FilterContext ctx;
+    ctx.prop = &prop;
+    ctx.device = Device::kHost;
+
+    for (const auto& name : filters::AllFilterNames()) {
+      auto filter_or = filters::CreateFilter(name, c.hops, {}, x.cols());
+      if (!filter_or.ok()) continue;
+      auto filter = filter_or.MoveValue();
+      if (!filter->SupportsLazy()) continue;
+      ++checked_filters;
+      for (const int threads : {1, 4, hw}) {
+        parallel::SetNumThreads(threads);
+        Matrix y_eager;
+        filter->Forward(ctx, x, &y_eager, /*cache=*/false);
+        Matrix y_lazy;
+        ASSERT_TRUE(filters::LazyForward(filter.get(), ctx, x, &y_lazy).ok())
+            << family << "/" << name << " threads=" << threads;
+        EXPECT_TRUE(BitIdentical(y_lazy, y_eager))
+            << family << "/" << name << " threads=" << threads;
+
+        if (filter->SupportsMiniBatch()) {
+          std::vector<Matrix> eager_terms, lazy_terms;
+          ASSERT_TRUE(filter->Precompute(ctx, x, &eager_terms).ok());
+          ASSERT_TRUE(
+              filters::LazyPrecompute(filter.get(), ctx, x, &lazy_terms).ok());
+          ASSERT_EQ(lazy_terms.size(), eager_terms.size())
+              << family << "/" << name;
+          for (size_t t = 0; t < eager_terms.size(); ++t) {
+            EXPECT_TRUE(BitIdentical(lazy_terms[t], eager_terms[t]))
+                << family << "/" << name << " term " << t
+                << " threads=" << threads;
+          }
+        }
+      }
+    }
+  }
+  parallel::SetNumThreads(0);
+  EXPECT_GT(checked_filters, 0);
+}
+
+TEST(OpGraphProperty, EagerOnlyFiltersReturnNotImplemented) {
+  const sparse::CsrMatrix prop = SmallProp(12, 23);
+  const Matrix x = RandomMatrix(12, 4, 24);
+  auto filter_or = filters::CreateFilter("bernstein", 4, {}, x.cols());
+  ASSERT_TRUE(filter_or.ok());
+  auto filter = filter_or.MoveValue();
+  ASSERT_FALSE(filter->SupportsLazy());
+  filters::FilterContext ctx;
+  ctx.prop = &prop;
+  ctx.device = Device::kHost;
+  Matrix y;
+  const Status status = filters::LazyForward(filter.get(), ctx, x, &y);
+  EXPECT_EQ(status.code(), StatusCode::kNotImplemented);
+}
+
+// --- conformance gate --------------------------------------------------------
+
+TEST(OpGraphConformance, AllFiltersPassLazyOracleOnFixture) {
+  const int64_t n = 24;
+  Rng rng(31);
+  sparse::EdgeList edges;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      if (rng.Bernoulli(0.2)) {
+        edges.emplace_back(static_cast<int32_t>(i), static_cast<int32_t>(j));
+      }
+    }
+  }
+  auto adj = sparse::BuildAdjacency(n, edges, /*add_self_loops=*/true);
+  ASSERT_TRUE(adj.ok());
+  const sparse::CsrMatrix norm = sparse::NormalizeAdjacency(adj.value(), 0.5);
+  auto eig_or = eval::JacobiEigen(eval::DenseLaplacian(norm));
+  ASSERT_TRUE(eig_or.ok());
+  const Matrix x = RandomMatrix(n, 4, 32);
+
+  auto reports_or = conformance::CheckAllLazy(norm, eig_or.value(), x);
+  ASSERT_TRUE(reports_or.ok()) << reports_or.status().ToString();
+  const auto& reports = reports_or.value();
+  EXPECT_TRUE(conformance::AllLazyPass(reports))
+      << conformance::FormatLazyReports(reports);
+  int fused_somewhere = 0;
+  for (const auto& r : reports) {
+    if (!r.skipped && r.fused_chains > 0) ++fused_somewhere;
+  }
+  EXPECT_GT(fused_somewhere, 0);
+}
+
+// --- probe + supervisor integration ------------------------------------------
+
+// Regression: a lazy probe whose pipeline latches the simulated accelerator
+// OOM (armed fault plan firing while the executor acquires its planned
+// buffers) must journal the cell as SKIPPED through the Supervisor and
+// leave the latch clean — not crash the bench or poison later cells.
+TEST(OpGraphProbe, OomMidPipelineJournalsSkipped) {
+  auto& tracker = DeviceTracker::Global();
+  auto& inj = runtime::FaultInjector::Global();
+  tracker.ResetAll();
+
+  const sparse::CsrMatrix prop = SmallProp(32, 25);
+  const Matrix x = RandomMatrix(32, 4, 26, Device::kAccel);
+  filters::FilterContext ctx;
+  ctx.prop = &prop;
+  ctx.device = Device::kAccel;
+
+  const std::string path = TempPath("opgraph_probe.jsonl");
+  std::remove(path.c_str());
+  runtime::Supervisor sup("opgraph_probe", path);
+  const runtime::CellKey key{"small", "chebyshev", "fb", 1, "lazy"};
+
+  runtime::FaultPlan plan;
+  plan.accel_alloc_fail_nth = 1;  // first executor allocation faults
+  inj.Arm(plan);
+  EXPECT_FALSE(bench::ProbeLazy(&sup, key, "chebyshev", ctx, x));
+  inj.Disarm();
+
+  EXPECT_GE(inj.injected_alloc_faults(), 1u);
+  EXPECT_FALSE(tracker.accel_oom());  // probe cleared the latch it caused
+  const runtime::CellRecord* rec = sup.Find(key);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->status, runtime::CellStatus::kSkipped);
+  EXPECT_NE(rec->detail.find("OutOfMemory"), std::string::npos) << rec->detail;
+
+  // With the fault gone the same probe succeeds on a fresh cell.
+  const runtime::CellKey clean{"small", "ppr", "fb", 1, "lazy"};
+  EXPECT_TRUE(bench::ProbeLazy(&sup, clean, "ppr", ctx, x));
+  EXPECT_EQ(sup.Find(clean), nullptr);
+
+  tracker.ResetAll();
+  std::remove(path.c_str());
+}
+
+// Kill-and-resume round trip over lazy-mode cells: an interrupted lazy grid
+// resumed on the same journal rebuilds the uninterrupted table, and the
+// lazy grid's metrics equal the eager grid's bit for bit (the trainer's
+// --lazy path only swaps in the fused pipeline, which is bit-identical).
+TEST(OpGraphSupervisor, LazyKillAndResumeRoundTrip) {
+  graph::GeneratorConfig gc;
+  gc.n = 400;
+  gc.avg_degree = 8.0;
+  gc.num_classes = 4;
+  gc.homophily = 0.85;
+  gc.feature_dim = 16;
+  gc.noise = 2.0;
+  gc.seed = 3;
+  graph::Graph g = graph::GenerateSbm(gc);
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+
+  models::TrainConfig lazy_cfg;
+  lazy_cfg.epochs = 20;
+  lazy_cfg.eval_every = 5;
+  lazy_cfg.hidden = 32;
+  lazy_cfg.batch_size = 256;
+  lazy_cfg.lazy = true;
+  models::TrainConfig eager_cfg = lazy_cfg;
+  eager_cfg.lazy = false;
+
+  const std::vector<runtime::CellKey> grid = {
+      {"small", "chebyshev", "fb", 1, "lazy"},
+      {"small", "ppr", "fb", 1, "lazy"},
+  };
+
+  // Reference: uninterrupted lazy run on its own journal.
+  const std::string ref_path = TempPath("opgraph_roundtrip_ref.jsonl");
+  std::remove(ref_path.c_str());
+  std::vector<runtime::CellRecord> reference;
+  {
+    runtime::Supervisor sup("opgraph_roundtrip", ref_path);
+    for (const auto& key : grid) {
+      reference.push_back(
+          sup.RunTraining(key, g, s, graph::Metric::kAccuracy, lazy_cfg));
+    }
+  }
+
+  // Interrupted: one cell, then "die" without cleanup; resume the journal.
+  const std::string path = TempPath("opgraph_roundtrip_killed.jsonl");
+  std::remove(path.c_str());
+  {
+    runtime::Supervisor sup("opgraph_roundtrip", path);
+    sup.RunTraining(grid[0], g, s, graph::Metric::kAccuracy, lazy_cfg);
+  }
+  {
+    runtime::Supervisor sup("opgraph_roundtrip", path);
+    std::vector<runtime::CellRecord> resumed;
+    for (const auto& key : grid) {
+      resumed.push_back(
+          sup.RunTraining(key, g, s, graph::Metric::kAccuracy, lazy_cfg));
+    }
+    EXPECT_EQ(sup.resumed_cells(), 1u);
+    ASSERT_EQ(resumed.size(), reference.size());
+    for (size_t i = 0; i < grid.size(); ++i) {
+      EXPECT_EQ(resumed[i].status, reference[i].status);
+      EXPECT_DOUBLE_EQ(resumed[i].val_metric, reference[i].val_metric);
+      EXPECT_DOUBLE_EQ(resumed[i].test_metric, reference[i].test_metric);
+      EXPECT_DOUBLE_EQ(resumed[i].train_loss, reference[i].train_loss);
+    }
+  }
+
+  // Lazy ≡ eager at the training-table level too.
+  {
+    runtime::Supervisor sup("opgraph_roundtrip_eager", "");
+    for (size_t i = 0; i < grid.size(); ++i) {
+      const runtime::CellRecord eager =
+          sup.RunTraining(grid[i], g, s, graph::Metric::kAccuracy, eager_cfg);
+      EXPECT_EQ(eager.status, reference[i].status);
+      EXPECT_DOUBLE_EQ(eager.val_metric, reference[i].val_metric);
+      EXPECT_DOUBLE_EQ(eager.test_metric, reference[i].test_metric);
+      EXPECT_DOUBLE_EQ(eager.train_loss, reference[i].train_loss);
+    }
+  }
+
+  std::remove(ref_path.c_str());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sgnn

@@ -504,42 +504,51 @@ Config Config::Default() {
                         "Unavailable"};
   // The include DAG of the paper reproduction (docs/ARCHITECTURE.md renders
   // the same table as a diagram):
-  //   tensor -> {sparse, graph} -> {core, nn} -> {models, eval, quant}
-  //          -> runtime -> {conformance, serve} -> {bench, tools, tests}.
+  //   tensor -> opgraph -> {sparse, graph} -> {core, nn}
+  //          -> {models, eval, quant} -> runtime -> {conformance, serve}
+  //          -> {bench, tools, tests}.
   // A layer may include itself and anything at or below its feeder group;
   // same-group edges that exist by design (graph->sparse, core->nn,
   // models->eval) are listed explicitly — the table *is* the contract.
   c.allowed_includes = {
       {"tensor", {"tensor"}},
-      {"sparse", {"sparse", "tensor"}},
-      {"graph", {"graph", "sparse", "tensor"}},
+      // opgraph (lazy op-graph: record/fuse/plan/execute) sits directly on
+      // tensor. It must never include sparse/ — the propagation matrix is
+      // abstracted behind opgraph::SpmmOperator and adapted in core/lazy.h,
+      // which is the first layer that sees both sides.
+      {"opgraph", {"opgraph", "tensor"}},
+      {"sparse", {"sparse", "opgraph", "tensor"}},
+      {"graph", {"graph", "sparse", "opgraph", "tensor"}},
       {"nn", {"nn", "tensor"}},
-      {"core", {"core", "nn", "sparse", "graph", "tensor"}},
+      {"core", {"core", "opgraph", "nn", "sparse", "graph", "tensor"}},
       // quant (post-training int8/fp16 codecs + quantized-compute kernels)
       // sits directly above core/nn: it probes SpectralFilter::CombineTerms
       // and mirrors nn::Mlp inference, and is consumed by serve and
       // conformance. Training layers (models, runtime) never see it —
       // quantization is strictly post-training.
-      {"quant", {"quant", "core", "nn", "sparse", "graph", "tensor"}},
-      {"eval", {"eval", "core", "nn", "sparse", "graph", "tensor"}},
+      {"quant",
+       {"quant", "core", "opgraph", "nn", "sparse", "graph", "tensor"}},
+      {"eval",
+       {"eval", "core", "opgraph", "nn", "sparse", "graph", "tensor"}},
       {"models",
-       {"models", "eval", "core", "nn", "sparse", "graph", "tensor"}},
-      {"runtime",
-       {"runtime", "models", "eval", "core", "nn", "sparse", "graph",
+       {"models", "eval", "core", "opgraph", "nn", "sparse", "graph",
         "tensor"}},
+      {"runtime",
+       {"runtime", "models", "eval", "core", "opgraph", "nn", "sparse",
+        "graph", "tensor"}},
       // conformance sits above runtime (it journals fuzz trials through the
       // Supervisor) but below bench/tools/tests.
       {"conformance",
-       {"conformance", "runtime", "models", "quant", "eval", "core", "nn",
-        "sparse", "graph", "tensor"}},
+       {"conformance", "runtime", "models", "quant", "eval", "core",
+        "opgraph", "nn", "sparse", "graph", "tensor"}},
       // serve (checkpoints, bundle cache, inference engine) also sits above
       // runtime: checkpoints capture trainer exports and serving benches
       // journal through the Supervisor. No other src/ layer lists "serve",
       // so only bench/tools/tests may include it — training code must never
       // grow a dependency on the serving stack.
       {"serve",
-       {"serve", "runtime", "models", "quant", "eval", "core", "nn",
-        "sparse", "graph", "tensor"}},
+       {"serve", "runtime", "models", "quant", "eval", "core", "opgraph",
+        "nn", "sparse", "graph", "tensor"}},
       // bench/tools/tests are deliberately absent: the top of the stack may
       // include anything.
   };

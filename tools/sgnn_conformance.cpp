@@ -6,6 +6,8 @@
 //   oracle  dense spectral oracle only
 //   quant   quantized MB propagation vs the dense oracle (int8 + fp16,
 //           every MB-capable filter; tolerances in docs/QUANTIZATION.md)
+//   lazy    fused op-graph execution vs eager (bit-identity) and vs the
+//           dense oracle, every lazy-capable filter (docs/OPGRAPH.md)
 //   grad    finite-difference gradient checker only
 //   fuzz    property-based fuzz sweep only (--trials)
 //
@@ -30,6 +32,7 @@
 
 #include "conformance/fuzz.h"
 #include "conformance/gradcheck.h"
+#include "conformance/lazy_check.h"
 #include "conformance/oracle.h"
 #include "conformance/quant_check.h"
 #include "eval/eigen.h"
@@ -139,6 +142,30 @@ bool RunQuant(const std::vector<std::string>& filters) {
       std::fputs(conformance::FormatQuantReports(reports).c_str(), stdout);
       ok = ok && conformance::AllQuantPass(reports);
     }
+  }
+  return ok;
+}
+
+bool RunLazy(const std::vector<std::string>& filters) {
+  bool ok = true;
+  for (const auto& fix : BuildFixtures()) {
+    std::printf("== lazy conformance on %s (n=%lld) ==\n", fix.name.c_str(),
+                static_cast<long long>(fix.norm.n()));
+    std::vector<conformance::LazyReport> reports;
+    if (filters.empty()) {
+      auto r = conformance::CheckAllLazy(fix.norm, fix.eig, fix.x);
+      SGNN_CHECK_OK(r);
+      reports = r.MoveValue();
+    } else {
+      for (const auto& name : filters) {
+        auto r =
+            conformance::CheckLazyConformance(name, fix.norm, fix.eig, fix.x);
+        SGNN_CHECK_OK(r);
+        reports.push_back(r.MoveValue());
+      }
+    }
+    std::fputs(conformance::FormatLazyReports(reports).c_str(), stdout);
+    ok = ok && conformance::AllLazyPass(reports);
   }
   return ok;
 }
@@ -294,6 +321,8 @@ int main(int argc, char** argv) {
     ok = RunOracle(filters);
   } else if (mode == "quant") {
     ok = RunQuant(filters);
+  } else if (mode == "lazy") {
+    ok = RunLazy(filters);
   } else if (mode == "grad") {
     ok = RunGradcheck(filters);
   } else if (mode == "fuzz") {

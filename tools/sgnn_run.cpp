@@ -75,6 +75,8 @@ void Usage() {
       "                [--alpha A] [--beta B] [--hidden H] [--batch B]\n"
       "                [--parts P] [--layers J] [--csv path]\n"
       "                [--deadline-ms D] [--fallback 0|1] [--journal path]\n"
+      "                [--lazy 0|1]  (fused op-graph execution for MB\n"
+      "                 precompute + FB inference; see docs/OPGRAPH.md)\n"
       "datasets: ");
   for (const auto& spec : graph::AllDatasets()) {
     std::fprintf(stderr, "%s ", spec.name.c_str());
@@ -140,6 +142,7 @@ int main(int argc, char** argv) {
       cfg.batch_size = flags.GetInt("batch", 4096);
       cfg.rho = flags.GetDouble("rho", 0.5);
       cfg.deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+      cfg.lazy = flags.GetInt("lazy", 0) != 0;
       cfg.seed = seed;
       if (scheme == "iterative") {
         rec = sup.Run(key, [&] {
