@@ -1,19 +1,49 @@
 // Reproduces paper Figure 3: shift of filter effectiveness across graph
 // scales — on larger graphs the gap between suitable and unsuitable filters
 // widens (accuracy reported relative to the best filter per scale).
+//
+// --node-multiplier M scales every DC-SBM node count by M (average degree
+// preserved), the 10–100x knob for exercising sharded execution
+// (docs/SHARDING.md). A second section sweeps shard counts K=1,2,4,8 on the
+// largest size and journals the partition quality (edge-cut fraction, halo
+// fraction) and spill counts alongside the epoch time.
 
 #include <algorithm>
+#include <cmath>
+#include <cstring>
 
 #include "bench/bench_common.h"
 #include "eval/table.h"
 #include "graph/generator.h"
+#include "shard/plan.h"
+#include "sparse/adjacency.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sgnn;
+  double node_multiplier = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--node-multiplier=", 18) == 0) {
+      node_multiplier = std::atof(argv[i] + 18);
+    } else if (std::strcmp(argv[i], "--node-multiplier") == 0 &&
+               i + 1 < argc) {
+      node_multiplier = std::atof(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_fig3_scales [--node-multiplier M]\n");
+      return 2;
+    }
+  }
+  if (node_multiplier <= 0.0) {
+    std::fprintf(stderr, "--node-multiplier must be positive\n");
+    return 2;
+  }
   bench::Banner("Figure 3",
                 "Relative accuracy (pp below the best filter) vs node count "
                 "on homophilous graphs. Paper shape: differences grow with "
                 "scale");
+  if (node_multiplier != 1.0) {
+    std::printf("node multiplier: %gx\n\n", node_multiplier);
+  }
 
   const std::vector<int64_t> sizes =
       bench::FullMode() ? std::vector<int64_t>{1000, 4000, 16000, 48000}
@@ -23,15 +53,23 @@ int main() {
 
   runtime::Supervisor sup = bench::MakeSupervisor("fig3");
 
+  // Effective (post-multiplier) node counts, used for journal keys and
+  // labels so runs at different multipliers never collide on resume.
+  std::vector<int64_t> eff_sizes(sizes.size());
+  for (size_t si = 0; si < sizes.size(); ++si) {
+    eff_sizes[si] = static_cast<int64_t>(
+        std::llround(static_cast<double>(sizes[si]) * node_multiplier));
+  }
+
   std::vector<std::string> header = {"Filter"};
-  for (const int64_t n : sizes) header.push_back("n=" + std::to_string(n));
+  for (const int64_t n : eff_sizes) header.push_back("n=" + std::to_string(n));
   eval::Table table(header);
 
   // accuracy[filter][size]
   std::vector<std::vector<double>> acc(filters.size(),
                                        std::vector<double>(sizes.size()));
   for (size_t si = 0; si < sizes.size(); ++si) {
-    const std::string variant = "n=" + std::to_string(sizes[si]);
+    const std::string variant = "n=" + std::to_string(eff_sizes[si]);
     // Generate the graph lazily so a fully journaled scale costs nothing.
     graph::Graph g;
     graph::Splits splits;
@@ -51,6 +89,7 @@ int main() {
           gc.feature_dim = 32;
           gc.noise = 4.0;
           gc.seed = 21;
+          gc.node_multiplier = node_multiplier;
           g = graph::GenerateSbm(gc);
           splits = graph::RandomSplits(g.n, 1);
           generated = true;
@@ -61,7 +100,7 @@ int main() {
       }
       acc[fi][si] = rec.ok() ? rec.test_metric * 100.0 : 0.0;
     }
-    std::printf("[done] n=%lld\n", static_cast<long long>(sizes[si]));
+    std::printf("[done] n=%lld\n", static_cast<long long>(eff_sizes[si]));
   }
   for (size_t si = 0; si < sizes.size(); ++si) {
     double best = 0.0;
@@ -78,5 +117,84 @@ int main() {
   }
   std::printf("\n");
   table.Print();
+
+  // Shard-count scaling on the largest size: K=1,2,4,8 edge-cut shards
+  // (docs/SHARDING.md). Every K produces bit-identical accuracy — the sweep
+  // shows what sharding costs (halo exchange, per-shard passes) and what
+  // the partitioner delivers (edge-cut / halo fractions, journaled as cell
+  // extras so a resumed sweep reprints the curve without regenerating).
+  {
+    const int64_t n_large = sizes.back();
+    graph::Graph g;
+    graph::Splits splits;
+    bool generated = false;
+    auto ensure_graph = [&] {
+      if (generated) return;
+      graph::GeneratorConfig gc;
+      gc.n = n_large;
+      gc.avg_degree = 8.0;
+      gc.num_classes = 7;
+      gc.homophily = 0.8;
+      gc.feature_dim = 32;
+      gc.noise = 4.0;
+      gc.seed = 21;
+      gc.node_multiplier = node_multiplier;
+      g = graph::GenerateSbm(gc);
+      splits = graph::RandomSplits(g.n, 1);
+      generated = true;
+    };
+
+    eval::Table shard_table(
+        {"Shards", "Epoch ms", "Test acc", "Cut %", "Halo %", "Spills"});
+    for (const int k : {1, 2, 4, 8}) {
+      const std::string variant = "n=" + std::to_string(eff_sizes.back()) +
+                                  ",K=" + std::to_string(k);
+      runtime::CellKey key{"sbm_scale_shard", "linear", "fb", 1, variant};
+      runtime::CellRecord rec;
+      if (const auto* done = sup.Find(key)) {
+        rec = *done;
+      } else {
+        ensure_graph();
+        models::TrainConfig cfg = bench::UniversalConfig(false);
+        cfg.epochs = bench::FullMode() ? 30 : 10;
+        cfg.num_shards = k;
+        // Partition quality, computed with the same operator, options, and
+        // seed as the trainer's sharded path. BuildShardPlan (not
+        // ComputeEdgeCut) fills the halo counters.
+        double cut_pct = 0.0;
+        double halo_pct = 0.0;
+        if (k > 1) {
+          const sparse::CsrMatrix norm =
+              sparse::NormalizeAdjacency(g.adj, cfg.rho);
+          const shard::EdgeCutStats stats =
+              shard::BuildShardPlan(norm,
+                                    shard::PartitionOptions{k, cfg.seed})
+                  .stats;
+          cut_pct = 100.0 * stats.cut_fraction();
+          halo_pct = 100.0 * stats.halo_fraction();
+        }
+        rec = sup.RunTraining(
+            key, g, splits, graph::Metric::kAccuracy, cfg, {},
+            [&](const models::TrainResult&, runtime::CellRecord* out) {
+              out->extras.emplace_back("edge_cut_pct", cut_pct);
+              out->extras.emplace_back("halo_pct", halo_pct);
+            });
+      }
+      if (!rec.ok()) {
+        shard_table.AddRow({std::to_string(k), bench::StatusCell(rec), "-",
+                            "-", "-", "-"});
+        continue;
+      }
+      shard_table.AddRow(
+          {std::to_string(k), eval::Fmt(rec.stats.train_ms_per_epoch, 2),
+           eval::Fmt(rec.test_metric * 100.0, 2),
+           eval::Fmt(rec.Extra("edge_cut_pct", 0.0), 1),
+           eval::Fmt(rec.Extra("halo_pct", 0.0), 1),
+           std::to_string(rec.stats.shard_spills)});
+    }
+    std::printf("\nShard-count scaling (n=%lld, filter=linear, fb):\n",
+                static_cast<long long>(eff_sizes.back()));
+    shard_table.Print();
+  }
   return 0;
 }

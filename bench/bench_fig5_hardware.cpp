@@ -7,6 +7,7 @@
 #include "bench/bench_common.h"
 #include "tensor/parallel.h"
 #include "eval/table.h"
+#include "shard/plan.h"
 #include "tensor/ops.h"
 
 namespace {
@@ -161,6 +162,61 @@ int main() {
     parallel::SetNumThreads(0);  // back to SGNN_NUM_THREADS / hardware
     std::printf("\nThread scaling (penn94_sim, filter=linear):\n");
     sweep.Print();
+  }
+
+  // Shard sweep: FB epoch time at K=1,2,4,8 edge-cut shards, with the
+  // partition quality (edge-cut and halo fractions, docs/SHARDING.md)
+  // journaled as x_edge_cut / x_halo_fraction extras per point so the
+  // partitioner's quality is visible alongside the runtime it buys.
+  {
+    eval::Table shard_sweep(
+        {"Shards", "Epoch ms", "Cut %", "Halo %", "Spills"});
+    for (const int k : {1, 2, 4, 8}) {
+      runtime::CellKey key{"penn94_sim", "linear", "fb", 1,
+                           "K=" + std::to_string(k)};
+      runtime::CellRecord rec;
+      if (const auto* done = sup.Find(key)) {
+        rec = *done;
+      } else {
+        models::TrainConfig cfg = bench::UniversalConfig(false);
+        cfg.epochs = 3;
+        cfg.timing_only = true;
+        cfg.num_shards = k;
+        double edge_cut = 0.0;
+        double halo_fraction = 0.0;
+        if (k > 1) {
+          // Same operator, partition options, and seed as the trainer's
+          // sharded path, so the journaled quality describes the actual run.
+          // BuildShardPlan (not ComputeEdgeCut) fills the halo counters.
+          const sparse::CsrMatrix norm =
+              sparse::NormalizeAdjacency(g.adj, cfg.rho);
+          const shard::EdgeCutStats stats =
+              shard::BuildShardPlan(norm,
+                                    shard::PartitionOptions{k, cfg.seed})
+                  .stats;
+          edge_cut = stats.cut_fraction();
+          halo_fraction = stats.halo_fraction();
+        }
+        rec = sup.RunTraining(
+            key, g, splits, spec.metric, cfg, {},
+            [&](const models::TrainResult&, runtime::CellRecord* out) {
+              out->extras.emplace_back("edge_cut", edge_cut);
+              out->extras.emplace_back("halo_fraction", halo_fraction);
+            });
+      }
+      if (!rec.ok()) {
+        shard_sweep.AddRow(
+            {std::to_string(k), bench::StatusCell(rec), "-", "-", "-"});
+        continue;
+      }
+      shard_sweep.AddRow(
+          {std::to_string(k), eval::Fmt(rec.stats.train_ms_per_epoch, 2),
+           eval::Fmt(100.0 * rec.Extra("edge_cut", 0.0), 1),
+           eval::Fmt(100.0 * rec.Extra("halo_fraction", 0.0), 1),
+           std::to_string(rec.stats.shard_spills)});
+    }
+    std::printf("\nShard sweep (penn94_sim, filter=linear, fb):\n");
+    shard_sweep.Print();
   }
   return 0;
 }

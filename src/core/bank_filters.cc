@@ -30,7 +30,7 @@ class GaussianSquaredChannel : public PolynomialBasisFilter {
     for (int k = 1; k <= hops(); ++k) {
       for (int rep = 0; rep < 2; ++rep) {
         // cur <- (center I + Ã) cur.
-        ctx.prop->SpMM(cur, &scratch);
+        ctx.Propagate(cur, &scratch);
         ops::Scale(static_cast<float>(center_), &cur);
         ops::Axpy(1.0f, scratch, &cur);
       }
@@ -105,7 +105,7 @@ class PprPrefactorChannel : public PolynomialBasisFilter {
     Matrix cur = x;
     Matrix next(x.rows(), x.cols(), ctx.device);
     for (int k = 0; k <= hops(); ++k) {
-      ctx.prop->SpMM(cur, &next);
+      ctx.Propagate(cur, &next);
       Matrix term = cur;
       ops::Scale(static_cast<float>(1.0 - beta_), &term);
       ops::Axpy(static_cast<float>(beta_), next, &term);

@@ -78,6 +78,16 @@ struct FilterContext {
   /// Device on which intermediate representations are allocated. The hop
   /// count K is a per-filter property fixed at construction time.
   Device device = Device::kHost;
+  /// Optional propagation override (docs/SHARDING.md): when non-null, every
+  /// hop applies this operator instead of `prop` — e.g. the sharded
+  /// executor, which is bit-identical to `prop->SpMM` at any shard count.
+  /// `prop` stays set alongside it for structure queries (n, nnz, response
+  /// analysis); filters never dispatch on which path is active.
+  const opgraph::SpmmOperator* op = nullptr;
+
+  /// One propagation hop, y = Ã x, through `op` when set, else `prop`.
+  /// `y` must be pre-shaped (n, F) and never aliases x.
+  void Propagate(const Matrix& x, Matrix* y) const;
 };
 
 /// Abstract spectral filter.

@@ -20,10 +20,13 @@ Status LazyForward(SpectralFilter* filter, const FilterContext& ctx,
                    const Matrix& x, Matrix* y,
                    opgraph::PipelineStats* stats) {
   SGNN_RETURN_IF_ERROR(CheckLazyRunnable(*filter, ctx));
-  CsrSpmmOperator adj(ctx.prop);
+  // A propagation override (e.g. shard::ShardedSpmmOperator) already speaks
+  // the op-graph's abstract operator interface; otherwise adapt the CSR.
+  CsrSpmmOperator csr_adj(ctx.prop);
+  const opgraph::SpmmOperator* adj = ctx.op != nullptr ? ctx.op : &csr_adj;
   opgraph::Graph graph(ctx.device);
   const opgraph::ValueId input = graph.Input(&x);
-  const opgraph::ValueId out = filter->RecordForward(&graph, input, &adj);
+  const opgraph::ValueId out = filter->RecordForward(&graph, input, adj);
   graph.MarkOutput(out, y);
   return opgraph::RunPipeline(&graph, opgraph::PipelineOptions{}, stats);
 }
@@ -32,11 +35,12 @@ Status LazyPrecompute(SpectralFilter* filter, const FilterContext& ctx,
                       const Matrix& x, std::vector<Matrix>* terms,
                       opgraph::PipelineStats* stats) {
   SGNN_RETURN_IF_ERROR(CheckLazyRunnable(*filter, ctx));
-  CsrSpmmOperator adj(ctx.prop);
+  CsrSpmmOperator csr_adj(ctx.prop);
+  const opgraph::SpmmOperator* adj = ctx.op != nullptr ? ctx.op : &csr_adj;
   opgraph::Graph graph(ctx.device);
   const opgraph::ValueId input = graph.Input(&x);
   std::vector<opgraph::ValueId> ids;
-  SGNN_RETURN_IF_ERROR(filter->RecordPrecompute(&graph, input, &adj, &ids));
+  SGNN_RETURN_IF_ERROR(filter->RecordPrecompute(&graph, input, adj, &ids));
   // Size the destination vector once before pinning: MarkOutput stores raw
   // slot pointers, so `terms` must not reallocate until execution is done.
   terms->clear();

@@ -13,21 +13,29 @@ const char* FilterTypeName(FilterType type) {
   return "unknown";
 }
 
+void FilterContext::Propagate(const Matrix& x, Matrix* y) const {
+  if (op != nullptr) {
+    op->Apply(x, y);
+    return;
+  }
+  prop->SpMM(x, y);
+}
+
 namespace propagate {
 
 void Adj(const FilterContext& ctx, const Matrix& x, Matrix* y) {
-  ctx.prop->SpMM(x, y);
+  ctx.Propagate(x, y);
 }
 
 void Lap(const FilterContext& ctx, const Matrix& x, Matrix* y) {
-  ctx.prop->SpMM(x, y);
+  ctx.Propagate(x, y);
   ops::Scale(-1.0f, y);
   ops::Axpy(1.0f, x, y);
 }
 
 void Affine(const FilterContext& ctx, float c, float d, const Matrix& x,
             Matrix* y) {
-  ctx.prop->SpMM(x, y);
+  ctx.Propagate(x, y);
   ops::Scale(d, y);
   ops::Axpy(c, x, y);
 }
@@ -103,7 +111,7 @@ void PolynomialBasisFilter::StreamBasis(const FilterContext& ctx,
   for (int k = 1; k <= hops_; ++k) {
     const Recurrence r = RecurrenceAt(k);
     Matrix next(x.rows(), x.cols(), ctx.device);
-    ctx.prop->SpMM(cur, &scratch);
+    ctx.Propagate(cur, &scratch);
     ops::Copy(scratch, &next);
     ops::Scale(static_cast<float>(r.ca), &next);
     if (r.ci != 0.0) ops::Axpy(static_cast<float>(r.ci), cur, &next);

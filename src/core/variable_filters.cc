@@ -174,14 +174,14 @@ void BernsteinFilter::StreamBasis(const FilterContext& ctx, const Matrix& x,
     Matrix term = l;
     for (int j = 0; j < big_k - k; ++j) {
       // term <- (I + Ã) term.
-      ctx.prop->SpMM(term, &scratch);
+      ctx.Propagate(term, &scratch);
       ops::Axpy(1.0f, scratch, &term);
     }
     ops::Scale(static_cast<float>(Binom(big_k, k) * inv2k), &term);
     emit(k, term);
     if (k < big_k) {
       // l <- L̃ l = l - Ã l.
-      ctx.prop->SpMM(l, &scratch);
+      ctx.Propagate(l, &scratch);
       ops::Axpy(-1.0f, scratch, &l);
     }
   }
@@ -339,7 +339,7 @@ void OptBasisFilter::StreamBasis(const FilterContext& ctx, const Matrix& x,
   Matrix beta(1, f, ctx.device);           // zeros for k = 0
   Matrix w(x.rows(), f, ctx.device);
   for (int k = 1; k <= hops(); ++k) {
-    ctx.prop->SpMM(v, &w);
+    ctx.Propagate(v, &w);
     Matrix alpha(1, f, ctx.device);
     ops::ColumnDot(w, v, &alpha);
     // w -= alpha ⊙ v + beta ⊙ v_prev.

@@ -131,7 +131,15 @@ void EncodeFeatures(const GeneratorConfig& config, Rng* rng, Graph* g) {
 
 }  // namespace
 
-Graph GenerateSbm(const GeneratorConfig& config) {
+Graph GenerateSbm(const GeneratorConfig& base_config) {
+  GeneratorConfig config = base_config;
+  SGNN_CHECK(config.node_multiplier > 0.0,
+             "GenerateSbm: node_multiplier must be positive");
+  // llround(n * 1.0) == n exactly for any realistic n, so the default
+  // multiplier is an identity.
+  config.n = static_cast<int64_t>(
+      std::llround(static_cast<double>(config.n) * config.node_multiplier));
+  config.node_multiplier = 1.0;
   SGNN_CHECK(config.n > 1, "GenerateSbm: need at least two nodes");
   SGNN_CHECK(config.num_classes >= 2, "GenerateSbm: need >= 2 classes");
   Rng rng(config.seed);

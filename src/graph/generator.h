@@ -58,6 +58,11 @@ struct GeneratorConfig {
   /// Class-imbalance skew: 0 = balanced, larger = more skewed sizes.
   double class_skew = 0.0;
   uint64_t seed = 1;
+  /// Node-count multiplier applied to `n` before generation (the Fig. 3
+  /// 10–100x scale knob for sharded execution, docs/SHARDING.md). Average
+  /// degree is preserved, so edges scale with it. Exposed as
+  /// --node-multiplier by bench_fig3_scales.
+  double node_multiplier = 1.0;
 };
 
 /// Generates a DC-SBM graph with planted features and labels.

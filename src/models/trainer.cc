@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "core/lazy.h"
+#include "shard/plan.h"
+#include "shard/spmm.h"
 #include "tensor/parallel.h"
 #include "eval/metrics.h"
 #include "eval/table.h"
@@ -108,22 +110,42 @@ TrainResult TrainFullBatch(const graph::Graph& g, const graph::Splits& splits,
   RunGuard guard(config, &result);
 
   Rng rng(config.seed * 0x2545F4914F6CDD1DULL + 7);
-  // FB loads graph topology and attributes onto the accelerator.
+  // FB loads graph topology and attributes onto the accelerator. Sharded FB
+  // is the spill form of the same scheme (docs/SHARDING.md): the graph no
+  // longer fits one device, so topology and representations stay
+  // host-resident and only per-shard propagation working sets visit the
+  // accelerator, each under its sub-budget. The Device tag never changes
+  // kernel arithmetic, so both forms produce identical bits.
+  const bool is_sharded = config.num_shards > 1;
+  const Device run_device = is_sharded ? Device::kHost : Device::kAccel;
   sparse::CsrMatrix norm = sparse::NormalizeAdjacency(g.adj, config.rho);
-  norm.MoveToDevice(Device::kAccel);
-  Matrix x = g.features.CloneTo(Device::kAccel);
+  std::unique_ptr<shard::ShardPlan> plan;
+  std::unique_ptr<shard::ShardedSpmmOperator> shard_op;
+  if (is_sharded) {
+    plan = std::make_unique<shard::ShardPlan>(shard::BuildShardPlan(
+        norm, shard::PartitionOptions{config.num_shards, config.seed}));
+    shard::ShardExecOptions shard_opts;
+    shard_opts.compute_device = Device::kAccel;
+    shard_opts.shard_budget_bytes = config.shard_budget_bytes;
+    shard_op = std::make_unique<shard::ShardedSpmmOperator>(plan.get(),
+                                                            shard_opts);
+  } else {
+    norm.MoveToDevice(Device::kAccel);
+  }
+  Matrix x = g.features.CloneTo(run_device);
 
   filter->ResetParameters(&rng);
   const int64_t fi = g.features.cols();
   const int64_t mid = config.phi0_layers > 0 ? config.hidden : fi;
   nn::Mlp phi0(config.phi0_layers, fi, config.hidden, config.hidden,
-               config.dropout, Device::kAccel);
+               config.dropout, run_device);
   nn::Mlp phi1(config.phi1_layers, mid, config.hidden, g.num_classes,
-               config.dropout, Device::kAccel);
+               config.dropout, run_device);
   phi0.Init(&rng);
   phi1.Init(&rng);
 
-  filters::FilterContext ctx{&norm, Device::kAccel};
+  filters::FilterContext ctx{&norm, run_device};
+  ctx.op = shard_op.get();
 
   // No-cache inference forward, optionally through the lazy op-graph. A
   // simulated OOM during lazy execution is latched in the DeviceTracker and
@@ -150,14 +172,14 @@ TrainResult TrainFullBatch(const graph::Graph& g, const graph::Splits& splits,
     phi0.Forward(x, &h0, /*train=*/true, &rng);
     filter->Forward(ctx, h0, &hf, /*cache=*/true);
     phi1.Forward(hf, &logits, /*train=*/true, &rng);
-    Matrix grad(logits.rows(), logits.cols(), Device::kAccel);
+    Matrix grad(logits.rows(), logits.cols(), run_device);
     result.final_train_loss =
         nn::SoftmaxCrossEntropy(logits, g.labels, splits.train, &grad);
     // Backward + optimizer step.
     phi0.ZeroGrad();
     phi1.ZeroGrad();
     filter->params().ZeroGrad();
-    Matrix g_hf(hf.rows(), hf.cols(), Device::kAccel);
+    Matrix g_hf(hf.rows(), hf.cols(), run_device);
     phi1.Backward(grad, &g_hf);
     Matrix g_h0;
     filter->Backward(ctx, g_hf, config.phi0_layers > 0 ? &g_h0 : nullptr);
@@ -212,6 +234,10 @@ TrainResult TrainFullBatch(const graph::Graph& g, const graph::Splits& splits,
       train_ms_total / std::max(1, config.epochs);
   result.stats.peak_ram_bytes = tracker.peak_bytes(Device::kHost);
   result.stats.peak_accel_bytes = tracker.peak_bytes(Device::kAccel);
+  if (is_sharded) {
+    result.stats.shards = config.num_shards;
+    result.stats.shard_spills = shard_op->stats().shard_spills;
+  }
   guard.Finalize();
   return result;
 }
@@ -237,10 +263,25 @@ TrainResult TrainMiniBatch(const graph::Graph& g, const graph::Splits& splits,
   Rng rng(config.seed * 0x9E3779B97F4A7C15ULL + 13);
   filter->ResetParameters(&rng);
 
-  // Stage 1: host-side precomputation (CPU in the paper).
+  // Stage 1: host-side precomputation (CPU in the paper). When sharded,
+  // each propagation hop streams per-shard working sets through the
+  // accelerator under sub-budgets instead of touching the whole graph at
+  // once; terms still land host-resident and bit-identical.
   Stopwatch pre_sw;
   sparse::CsrMatrix norm = sparse::NormalizeAdjacency(g.adj, config.rho);
   filters::FilterContext host_ctx{&norm, Device::kHost};
+  std::unique_ptr<shard::ShardPlan> plan;
+  std::unique_ptr<shard::ShardedSpmmOperator> shard_op;
+  if (config.num_shards > 1) {
+    plan = std::make_unique<shard::ShardPlan>(shard::BuildShardPlan(
+        norm, shard::PartitionOptions{config.num_shards, config.seed}));
+    shard::ShardExecOptions shard_opts;
+    shard_opts.compute_device = Device::kAccel;
+    shard_opts.shard_budget_bytes = config.shard_budget_bytes;
+    shard_op = std::make_unique<shard::ShardedSpmmOperator>(plan.get(),
+                                                            shard_opts);
+    host_ctx.op = shard_op.get();
+  }
   std::vector<Matrix> terms;
   // Lazy path emits the identical term stream (bit-for-bit) with fused
   // propagation and pool-planned buffers; eager remains the oracle.
@@ -420,6 +461,10 @@ TrainResult TrainMiniBatch(const graph::Graph& g, const graph::Splits& splits,
       train_ms_total / std::max(1, config.epochs);
   result.stats.peak_ram_bytes = tracker.peak_bytes(Device::kHost);
   result.stats.peak_accel_bytes = tracker.peak_bytes(Device::kAccel);
+  if (config.num_shards > 1) {
+    result.stats.shards = config.num_shards;
+    result.stats.shard_spills = shard_op->stats().shard_spills;
+  }
   guard.Finalize();
   return result;
 }

@@ -54,6 +54,18 @@ struct TrainConfig {
   /// silently keep the eager path. Training forwards (cache=true) stay
   /// eager — the backward pass consumes the cached basis terms.
   bool lazy = false;
+  /// Sharded propagation (docs/SHARDING.md): when > 1, the propagation
+  /// matrix is split into this many edge-cut shards and every hop runs
+  /// shard-by-shard through a shard::ShardedSpmmOperator under per-shard
+  /// accelerator sub-budgets. FB keeps graph and representations
+  /// host-resident and streams only shard working sets through the
+  /// accelerator; MB precompute streams shard hops the same way. Results
+  /// are bit-identical to unsharded at any shard count and thread count.
+  int num_shards = 0;
+  /// Per-shard accelerator budget in bytes (0 = accel capacity /
+  /// num_shards). A shard whose working set exceeds it spills host-side
+  /// instead of failing; spills are counted in StageStats::shard_spills.
+  size_t shard_budget_bytes = 0;
 };
 
 /// Per-stage efficiency measurements (paper Tables 9/11, Figure 2).
@@ -67,6 +79,11 @@ struct StageStats {
   /// at run start); journaled so efficiency rows are comparable across
   /// machines and SGNN_NUM_THREADS settings.
   int threads = 1;
+  /// Shard count propagation ran with (0 = unsharded).
+  int shards = 0;
+  /// Shard-hops whose working set exceeded the per-shard accelerator
+  /// sub-budget and ran host-side (journaled as SHARD_SPILL cells).
+  int64_t shard_spills = 0;
 };
 
 /// Trained-model artifact captured by TrainMiniBatch when

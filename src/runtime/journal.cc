@@ -165,6 +165,7 @@ const char* CellStatusName(CellStatus status) {
     case CellStatus::kSkipped: return "SKIPPED";
     case CellStatus::kFailed: return "FAILED";
     case CellStatus::kShed: return "SHED";
+    case CellStatus::kShardSpill: return "SHARD_SPILL";
   }
   return "FAILED";
 }
@@ -176,6 +177,7 @@ CellStatus CellStatusFromName(const std::string& name) {
   if (name == "DIVERGED") return CellStatus::kDiverged;
   if (name == "SKIPPED") return CellStatus::kSkipped;
   if (name == "SHED") return CellStatus::kShed;
+  if (name == "SHARD_SPILL") return CellStatus::kShardSpill;
   return CellStatus::kFailed;
 }
 
@@ -223,6 +225,8 @@ std::string EncodeRecord(const std::string& bench, const CellRecord& record) {
   out += ",\"ram_bytes\":" + std::to_string(record.stats.peak_ram_bytes);
   out += ",\"accel_bytes\":" + std::to_string(record.stats.peak_accel_bytes);
   out += ",\"threads\":" + std::to_string(record.stats.threads);
+  out += ",\"shards\":" + std::to_string(record.stats.shards);
+  out += ",\"shard_spills\":" + std::to_string(record.stats.shard_spills);
   out += ",\"wall_ms\":" + FmtDouble(record.wall_ms);
   for (const auto& [name, value] : record.extras) {
     out += ",";
@@ -275,6 +279,12 @@ Result<CellRecord> DecodeRecord(const std::string& line) {
   }
   if (parser.GetDouble("threads", &num)) {
     r.stats.threads = static_cast<int>(num);
+  }
+  if (parser.GetDouble("shards", &num)) {
+    r.stats.shards = static_cast<int>(num);
+  }
+  if (parser.GetDouble("shard_spills", &num)) {
+    r.stats.shard_spills = static_cast<int64_t>(num);
   }
   parser.GetDouble("wall_ms", &r.wall_ms);
   for (const auto& [key, raw] : parser.scalars()) {

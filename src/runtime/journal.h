@@ -32,9 +32,14 @@ enum class CellStatus {
   kFailed,    ///< any other non-OK status (IO error, precompute failure)
   kShed,      ///< serving admission control rejected the whole cell's load
               ///< (kUnavailable) — the overload analogue of an OOM row
+  kShardSpill,  ///< sharded run completed, but one or more shard working
+                ///< sets exceeded their accelerator sub-budget and ran
+                ///< host-side (docs/SHARDING.md); non-terminal companion
+                ///< record of an OK cell
 };
 
-/// "OK" / "OOM" / "TIMEOUT" / "DIVERGED" / "SKIPPED" / "FAILED" / "SHED".
+/// "OK" / "OOM" / "TIMEOUT" / "DIVERGED" / "SKIPPED" / "FAILED" / "SHED" /
+/// "SHARD_SPILL".
 const char* CellStatusName(CellStatus status);
 
 /// Parses a CellStatusName string; defaults to kFailed for unknown input.

@@ -75,6 +75,19 @@ void Supervisor::FillFromResult(const models::TrainResult& result,
   if (!result.status.ok()) record->detail = result.status.ToString();
 }
 
+void Supervisor::JournalShardSpills(const CellRecord& record) {
+  if (record.status != CellStatus::kOk || record.stats.shard_spills <= 0) {
+    return;
+  }
+  CellRecord spill = record;
+  spill.terminal = false;  // companion line; the OK record owns resume
+  spill.status = CellStatus::kShardSpill;
+  spill.detail = std::to_string(record.stats.shard_spills) +
+                 " shard hop(s) exceeded the per-shard accelerator "
+                 "sub-budget and ran host-side";
+  journal_->Append(bench_, spill);
+}
+
 CellRecord Supervisor::Run(const CellKey& key, const RunFn& body,
                            const PostFn& post) {
   if (const CellRecord* done = Find(key)) {
@@ -89,6 +102,7 @@ CellRecord Supervisor::Run(const CellKey& key, const RunFn& body,
   record.wall_ms = sw.ElapsedMs();
   FillFromResult(result, &record);
   if (post && record.ok()) post(result, &record);
+  JournalShardSpills(record);
   journal_->Append(bench_, record);
   return record;
 }
@@ -132,17 +146,39 @@ CellRecord Supervisor::RunTraining(const CellKey& key, const graph::Graph& g,
                                     mb_config);
   } else {
     result = models::TrainFullBatch(g, splits, metric, filter.get(), config);
-    if (result.oom && options.fallback_to_mb && filter->SupportsMiniBatch()) {
-      // Journal the failed FB attempt (non-terminal), then degrade to the
-      // decoupled mini-batch scheme on a fresh filter.
+    // Journals the failed FB attempt (non-terminal) before a degradation
+    // retry, so the ladder is visible in the journal.
+    auto journal_attempt = [&](const char* scheme) {
       CellRecord attempt;
       attempt.key = key;
       attempt.terminal = false;
-      attempt.final_scheme = "fb";
+      attempt.final_scheme = scheme;
       attempt.wall_ms = sw.ElapsedMs();
       FillFromResult(result, &attempt);
       journal_->Append(bench_, attempt);
-
+    };
+    if (result.oom && options.fallback_shards > 1 && config.num_shards <= 1) {
+      // First degradation rung (docs/SHARDING.md): keep the FB scheme but
+      // shard propagation — graph and representations host-resident, shard
+      // working sets streamed through the accelerator under sub-budgets.
+      journal_attempt("fb");
+      DeviceTracker::Global().ClearOom();
+      auto retry_or = make_filter();
+      if (retry_or.ok()) {
+        auto retry_filter = retry_or.MoveValue();
+        models::TrainConfig shard_config = config;
+        shard_config.num_shards = options.fallback_shards;
+        result = models::TrainFullBatch(g, splits, metric, retry_filter.get(),
+                                        shard_config);
+        record.fell_back = true;
+        record.final_scheme = "fb-sharded";
+        ++record.attempts;
+      }
+    }
+    if (result.oom && options.fallback_to_mb && filter->SupportsMiniBatch()) {
+      // Degrade to the decoupled mini-batch scheme on a fresh filter.
+      journal_attempt(record.final_scheme == "fb-sharded" ? "fb-sharded"
+                                                          : "fb");
       DeviceTracker::Global().ClearOom();
       auto retry_or = make_filter();
       if (retry_or.ok()) {
@@ -154,13 +190,14 @@ CellRecord Supervisor::RunTraining(const CellKey& key, const graph::Graph& g,
                                         retry_filter.get(), mb_config);
         record.fell_back = true;
         record.final_scheme = "mb";
-        record.attempts = 2;
+        ++record.attempts;
       }
     }
   }
   record.wall_ms = sw.ElapsedMs();
   FillFromResult(result, &record);
   if (post && record.ok()) post(result, &record);
+  JournalShardSpills(record);
   journal_->Append(bench_, record);
   return record;
 }

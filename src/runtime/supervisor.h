@@ -35,6 +35,13 @@ struct RunOptions {
   /// filter supports it. Efficiency benches that *report* OOM cells turn
   /// this off; effectiveness grids keep it on to salvage a number.
   bool fallback_to_mb = true;
+  /// When > 1, retry a full-batch accelerator OOM sharded at this shard
+  /// count before (or instead of) the MB fallback: same scheme, graph and
+  /// representations host-resident, per-shard working sets streamed through
+  /// the accelerator under sub-budgets (docs/SHARDING.md). This upgrades
+  /// the degradation ladder from accel-OOM → MB-fallback to accel-OOM →
+  /// shard-spill; sub-budget overruns are journaled as SHARD_SPILL cells.
+  int fallback_shards = 0;
   /// Filter hyperparameters for RunTraining's filter construction.
   filters::FilterHyperParams hp;
   /// Hop count for RunTraining's filter construction.
@@ -89,6 +96,12 @@ class Supervisor {
  private:
   static void FillFromResult(const models::TrainResult& result,
                              CellRecord* record);
+
+  /// Appends the non-terminal SHARD_SPILL companion record for an OK cell
+  /// whose sharded run spilled shard working sets host-side. The OK record
+  /// stays the terminal one, so resume semantics are unchanged; the spill
+  /// line makes the degradation auditable per cell.
+  void JournalShardSpills(const CellRecord& record);
 
   std::string bench_;
   std::unique_ptr<Journal> journal_;

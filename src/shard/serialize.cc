@@ -1,0 +1,190 @@
+#include "shard/serialize.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "sparse/serialize.h"
+#include "tensor/serialize.h"
+
+namespace sgnn::shard {
+
+namespace {
+
+// File layout (both kinds): magic, u64 payload size, u32 payload CRC-32,
+// payload. Little-endian throughout (tensor/serialize.h).
+constexpr char kShardMagic[8] = {'S', 'G', 'S', 'H', 'R', 'D', '0', '1'};
+constexpr char kManifestMagic[8] = {'S', 'G', 'S', 'H', 'M', 'F', '0', '1'};
+constexpr size_t kHeaderSize = sizeof(kShardMagic) + 8 + 4;
+
+Status WriteFramedFile(const char* magic, const serialize::Writer& payload,
+                       const std::string& path) {
+  serialize::Writer header;
+  header.PutBytes(magic, 8);
+  header.PutU64(payload.size());
+  header.PutU32(serialize::Crc32(payload.buffer().data(), payload.size()));
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::IOError("cannot open " + tmp);
+  bool ok = std::fwrite(header.buffer().data(), 1, header.size(), f) ==
+            header.size();
+  ok = ok && std::fwrite(payload.buffer().data(), 1, payload.size(), f) ==
+                 payload.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::IOError("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+/// Reads a framed file, validates magic + CRC, and returns the payload
+/// bytes (also exposing the payload CRC for manifest cross-checking).
+Status ReadFramedFile(const char* magic, const std::string& path,
+                      std::string* payload, uint32_t* crc_out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string bytes;
+  char chunk[1 << 16];
+  size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) bytes.append(chunk, got);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::IOError("read error on " + path);
+  if (bytes.size() < kHeaderSize || std::memcmp(bytes.data(), magic, 8) != 0) {
+    return Status::IOError(path + " is not a shard-plan file");
+  }
+  serialize::Reader header(bytes.data() + 8, kHeaderSize - 8);
+  uint64_t size = 0;
+  uint32_t crc = 0;
+  SGNN_RETURN_IF_ERROR(header.U64(&size));
+  SGNN_RETURN_IF_ERROR(header.U32(&crc));
+  if (bytes.size() - kHeaderSize != size) {
+    return Status::IOError("truncated shard-plan file " + path);
+  }
+  if (serialize::Crc32(bytes.data() + kHeaderSize, size) != crc) {
+    return Status::IOError("CRC mismatch in " + path);
+  }
+  payload->assign(bytes, kHeaderSize, std::string::npos);
+  *crc_out = crc;
+  return Status::OK();
+}
+
+void AppendIdList(const std::vector<int32_t>& ids, serialize::Writer* w) {
+  w->PutI64(static_cast<int64_t>(ids.size()));
+  for (const int32_t v : ids) w->PutI32(v);
+}
+
+Status ReadIdList(serialize::Reader* r, int64_t max_len,
+                  std::vector<int32_t>* ids) {
+  int64_t len = 0;
+  SGNN_RETURN_IF_ERROR(r->I64(&len));
+  if (len < 0 || len > max_len) {
+    return Status::IOError("implausible id-list length in shard file");
+  }
+  ids->resize(static_cast<size_t>(len));
+  for (auto& v : *ids) SGNN_RETURN_IF_ERROR(r->I32(&v));
+  return Status::OK();
+}
+
+serialize::Writer EncodeShard(const ShardSlice& slice) {
+  serialize::Writer payload;
+  AppendIdList(slice.owned, &payload);
+  AppendIdList(slice.halo, &payload);
+  sparse::AppendCsr(slice.local, &payload);
+  return payload;
+}
+
+}  // namespace
+
+std::string ShardFilePath(const std::string& prefix, int s) {
+  return prefix + ".shard" + std::to_string(s);
+}
+
+std::string ManifestPath(const std::string& prefix) {
+  return prefix + ".manifest";
+}
+
+Status SaveShardPlan(const ShardPlan& plan, const std::string& prefix) {
+  serialize::Writer manifest;
+  manifest.PutI32(plan.num_shards);
+  manifest.PutI64(plan.n);
+  manifest.PutU64(plan.options.seed);
+  manifest.PutI64(plan.stats.total_edges);
+  manifest.PutI64(plan.stats.cut_edges);
+  for (int s = 0; s < plan.num_shards; ++s) {
+    const serialize::Writer payload = EncodeShard(plan.slices[static_cast<size_t>(s)]);
+    manifest.PutU32(serialize::Crc32(payload.buffer().data(), payload.size()));
+    SGNN_RETURN_IF_ERROR(
+        WriteFramedFile(kShardMagic, payload, ShardFilePath(prefix, s)));
+  }
+  return WriteFramedFile(kManifestMagic, manifest, ManifestPath(prefix));
+}
+
+Status LoadShardPlan(const std::string& prefix, ShardPlan* plan) {
+  std::string manifest_bytes;
+  uint32_t manifest_crc = 0;
+  SGNN_RETURN_IF_ERROR(ReadFramedFile(kManifestMagic, ManifestPath(prefix),
+                                      &manifest_bytes, &manifest_crc));
+  serialize::Reader r(manifest_bytes.data(), manifest_bytes.size());
+  ShardPlan loaded;
+  SGNN_RETURN_IF_ERROR(r.I32(&loaded.num_shards));
+  SGNN_RETURN_IF_ERROR(r.I64(&loaded.n));
+  SGNN_RETURN_IF_ERROR(r.U64(&loaded.options.seed));
+  SGNN_RETURN_IF_ERROR(r.I64(&loaded.stats.total_edges));
+  SGNN_RETURN_IF_ERROR(r.I64(&loaded.stats.cut_edges));
+  if (loaded.num_shards < 1 || loaded.n < 0) {
+    return Status::IOError("implausible shard manifest header");
+  }
+  loaded.options.num_shards = loaded.num_shards;
+  loaded.slices.resize(static_cast<size_t>(loaded.num_shards));
+
+  for (int s = 0; s < loaded.num_shards; ++s) {
+    uint32_t expected_crc = 0;
+    SGNN_RETURN_IF_ERROR(r.U32(&expected_crc));
+    std::string payload;
+    uint32_t crc = 0;
+    SGNN_RETURN_IF_ERROR(ReadFramedFile(kShardMagic, ShardFilePath(prefix, s),
+                                        &payload, &crc));
+    if (crc != expected_crc) {
+      return Status::IOError("shard " + std::to_string(s) +
+                             " does not match its manifest CRC (mixed or "
+                             "stale shard set under " + prefix + ")");
+    }
+    ShardSlice& slice = loaded.slices[static_cast<size_t>(s)];
+    serialize::Reader sr(payload.data(), payload.size());
+    SGNN_RETURN_IF_ERROR(ReadIdList(&sr, loaded.n, &slice.owned));
+    SGNN_RETURN_IF_ERROR(ReadIdList(&sr, loaded.n, &slice.halo));
+    SGNN_RETURN_IF_ERROR(sparse::ReadCsr(&sr, Device::kHost, &slice.local));
+    if (slice.local.n() != slice.owned_count() + slice.halo_count()) {
+      return Status::IOError("shard " + std::to_string(s) +
+                             " slice dimension disagrees with its id maps");
+    }
+  }
+  // Rebuild derived maps and validate the ownership invariant (the
+  // SGNN_CHECKs in RefreshPlanDerived would abort on a corrupt-but-CRC-valid
+  // plan, so re-verify softly first).
+  std::vector<uint8_t> seen(static_cast<size_t>(loaded.n), 0);
+  for (const auto& slice : loaded.slices) {
+    for (const int32_t g : slice.owned) {
+      if (g < 0 || g >= loaded.n || seen[static_cast<size_t>(g)] != 0) {
+        return Status::IOError("shard plan ownership invariant violated");
+      }
+      seen[static_cast<size_t>(g)] = 1;
+    }
+  }
+  for (const uint8_t s : seen) {
+    if (s == 0) return Status::IOError("shard plan leaves a node unowned");
+  }
+  const EdgeCutStats stored = loaded.stats;
+  RefreshPlanDerived(&loaded);
+  loaded.stats.total_edges = stored.total_edges;
+  loaded.stats.cut_edges = stored.cut_edges;
+  *plan = std::move(loaded);
+  return Status::OK();
+}
+
+}  // namespace sgnn::shard

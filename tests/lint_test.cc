@@ -267,6 +267,49 @@ TEST(LayeringTest, OpgraphSitsBetweenTensorAndSparseCore) {
   EXPECT_TRUE(HasRule(bad_nn_edge, "layering")) << Render(bad_nn_edge);
 }
 
+TEST(LayeringTest, ShardSitsBesideGraphAboveSparse) {
+  // shard (edge-cut partitioner + halo exchange, docs/SHARDING.md) sits
+  // directly on sparse/opgraph/tensor. Filters see shards only through the
+  // abstract opgraph::SpmmOperator, so shard must never include core — and
+  // never reach up into serve or quant.
+  const auto shard_ok = Lint("src/shard/plan.cc", R"cc(
+    #include "shard/plan.h"
+    #include "shard/partition.h"
+    #include "sparse/csr.h"
+    #include "opgraph/graph.h"
+    #include "tensor/matrix.h"
+  )cc");
+  EXPECT_FALSE(HasRule(shard_ok, "layering")) << Render(shard_ok);
+  // models builds shard plans when TrainConfig::num_shards > 1.
+  const auto models_ok = Lint("src/models/trainer.cc", R"cc(
+    #include "shard/plan.h"
+    #include "shard/spmm.h"
+  )cc");
+  EXPECT_FALSE(HasRule(models_ok, "layering")) << Render(models_ok);
+  const auto conf_ok = Lint("src/conformance/shard_check.cc", R"cc(
+    #include "shard/plan.h"
+    #include "shard/spmm.h"
+  )cc");
+  EXPECT_FALSE(HasRule(conf_ok, "layering")) << Render(conf_ok);
+  const auto bad_serve = Lint("src/shard/spmm.cc", R"cc(
+    #include "serve/engine.h"
+  )cc");
+  EXPECT_TRUE(HasRule(bad_serve, "layering")) << Render(bad_serve);
+  const auto bad_quant = Lint("src/shard/plan.cc", R"cc(
+    #include "quant/quantize.h"
+  )cc");
+  EXPECT_TRUE(HasRule(bad_quant, "layering")) << Render(bad_quant);
+  const auto bad_core = Lint("src/shard/spmm.cc", R"cc(
+    #include "core/filter.h"
+  )cc");
+  EXPECT_TRUE(HasRule(bad_core, "layering")) << Render(bad_core);
+  // Nothing below shard may depend on it.
+  const auto bad_sparse = Lint("src/sparse/csr.cc", R"cc(
+    #include "shard/partition.h"
+  )cc");
+  EXPECT_TRUE(HasRule(bad_sparse, "layering")) << Render(bad_sparse);
+}
+
 TEST(LayeringTest, IgnoresIncludesInComments) {
   const auto f = Lint("src/tensor/x.cc", R"cc(
     // #include "runtime/supervisor.h"

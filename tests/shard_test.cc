@@ -1,0 +1,718 @@
+// Tests for sharded graph execution (src/shard/ + docs/SHARDING.md):
+// partitioner determinism/coverage/balance, slice structure invariants,
+// sharded-vs-unsharded bit-identity across the nine fuzz graph families x
+// shard counts x thread counts (raw operator, eager forward, lazy forward,
+// precompute terms), shard-plan persistence round trips with CRC rejection,
+// per-shard budget/spill semantics against DeviceTracker, the
+// OOM-unsharded-completes-sharded memory demo, SHARD_SPILL journaling and
+// the FB -> fb-sharded degradation rung, and a sharded kill-and-resume
+// Supervisor round trip.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "conformance/fuzz.h"
+#include "conformance/shard_check.h"
+#include "core/lazy.h"
+#include "core/registry.h"
+#include "eval/eigen.h"
+#include "graph/generator.h"
+#include "runtime/supervisor.h"
+#include "shard/partition.h"
+#include "shard/plan.h"
+#include "shard/serialize.h"
+#include "shard/spmm.h"
+#include "sparse/adjacency.h"
+#include "tensor/device.h"
+#include "tensor/parallel.h"
+#include "tensor/rng.h"
+
+namespace sgnn {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+Matrix RandomMatrix(int64_t rows, int64_t cols, uint64_t seed) {
+  Matrix m(rows, cols, Device::kHost);
+  Rng rng(seed);
+  m.FillNormal(&rng);
+  return m;
+}
+
+/// Ring + chords propagation matrix, normalized like the trainer's.
+sparse::CsrMatrix SmallProp(int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  sparse::EdgeList edges;
+  for (int64_t i = 0; i < n; ++i) {
+    edges.emplace_back(static_cast<int32_t>(i),
+                       static_cast<int32_t>((i + 1) % n));
+    if (rng.Bernoulli(0.3)) {
+      edges.emplace_back(static_cast<int32_t>(i),
+                         static_cast<int32_t>(rng.UniformInt(n)));
+    }
+  }
+  auto adj = sparse::BuildAdjacency(n, edges, /*add_self_loops=*/true);
+  SGNN_CHECK(adj.ok(), "test fixture adjacency must build");
+  return sparse::NormalizeAdjacency(adj.value(), 0.5);
+}
+
+bool BitIdentical(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  if (a.size() == 0) return true;
+  return std::memcmp(a.data(), b.data(), a.bytes()) == 0;
+}
+
+/// One representative case per fuzz graph family (er/sbm/star/path/cycle/
+/// disconnected/self_loop/isolated/empty).
+std::map<std::string, conformance::FuzzCase> FamilyCases() {
+  std::map<std::string, conformance::FuzzCase> cases;
+  for (uint64_t seed = 1; seed <= 2000 && cases.size() < 9; ++seed) {
+    conformance::FuzzCase c = conformance::CaseFromSeed(seed);
+    cases.emplace(c.family, std::move(c));
+  }
+  return cases;
+}
+
+// --- partitioner -------------------------------------------------------------
+
+TEST(ShardPartition, CoversEveryNodeExactlyOnceAndBalances) {
+  const sparse::CsrMatrix prop = SmallProp(97, 5);
+  for (const int k : {1, 2, 4, 8}) {
+    const shard::Partition p =
+        shard::GreedyBfsPartition(prop, {k, /*seed=*/3});
+    ASSERT_EQ(p.num_shards, k);
+    ASSERT_EQ(p.shard_of.size(), 97u);
+    ASSERT_EQ(p.owned.size(), static_cast<size_t>(k));
+    const int64_t quota = (97 + k - 1) / k;
+    std::vector<int> seen(97, 0);
+    for (int s = 0; s < k; ++s) {
+      // Owned lists ascend in global id and respect the ceil(n/K) quota
+      // (the last shard takes the remainder).
+      EXPECT_TRUE(std::is_sorted(p.owned[s].begin(), p.owned[s].end()));
+      if (s + 1 < k) {
+        EXPECT_LE(static_cast<int64_t>(p.owned[s].size()), quota);
+      }
+      for (const int32_t v : p.owned[s]) {
+        EXPECT_EQ(p.shard_of[static_cast<size_t>(v)], s);
+        ++seen[static_cast<size_t>(v)];
+      }
+    }
+    for (int count : seen) EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(ShardPartition, DeterministicAndSeedSensitive) {
+  const sparse::CsrMatrix prop = SmallProp(64, 9);
+  const shard::Partition a = shard::GreedyBfsPartition(prop, {4, 11});
+  const shard::Partition b = shard::GreedyBfsPartition(prop, {4, 11});
+  EXPECT_EQ(a.shard_of, b.shard_of);
+  // A different seed grows shards from different roots (not a hard
+  // guarantee for every seed pair, but these differ).
+  const shard::Partition c = shard::GreedyBfsPartition(prop, {4, 12});
+  EXPECT_NE(a.shard_of, c.shard_of);
+}
+
+TEST(ShardPartition, MoreShardsThanNodesLeavesTrailingEmpty) {
+  const sparse::CsrMatrix prop = SmallProp(3, 2);
+  const shard::Partition p = shard::GreedyBfsPartition(prop, {8, 1});
+  int64_t total = 0;
+  for (const auto& owned : p.owned) total += static_cast<int64_t>(owned.size());
+  EXPECT_EQ(total, 3);
+}
+
+TEST(ShardPartition, EdgeCutCountsAndSingleShardHasNoCut) {
+  const sparse::CsrMatrix prop = SmallProp(50, 4);
+  const shard::Partition one = shard::GreedyBfsPartition(prop, {1, 1});
+  const shard::EdgeCutStats s1 = shard::ComputeEdgeCut(prop, one);
+  EXPECT_EQ(s1.cut_edges, 0);
+  EXPECT_EQ(s1.total_edges, prop.nnz());
+  EXPECT_DOUBLE_EQ(s1.cut_fraction(), 0.0);
+
+  const shard::Partition four = shard::GreedyBfsPartition(prop, {4, 1});
+  const shard::EdgeCutStats s4 = shard::ComputeEdgeCut(prop, four);
+  EXPECT_GT(s4.cut_edges, 0);
+  EXPECT_LE(s4.cut_edges, s4.total_edges);
+}
+
+// --- plan / slices -----------------------------------------------------------
+
+TEST(ShardPlan, SliceStructureInvariants) {
+  const sparse::CsrMatrix prop = SmallProp(60, 7);
+  const shard::ShardPlan plan = shard::BuildShardPlan(prop, {4, 7});
+  ASSERT_EQ(plan.num_shards, 4);
+  EXPECT_EQ(plan.n, 60);
+  int64_t total_owned = 0;
+  for (const auto& slice : plan.slices) {
+    total_owned += slice.owned_count();
+    // Square slice, gather = owned ++ halo.
+    ASSERT_EQ(slice.local_n(), slice.owned_count() + slice.halo_count());
+    ASSERT_EQ(static_cast<int64_t>(slice.gather.size()), slice.local_n());
+    for (int64_t i = 0; i < slice.owned_count(); ++i) {
+      EXPECT_EQ(slice.gather[static_cast<size_t>(i)],
+                slice.owned[static_cast<size_t>(i)]);
+    }
+    // Halo rows are empty padding; owned rows replicate the global row
+    // verbatim (same values, same order, columns remapped).
+    const auto& indptr = slice.local.indptr();
+    for (int64_t r = slice.owned_count(); r < slice.local_n(); ++r) {
+      EXPECT_EQ(indptr[r], indptr[r + 1]);
+    }
+    for (int64_t r = 0; r < slice.owned_count(); ++r) {
+      const int32_t global_row = slice.owned[static_cast<size_t>(r)];
+      const int64_t g_begin = prop.indptr()[global_row];
+      const int64_t g_end = prop.indptr()[global_row + 1];
+      ASSERT_EQ(indptr[r + 1] - indptr[r], g_end - g_begin);
+      for (int64_t j = 0; j < g_end - g_begin; ++j) {
+        const int32_t local_col = slice.local.indices()[indptr[r] + j];
+        EXPECT_EQ(slice.gather[static_cast<size_t>(local_col)],
+                  prop.indices()[g_begin + j]);
+        EXPECT_EQ(slice.local.values()[indptr[r] + j],
+                  prop.values()[g_begin + j]);
+      }
+    }
+  }
+  EXPECT_EQ(total_owned, 60);
+  EXPECT_EQ(plan.stats.total_owned, 60);
+  EXPECT_GE(plan.stats.total_halo, 0);
+}
+
+// --- bit-identity ------------------------------------------------------------
+
+// The core determinism contract: the raw sharded operator reproduces the
+// single-CSR SpMM byte for byte for every fuzz graph family, shard count,
+// and thread count.
+TEST(ShardBitIdentity, OperatorMatchesSpmmAcrossFamiliesShardsThreads) {
+  const auto cases = FamilyCases();
+  ASSERT_EQ(cases.size(), 9u);
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  for (const auto& [family, c] : cases) {
+    auto adj_or = sparse::BuildAdjacency(c.n, c.edges, c.self_loops);
+    ASSERT_TRUE(adj_or.ok()) << family;
+    const sparse::CsrMatrix prop =
+        sparse::NormalizeAdjacency(adj_or.value(), c.rho);
+    const Matrix x = RandomMatrix(c.n, 3, c.seed ^ 0xBEEFull);
+    Matrix y_ref(c.n, 3, Device::kHost);
+    prop.SpMM(x, &y_ref);
+    for (const int k : {1, 2, 4, 8}) {
+      const shard::ShardPlan plan = shard::BuildShardPlan(prop, {k, 7});
+      const shard::ShardedSpmmOperator op(&plan);
+      ASSERT_EQ(op.n(), c.n);
+      for (const int threads : {1, 4, hw}) {
+        parallel::SetNumThreads(threads);
+        Matrix y(c.n, 3, Device::kHost);
+        op.Apply(x, &y);
+        EXPECT_TRUE(BitIdentical(y, y_ref))
+            << family << " K=" << k << " threads=" << threads;
+      }
+    }
+  }
+  parallel::SetNumThreads(0);
+}
+
+// Filter-level bit-identity: eager forward, lazy forward, and precompute
+// terms through the sharded operator equal the unsharded path, at multiple
+// thread counts (the full all-filter sweep runs in sgnn_conformance
+// --mode=shard; this pins one MB+lazy-capable filter per family).
+TEST(ShardBitIdentity, ChebyshevForwardLazyPrecomputeAcrossFamilies) {
+  const auto cases = FamilyCases();
+  ASSERT_EQ(cases.size(), 9u);
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  for (const auto& [family, c] : cases) {
+    auto adj_or = sparse::BuildAdjacency(c.n, c.edges, c.self_loops);
+    ASSERT_TRUE(adj_or.ok()) << family;
+    const sparse::CsrMatrix prop =
+        sparse::NormalizeAdjacency(adj_or.value(), c.rho);
+    const Matrix x = RandomMatrix(c.n, 3, c.seed ^ 0xF00Dull);
+    auto filter_or = filters::CreateFilter("chebyshev", c.hops, {}, x.cols());
+    ASSERT_TRUE(filter_or.ok());
+    auto filter = filter_or.MoveValue();
+
+    filters::FilterContext ctx;
+    ctx.prop = &prop;
+    ctx.device = Device::kHost;
+    Matrix y_ref;
+    filter->Forward(ctx, x, &y_ref, /*cache=*/false);
+    std::vector<Matrix> terms_ref;
+    ASSERT_TRUE(filter->Precompute(ctx, x, &terms_ref).ok());
+
+    const shard::ShardPlan plan = shard::BuildShardPlan(prop, {4, 7});
+    const shard::ShardedSpmmOperator op(&plan);
+    filters::FilterContext sharded = ctx;
+    sharded.op = &op;
+    for (const int threads : {1, 4, hw}) {
+      parallel::SetNumThreads(threads);
+      Matrix y;
+      filter->Forward(sharded, x, &y, /*cache=*/false);
+      EXPECT_TRUE(BitIdentical(y, y_ref))
+          << family << " threads=" << threads;
+      Matrix y_lazy;
+      ASSERT_TRUE(filters::LazyForward(filter.get(), sharded, x, &y_lazy).ok())
+          << family;
+      EXPECT_TRUE(BitIdentical(y_lazy, y_ref))
+          << family << " lazy threads=" << threads;
+      std::vector<Matrix> terms;
+      ASSERT_TRUE(filter->Precompute(sharded, x, &terms).ok());
+      ASSERT_EQ(terms.size(), terms_ref.size());
+      for (size_t t = 0; t < terms.size(); ++t) {
+        EXPECT_TRUE(BitIdentical(terms[t], terms_ref[t]))
+            << family << " term " << t << " threads=" << threads;
+      }
+    }
+  }
+  parallel::SetNumThreads(0);
+}
+
+// The conformance checker itself: a handful of filters spanning fixed /
+// variable / bank families pass the sharded check on a fixture graph.
+TEST(ShardBitIdentity, ConformanceCheckerPassesRepresentativeFilters) {
+  const sparse::CsrMatrix prop = SmallProp(30, 13);
+  auto eig_or = eval::JacobiEigen(eval::DenseLaplacian(prop));
+  ASSERT_TRUE(eig_or.ok());
+  const Matrix x = RandomMatrix(30, 4, 14);
+  for (const char* name : {"chebyshev", "ppr", "monomial", "fagnn"}) {
+    auto report_or =
+        conformance::CheckShardConformance(name, prop, eig_or.value(), x);
+    ASSERT_TRUE(report_or.ok()) << name;
+    EXPECT_TRUE(report_or.value().pass)
+        << name << ": " << report_or.value().detail;
+  }
+}
+
+// --- persistence -------------------------------------------------------------
+
+TEST(ShardSerialize, RoundTripsPlansAtMultipleShardCounts) {
+  const sparse::CsrMatrix prop = SmallProp(48, 17);
+  const Matrix x = RandomMatrix(48, 3, 18);
+  for (const int k : {2, 4, 8}) {
+    const shard::ShardPlan plan = shard::BuildShardPlan(prop, {k, 5});
+    const std::string prefix =
+        TempPath("shard_rt_k" + std::to_string(k));
+    ASSERT_TRUE(shard::SaveShardPlan(plan, prefix).ok());
+
+    shard::ShardPlan loaded;
+    ASSERT_TRUE(shard::LoadShardPlan(prefix, &loaded).ok());
+    EXPECT_EQ(loaded.num_shards, plan.num_shards);
+    EXPECT_EQ(loaded.n, plan.n);
+    EXPECT_EQ(loaded.options.seed, plan.options.seed);
+    EXPECT_EQ(loaded.partition.shard_of, plan.partition.shard_of);
+    EXPECT_EQ(loaded.stats.cut_edges, plan.stats.cut_edges);
+    EXPECT_EQ(loaded.stats.total_halo, plan.stats.total_halo);
+    ASSERT_EQ(loaded.slices.size(), plan.slices.size());
+    for (size_t s = 0; s < plan.slices.size(); ++s) {
+      EXPECT_EQ(loaded.slices[s].owned, plan.slices[s].owned);
+      EXPECT_EQ(loaded.slices[s].halo, plan.slices[s].halo);
+      EXPECT_EQ(loaded.slices[s].gather, plan.slices[s].gather);
+      EXPECT_EQ(loaded.slices[s].local.nnz(), plan.slices[s].local.nnz());
+    }
+    // The loaded plan propagates bit-identically to the built one.
+    const shard::ShardedSpmmOperator built_op(&plan);
+    const shard::ShardedSpmmOperator loaded_op(&loaded);
+    Matrix y_built(48, 3, Device::kHost);
+    Matrix y_loaded(48, 3, Device::kHost);
+    built_op.Apply(x, &y_built);
+    loaded_op.Apply(x, &y_loaded);
+    EXPECT_TRUE(BitIdentical(y_loaded, y_built)) << "K=" << k;
+
+    std::remove(shard::ManifestPath(prefix).c_str());
+    for (int s = 0; s < k; ++s) {
+      std::remove(shard::ShardFilePath(prefix, s).c_str());
+    }
+  }
+}
+
+TEST(ShardSerialize, RejectsCorruptionAndMixedGenerations) {
+  const sparse::CsrMatrix prop = SmallProp(32, 21);
+  const shard::ShardPlan plan = shard::BuildShardPlan(prop, {2, 5});
+  const std::string prefix = TempPath("shard_corrupt");
+  ASSERT_TRUE(shard::SaveShardPlan(plan, prefix).ok());
+
+  // Flip one payload byte in shard 1: the CRC check must reject the load.
+  const std::string victim = shard::ShardFilePath(prefix, 1);
+  {
+    std::FILE* f = std::fopen(victim.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, -1, SEEK_END);
+    const int c = std::fgetc(f);
+    std::fseek(f, -1, SEEK_END);
+    std::fputc(c ^ 0x40, f);
+    std::fclose(f);
+  }
+  shard::ShardPlan loaded;
+  const Status corrupt = shard::LoadShardPlan(prefix, &loaded);
+  EXPECT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.code(), StatusCode::kIOError) << corrupt.ToString();
+
+  // A shard file from a different plan generation (fresh save of a
+  // different partition) fails the manifest CRC cross-check.
+  ASSERT_TRUE(shard::SaveShardPlan(plan, prefix).ok());
+  const shard::ShardPlan other = shard::BuildShardPlan(prop, {2, 99});
+  const std::string other_prefix = TempPath("shard_other");
+  ASSERT_TRUE(shard::SaveShardPlan(other, other_prefix).ok());
+  ASSERT_EQ(std::rename(shard::ShardFilePath(other_prefix, 1).c_str(),
+                        victim.c_str()),
+            0);
+  const Status mixed = shard::LoadShardPlan(prefix, &loaded);
+  EXPECT_FALSE(mixed.ok());
+  EXPECT_EQ(mixed.code(), StatusCode::kIOError) << mixed.ToString();
+
+  // A missing shard file is a clean IOError too.
+  ASSERT_EQ(std::remove(victim.c_str()), 0);
+  const Status missing = shard::LoadShardPlan(prefix, &loaded);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.code(), StatusCode::kIOError);
+
+  std::remove(shard::ManifestPath(prefix).c_str());
+  std::remove(shard::ShardFilePath(prefix, 0).c_str());
+  std::remove(shard::ManifestPath(other_prefix).c_str());
+  std::remove(shard::ShardFilePath(other_prefix, 0).c_str());
+}
+
+// --- budgets and spills ------------------------------------------------------
+
+TEST(ShardBudget, SpillsOverBudgetHopsHostSideWithIdenticalBits) {
+  auto& tracker = DeviceTracker::Global();
+  tracker.ResetAll();
+  const sparse::CsrMatrix prop = SmallProp(80, 25);
+  const Matrix x = RandomMatrix(80, 8, 26);
+  Matrix y_ref(80, 8, Device::kHost);
+  prop.SpMM(x, &y_ref);
+
+  const shard::ShardPlan plan = shard::BuildShardPlan(prop, {4, 3});
+
+  // A 1-byte budget forces every shard hop to spill; bits must not change.
+  shard::ShardExecOptions tiny;
+  tiny.compute_device = Device::kAccel;
+  tiny.shard_budget_bytes = 1;
+  const shard::ShardedSpmmOperator spilling(&plan, tiny);
+  Matrix y(80, 8, Device::kHost);
+  spilling.Apply(x, &y);
+  EXPECT_TRUE(BitIdentical(y, y_ref));
+  EXPECT_GT(spilling.stats().shard_spills, 0);
+  EXPECT_EQ(spilling.stats().applies, 1);
+  for (const size_t peak : spilling.stats().shard_peak_bytes) {
+    EXPECT_EQ(peak, 0u);  // nothing ever ran on the accelerator
+  }
+  EXPECT_EQ(tracker.peak_bytes(Device::kAccel), 0u);
+
+  // A generous budget keeps every hop on the accelerator: no spills, and
+  // every shard's recorded peak stays within the sub-budget.
+  shard::ShardExecOptions roomy;
+  roomy.compute_device = Device::kAccel;
+  roomy.shard_budget_bytes = 64u << 20;
+  const shard::ShardedSpmmOperator on_accel(&plan, roomy);
+  Matrix y2(80, 8, Device::kHost);
+  on_accel.Apply(x, &y2);
+  EXPECT_TRUE(BitIdentical(y2, y_ref));
+  EXPECT_EQ(on_accel.stats().shard_spills, 0);
+  ASSERT_EQ(on_accel.stats().shard_peak_bytes.size(), 4u);
+  for (const size_t peak : on_accel.stats().shard_peak_bytes) {
+    EXPECT_GT(peak, 0u);
+    EXPECT_LE(peak, on_accel.ResolvedBudget());
+  }
+  EXPECT_FALSE(tracker.accel_oom());
+  tracker.ResetAll();
+}
+
+TEST(ShardBudget, DefaultBudgetIsCapacityOverShardCount) {
+  auto& tracker = DeviceTracker::Global();
+  tracker.ResetAll();
+  const sparse::CsrMatrix prop = SmallProp(16, 2);
+  const shard::ShardPlan plan = shard::BuildShardPlan(prop, {4, 1});
+  shard::ShardExecOptions opts;
+  opts.compute_device = Device::kAccel;
+  const shard::ShardedSpmmOperator op(&plan, opts);
+  tracker.set_accel_capacity(1u << 20);
+  EXPECT_EQ(op.ResolvedBudget(), (1u << 20) / 4);
+  tracker.set_accel_capacity(0);
+  EXPECT_EQ(op.ResolvedBudget(), 0u);  // unlimited
+  tracker.ResetAll();
+}
+
+// The acceptance demo: a run that OOMs unsharded completes sharded under
+// the same simulated accelerator capacity, with per-shard peaks inside the
+// sub-budgets and without ever latching the OOM flag.
+TEST(ShardBudget, TenXGraphOomsUnshardedCompletesSharded) {
+  auto& tracker = DeviceTracker::Global();
+  tracker.ResetAll();
+
+  graph::GeneratorConfig gc;
+  gc.n = 300;
+  gc.node_multiplier = 10.0;  // 3000 nodes, the Fig. 3 scale knob
+  gc.avg_degree = 8.0;
+  gc.num_classes = 4;
+  gc.homophily = 0.85;
+  gc.feature_dim = 32;
+  gc.noise = 2.0;
+  gc.seed = 3;
+  graph::Graph g = graph::GenerateSbm(gc);
+  ASSERT_EQ(g.n, 3000);
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+
+  models::TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.eval_every = 2;
+  cfg.hidden = 32;
+  cfg.seed = 1;
+
+  auto filter_or = filters::CreateFilter("chebyshev", 4, {}, g.features.cols());
+  ASSERT_TRUE(filter_or.ok());
+
+  // Capacity sized between one shard's working set and the full FB
+  // residency: unsharded FB must OOM.
+  tracker.set_accel_capacity(2u << 20);
+  const models::TrainResult unsharded = models::TrainFullBatch(
+      g, s, graph::Metric::kAccuracy, filter_or.value().get(), cfg);
+  EXPECT_TRUE(unsharded.oom);
+  tracker.ClearOom();
+  tracker.ResetPeak();
+
+  // The same run sharded completes: graph and representations stay
+  // host-resident, only per-shard working sets visit the accelerator.
+  models::TrainConfig sharded_cfg = cfg;
+  sharded_cfg.num_shards = 4;
+  const models::TrainResult sharded = models::TrainFullBatch(
+      g, s, graph::Metric::kAccuracy, filter_or.value().get(), sharded_cfg);
+  EXPECT_FALSE(sharded.oom);
+  ASSERT_TRUE(sharded.status.ok()) << sharded.status.ToString();
+  EXPECT_EQ(sharded.stats.shards, 4);
+  EXPECT_FALSE(tracker.accel_oom());
+  EXPECT_LE(tracker.peak_bytes(Device::kAccel), 2u << 20);
+
+  tracker.set_accel_capacity(0);
+  tracker.ResetAll();
+}
+
+// Sharded and unsharded training produce identical metrics when both fit:
+// the sharded FB path only swaps the propagation operator, which is
+// bit-identical, so the whole training trajectory matches.
+TEST(ShardBudget, ShardedTrainingMatchesUnshardedMetrics) {
+  auto& tracker = DeviceTracker::Global();
+  tracker.ResetAll();
+  graph::GeneratorConfig gc;
+  gc.n = 400;
+  gc.avg_degree = 8.0;
+  gc.num_classes = 4;
+  gc.homophily = 0.85;
+  gc.feature_dim = 16;
+  gc.noise = 2.0;
+  gc.seed = 3;
+  graph::Graph g = graph::GenerateSbm(gc);
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+
+  models::TrainConfig cfg;
+  cfg.epochs = 10;
+  cfg.eval_every = 5;
+  cfg.hidden = 32;
+  cfg.seed = 1;
+
+  auto filter_or = filters::CreateFilter("ppr", 4, {}, g.features.cols());
+  ASSERT_TRUE(filter_or.ok());
+  const models::TrainResult base = models::TrainFullBatch(
+      g, s, graph::Metric::kAccuracy, filter_or.value().get(), cfg);
+  ASSERT_TRUE(base.status.ok());
+
+  for (const int k : {2, 4, 8}) {
+    models::TrainConfig sharded_cfg = cfg;
+    sharded_cfg.num_shards = k;
+    const models::TrainResult sharded = models::TrainFullBatch(
+        g, s, graph::Metric::kAccuracy, filter_or.value().get(), sharded_cfg);
+    ASSERT_TRUE(sharded.status.ok()) << "K=" << k;
+    EXPECT_DOUBLE_EQ(sharded.val_metric, base.val_metric) << "K=" << k;
+    EXPECT_DOUBLE_EQ(sharded.test_metric, base.test_metric) << "K=" << k;
+    EXPECT_DOUBLE_EQ(sharded.final_train_loss, base.final_train_loss)
+        << "K=" << k;
+  }
+  tracker.ResetAll();
+}
+
+// --- supervisor integration --------------------------------------------------
+
+// An OK sharded cell that spilled gets a non-terminal SHARD_SPILL companion
+// record ahead of its terminal OK record, and resume still serves the cell
+// from the journal.
+TEST(ShardSupervisor, JournalsShardSpillCompanionRecords) {
+  auto& tracker = DeviceTracker::Global();
+  tracker.ResetAll();
+  graph::GeneratorConfig gc;
+  gc.n = 300;
+  gc.avg_degree = 6.0;
+  gc.num_classes = 3;
+  gc.feature_dim = 16;
+  gc.seed = 5;
+  graph::Graph g = graph::GenerateSbm(gc);
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+
+  models::TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.eval_every = 2;
+  cfg.hidden = 16;
+  cfg.num_shards = 4;
+  cfg.shard_budget_bytes = 1;  // every shard hop spills
+
+  const std::string path = TempPath("shard_spill.jsonl");
+  std::remove(path.c_str());
+  const runtime::CellKey key{"small", "chebyshev", "fb", 1, "K=4"};
+  {
+    runtime::Supervisor sup("shard_spill", path);
+    const runtime::CellRecord rec =
+        sup.RunTraining(key, g, s, graph::Metric::kAccuracy, cfg);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(rec.stats.shards, 4);
+    EXPECT_GT(rec.stats.shard_spills, 0);
+  }
+  // The journal holds one non-terminal SHARD_SPILL line plus the terminal
+  // OK line for the cell.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::string contents;
+    char buf[4096];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      contents.append(buf, got);
+    }
+    std::fclose(f);
+    EXPECT_NE(contents.find("SHARD_SPILL"), std::string::npos) << contents;
+  }
+  {
+    runtime::Supervisor sup("shard_spill", path);
+    const runtime::CellRecord* done = sup.Find(key);
+    ASSERT_NE(done, nullptr);
+    EXPECT_TRUE(done->ok());
+    EXPECT_GT(done->stats.shard_spills, 0);
+  }
+  std::remove(path.c_str());
+  tracker.ResetAll();
+}
+
+// Degradation ladder: an FB cell that OOMs retries as fb-sharded before
+// any MB fallback when RunOptions::fallback_shards is set.
+TEST(ShardSupervisor, FbOomRetriesShardedBeforeMb) {
+  auto& tracker = DeviceTracker::Global();
+  tracker.ResetAll();
+  graph::GeneratorConfig gc;
+  gc.n = 300;
+  gc.node_multiplier = 10.0;
+  gc.avg_degree = 8.0;
+  gc.num_classes = 4;
+  gc.feature_dim = 32;
+  gc.seed = 3;
+  graph::Graph g = graph::GenerateSbm(gc);
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+
+  models::TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.eval_every = 2;
+  cfg.hidden = 32;
+
+  runtime::RunOptions options;
+  options.fallback_shards = 4;
+
+  tracker.set_accel_capacity(2u << 20);
+  runtime::Supervisor sup("shard_ladder", "");
+  const runtime::CellRecord rec =
+      sup.RunTraining({"tenx", "chebyshev", "fb", 1}, g, s,
+                      graph::Metric::kAccuracy, cfg, options);
+  tracker.set_accel_capacity(0);
+  ASSERT_TRUE(rec.ok()) << rec.detail;
+  EXPECT_EQ(rec.final_scheme, "fb-sharded");
+  EXPECT_GE(rec.attempts, 2);
+  EXPECT_EQ(rec.stats.shards, 4);
+  tracker.ResetAll();
+}
+
+// Kill-and-resume round trip over sharded cells: an interrupted sharded
+// grid resumed on the same journal rebuilds the uninterrupted table, and
+// the sharded grid's metrics equal the unsharded grid's bit for bit.
+TEST(ShardSupervisor, ShardedKillAndResumeRoundTrip) {
+  graph::GeneratorConfig gc;
+  gc.n = 400;
+  gc.avg_degree = 8.0;
+  gc.num_classes = 4;
+  gc.homophily = 0.85;
+  gc.feature_dim = 16;
+  gc.noise = 2.0;
+  gc.seed = 3;
+  graph::Graph g = graph::GenerateSbm(gc);
+  graph::Splits s = graph::RandomSplits(g.n, 1);
+
+  models::TrainConfig sharded_cfg;
+  sharded_cfg.epochs = 10;
+  sharded_cfg.eval_every = 5;
+  sharded_cfg.hidden = 32;
+  sharded_cfg.num_shards = 4;
+  models::TrainConfig unsharded_cfg = sharded_cfg;
+  unsharded_cfg.num_shards = 0;
+
+  const std::vector<runtime::CellKey> grid = {
+      {"small", "chebyshev", "fb", 1, "K=4"},
+      {"small", "ppr", "fb", 1, "K=4"},
+  };
+
+  // Reference: uninterrupted sharded run on its own journal.
+  const std::string ref_path = TempPath("shard_roundtrip_ref.jsonl");
+  std::remove(ref_path.c_str());
+  std::vector<runtime::CellRecord> reference;
+  {
+    runtime::Supervisor sup("shard_roundtrip", ref_path);
+    for (const auto& key : grid) {
+      reference.push_back(
+          sup.RunTraining(key, g, s, graph::Metric::kAccuracy, sharded_cfg));
+    }
+  }
+
+  // Interrupted: one cell, then "die" without cleanup; resume the journal.
+  const std::string path = TempPath("shard_roundtrip_killed.jsonl");
+  std::remove(path.c_str());
+  {
+    runtime::Supervisor sup("shard_roundtrip", path);
+    sup.RunTraining(grid[0], g, s, graph::Metric::kAccuracy, sharded_cfg);
+  }
+  {
+    runtime::Supervisor sup("shard_roundtrip", path);
+    std::vector<runtime::CellRecord> resumed;
+    for (const auto& key : grid) {
+      resumed.push_back(
+          sup.RunTraining(key, g, s, graph::Metric::kAccuracy, sharded_cfg));
+    }
+    EXPECT_EQ(sup.resumed_cells(), 1u);
+    ASSERT_EQ(resumed.size(), reference.size());
+    for (size_t i = 0; i < grid.size(); ++i) {
+      EXPECT_EQ(resumed[i].status, reference[i].status);
+      EXPECT_EQ(resumed[i].stats.shards, 4);
+      EXPECT_DOUBLE_EQ(resumed[i].val_metric, reference[i].val_metric);
+      EXPECT_DOUBLE_EQ(resumed[i].test_metric, reference[i].test_metric);
+      EXPECT_DOUBLE_EQ(resumed[i].train_loss, reference[i].train_loss);
+    }
+  }
+
+  // Sharded ≡ unsharded at the training-table level too.
+  {
+    runtime::Supervisor sup("shard_roundtrip_unsharded", "");
+    for (size_t i = 0; i < grid.size(); ++i) {
+      const runtime::CellRecord unsharded = sup.RunTraining(
+          grid[i], g, s, graph::Metric::kAccuracy, unsharded_cfg);
+      EXPECT_EQ(unsharded.status, reference[i].status);
+      EXPECT_DOUBLE_EQ(unsharded.val_metric, reference[i].val_metric);
+      EXPECT_DOUBLE_EQ(unsharded.test_metric, reference[i].test_metric);
+      EXPECT_DOUBLE_EQ(unsharded.train_loss, reference[i].train_loss);
+    }
+  }
+
+  std::remove(ref_path.c_str());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sgnn

@@ -504,7 +504,7 @@ Config Config::Default() {
                         "Unavailable"};
   // The include DAG of the paper reproduction (docs/ARCHITECTURE.md renders
   // the same table as a diagram):
-  //   tensor -> opgraph -> {sparse, graph} -> {core, nn}
+  //   tensor -> opgraph -> {sparse, shard, graph} -> {core, nn}
   //          -> {models, eval, quant} -> runtime -> {conformance, serve}
   //          -> {bench, tools, tests}.
   // A layer may include itself and anything at or below its feeder group;
@@ -518,6 +518,11 @@ Config Config::Default() {
       // which is the first layer that sees both sides.
       {"opgraph", {"opgraph", "tensor"}},
       {"sparse", {"sparse", "opgraph", "tensor"}},
+      // shard (edge-cut partitioner + halo exchange + sharded SpmmOperator)
+      // sits beside graph, directly on sparse/opgraph. It must never reach
+      // up into serve/quant or sideways into core — filters see shards only
+      // through the abstract opgraph::SpmmOperator on FilterContext.
+      {"shard", {"shard", "sparse", "opgraph", "tensor"}},
       {"graph", {"graph", "sparse", "opgraph", "tensor"}},
       {"nn", {"nn", "tensor"}},
       {"core", {"core", "opgraph", "nn", "sparse", "graph", "tensor"}},
@@ -530,9 +535,11 @@ Config Config::Default() {
        {"quant", "core", "opgraph", "nn", "sparse", "graph", "tensor"}},
       {"eval",
        {"eval", "core", "opgraph", "nn", "sparse", "graph", "tensor"}},
+      // models lists "shard" because the trainers build shard plans and
+      // sharded operators when TrainConfig::num_shards > 1.
       {"models",
-       {"models", "eval", "core", "opgraph", "nn", "sparse", "graph",
-        "tensor"}},
+       {"models", "eval", "core", "opgraph", "nn", "shard", "sparse",
+        "graph", "tensor"}},
       {"runtime",
        {"runtime", "models", "eval", "core", "opgraph", "nn", "sparse",
         "graph", "tensor"}},
@@ -540,7 +547,7 @@ Config Config::Default() {
       // Supervisor) but below bench/tools/tests.
       {"conformance",
        {"conformance", "runtime", "models", "quant", "eval", "core",
-        "opgraph", "nn", "sparse", "graph", "tensor"}},
+        "opgraph", "nn", "shard", "sparse", "graph", "tensor"}},
       // serve (checkpoints, bundle cache, inference engine) also sits above
       // runtime: checkpoints capture trainer exports and serving benches
       // journal through the Supervisor. No other src/ layer lists "serve",

@@ -8,6 +8,9 @@
 //           every MB-capable filter; tolerances in docs/QUANTIZATION.md)
 //   lazy    fused op-graph execution vs eager (bit-identity) and vs the
 //           dense oracle, every lazy-capable filter (docs/OPGRAPH.md)
+//   shard   sharded propagation vs unsharded (bit-identity at K=1,2,4,8
+//           for eager, lazy, and precompute paths) and vs the dense
+//           oracle, every filter (docs/SHARDING.md)
 //   grad    finite-difference gradient checker only
 //   fuzz    property-based fuzz sweep only (--trials)
 //
@@ -35,6 +38,7 @@
 #include "conformance/lazy_check.h"
 #include "conformance/oracle.h"
 #include "conformance/quant_check.h"
+#include "conformance/shard_check.h"
 #include "eval/eigen.h"
 #include "quant/quantize.h"
 #include "sparse/adjacency.h"
@@ -166,6 +170,30 @@ bool RunLazy(const std::vector<std::string>& filters) {
     }
     std::fputs(conformance::FormatLazyReports(reports).c_str(), stdout);
     ok = ok && conformance::AllLazyPass(reports);
+  }
+  return ok;
+}
+
+bool RunShard(const std::vector<std::string>& filters) {
+  bool ok = true;
+  for (const auto& fix : BuildFixtures()) {
+    std::printf("== shard conformance on %s (n=%lld) ==\n", fix.name.c_str(),
+                static_cast<long long>(fix.norm.n()));
+    std::vector<conformance::ShardReport> reports;
+    if (filters.empty()) {
+      auto r = conformance::CheckAllSharded(fix.norm, fix.eig, fix.x);
+      SGNN_CHECK_OK(r);
+      reports = r.MoveValue();
+    } else {
+      for (const auto& name : filters) {
+        auto r =
+            conformance::CheckShardConformance(name, fix.norm, fix.eig, fix.x);
+        SGNN_CHECK_OK(r);
+        reports.push_back(r.MoveValue());
+      }
+    }
+    std::fputs(conformance::FormatShardReports(reports).c_str(), stdout);
+    ok = ok && conformance::AllShardPass(reports);
   }
   return ok;
 }
@@ -323,6 +351,8 @@ int main(int argc, char** argv) {
     ok = RunQuant(filters);
   } else if (mode == "lazy") {
     ok = RunLazy(filters);
+  } else if (mode == "shard") {
+    ok = RunShard(filters);
   } else if (mode == "grad") {
     ok = RunGradcheck(filters);
   } else if (mode == "fuzz") {

@@ -77,6 +77,8 @@ void Usage() {
       "                [--deadline-ms D] [--fallback 0|1] [--journal path]\n"
       "                [--lazy 0|1]  (fused op-graph execution for MB\n"
       "                 precompute + FB inference; see docs/OPGRAPH.md)\n"
+      "                [--shards K]  (edge-cut sharded propagation, K > 1;\n"
+      "                 bit-identical to unsharded, see docs/SHARDING.md)\n"
       "datasets: ");
   for (const auto& spec : graph::AllDatasets()) {
     std::fprintf(stderr, "%s ", spec.name.c_str());
@@ -143,6 +145,7 @@ int main(int argc, char** argv) {
       cfg.rho = flags.GetDouble("rho", 0.5);
       cfg.deadline_ms = flags.GetDouble("deadline-ms", 0.0);
       cfg.lazy = flags.GetInt("lazy", 0) != 0;
+      cfg.num_shards = flags.GetInt("shards", 0);
       cfg.seed = seed;
       if (scheme == "iterative") {
         rec = sup.Run(key, [&] {
@@ -200,6 +203,10 @@ int main(int argc, char** argv) {
       last_stats.infer_ms, FormatBytes(last_stats.peak_ram_bytes).c_str(),
       FormatBytes(last_stats.peak_accel_bytes).c_str(),
       any_bad ? last_marker.c_str() : "");
+  if (last_stats.shards > 1) {
+    std::printf("sharded: K=%d  spills=%lld\n", last_stats.shards,
+                static_cast<long long>(last_stats.shard_spills));
+  }
 
   const std::string csv = flags.Get("csv", "");
   if (!csv.empty()) {
